@@ -1,0 +1,273 @@
+package flexran_test
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation (each runs the corresponding experiment driver at
+// a reduced measurement window and reports domain metrics), plus
+// micro-benchmarks for the latency/throughput claims the paper makes about
+// the platform itself: VSF activation (~100 ns in §5.4), per-TTI agent
+// report serialization, DSL scheduler evaluation, data-plane stepping and
+// master cycle cost.
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem .
+
+import (
+	"testing"
+
+	"flexran"
+	"flexran/internal/agent"
+	"flexran/internal/enb"
+	"flexran/internal/experiments"
+	"flexran/internal/lte"
+	"flexran/internal/protocol"
+	"flexran/internal/radio"
+	"flexran/internal/sched"
+	"flexran/internal/vsfdsl"
+	"flexran/internal/wire"
+)
+
+// benchExperiment runs one experiment driver per iteration and reports a
+// headline metric through b.ReportMetric.
+func benchExperiment(b *testing.B, id string, scale float64, metric func(experiments.Result) (float64, string)) {
+	b.Helper()
+	var last experiments.Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if metric != nil && last != nil {
+		v, unit := metric(last)
+		b.ReportMetric(v, unit)
+	}
+}
+
+// --- Fig. 6: agent overhead and transparency ---
+
+func BenchmarkFig6aOverhead(b *testing.B) {
+	benchExperiment(b, "fig6a", 0.1, func(r experiments.Result) (float64, string) {
+		f := r.(*experiments.Fig6aResult)
+		return f.Row("flexran/ue").CPUPerSec, "ms/sim-s"
+	})
+}
+
+func BenchmarkFig6bThroughput(b *testing.B) {
+	benchExperiment(b, "fig6b", 0.1, func(r experiments.Result) (float64, string) {
+		return r.(*experiments.Fig6bResult).FlexDL, "Mb/s"
+	})
+}
+
+// --- Fig. 7: signaling overhead ---
+
+func BenchmarkFig7aAgentToMaster(b *testing.B) {
+	benchExperiment(b, "fig7a", 0.1, func(r experiments.Result) (float64, string) {
+		f := r.(*experiments.Fig7Result)
+		return f.Total(len(f.UECounts) - 1), "Mb/s@50UE"
+	})
+}
+
+func BenchmarkFig7bMasterToAgent(b *testing.B) {
+	benchExperiment(b, "fig7b", 0.1, func(r experiments.Result) (float64, string) {
+		f := r.(*experiments.Fig7Result)
+		return f.Total(len(f.UECounts) - 1), "Mb/s@50UE"
+	})
+}
+
+// --- Fig. 8: master controller resources ---
+
+func BenchmarkFig8MasterCycle(b *testing.B) {
+	benchExperiment(b, "fig8", 0.1, func(r experiments.Result) (float64, string) {
+		f := r.(*experiments.Fig8Result)
+		return f.CoreMs[len(f.CoreMs)-1] * 1000, "us/cycle@3agents"
+	})
+}
+
+// --- Fig. 9: control latency vs schedule-ahead ---
+
+func BenchmarkFig9LatencyGrid(b *testing.B) {
+	benchExperiment(b, "fig9", 0.05, func(r experiments.Result) (float64, string) {
+		return r.(*experiments.Fig9Result).At(0, 4), "Mb/s@rtt0"
+	})
+}
+
+// --- §5.4: control delegation ---
+
+func BenchmarkDelegationSwapSweep(b *testing.B) {
+	benchExperiment(b, "delegation", 0.1, func(r experiments.Result) (float64, string) {
+		d := r.(*experiments.DelegationResult)
+		return float64(d.PushBytes), "push-bytes"
+	})
+}
+
+// --- Fig. 10: eICIC ---
+
+func BenchmarkFig10EICIC(b *testing.B) {
+	benchExperiment(b, "fig10", 0.1, func(r experiments.Result) (float64, string) {
+		return r.(*experiments.Fig10Result).Optimized, "Mb/s-optimized"
+	})
+}
+
+// --- Table 2 and Fig. 11: MEC / DASH ---
+
+func BenchmarkTable2(b *testing.B) {
+	benchExperiment(b, "table2", 0.2, func(r experiments.Result) (float64, string) {
+		tcp, _ := r.(*experiments.Table2Result).Row(10)
+		return tcp, "Mb/s-tcp-cqi10"
+	})
+}
+
+func BenchmarkFig11aLowVariability(b *testing.B) {
+	benchExperiment(b, "fig11a", 0.2, func(r experiments.Result) (float64, string) {
+		return r.(*experiments.Fig11Result).AssistedMeanBitrate, "Mb/s-assisted"
+	})
+}
+
+func BenchmarkFig11bHighVariability(b *testing.B) {
+	benchExperiment(b, "fig11b", 0.2, func(r experiments.Result) (float64, string) {
+		return r.(*experiments.Fig11Result).AssistedMeanBitrate, "Mb/s-assisted"
+	})
+}
+
+// --- Fig. 12: RAN sharing ---
+
+func BenchmarkFig12aDynamicShares(b *testing.B) {
+	benchExperiment(b, "fig12a", 0.05, func(r experiments.Result) (float64, string) {
+		f := r.(*experiments.Fig12aResult)
+		return f.MVNO[1], "Mb/s-mvno-boost"
+	})
+}
+
+func BenchmarkFig12bPolicyCDF(b *testing.B) {
+	benchExperiment(b, "fig12b", 0.1, func(r experiments.Result) (float64, string) {
+		return r.(*experiments.Fig12bResult).PremiumCDF.Quantile(0.5), "kbps-premium"
+	})
+}
+
+// --- Platform micro-benchmarks ---
+
+// BenchmarkVSFSwap measures VSF activation: the paper reports ~103 ns to
+// swap between a local and a remote scheduler (§5.4).
+func BenchmarkVSFSwap(b *testing.B) {
+	m := agent.NewMACModule()
+	names := [2]string{"rr", "pf"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Activate(agent.OpDLUESched, names[i&1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVSFInstall measures the full code-push path: decode + verify +
+// cache a pushed DSL program.
+func BenchmarkVSFInstall(b *testing.B) {
+	m := agent.NewMACModule()
+	prog := vsfdsl.MustCompile(
+		"queue > 0 ? inst_rate / max(avg_rate, 1) : -1",
+		[]string{"queue", "inst_rate", "avg_rate"})
+	up := &protocol.VSFUpdate{
+		Module: "mac", VSF: agent.OpDLUESched, Name: "pushed",
+		VSFKind: protocol.VSFProgram, Program: wire.Marshal(prog),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.InstallVSF(up); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDSLEval measures one sandboxed scheduling-metric evaluation.
+func BenchmarkDSLEval(b *testing.B) {
+	p := vsfdsl.MustCompile(
+		"queue > 0 ? inst_rate / max(avg_rate, 1) : -1",
+		[]string{"queue", "inst_rate", "avg_rate"})
+	env := []float64{15000, 23800, 4000}
+	stack := make([]float64, p.MaxStack())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.EvalStack(env, stack); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStatsReplyEncode measures serializing one 16-UE per-TTI report
+// (the dominant message of Fig. 7a).
+func BenchmarkStatsReplyEncode(b *testing.B) {
+	rep := &protocol.StatsReply{ID: 1, SF: 1000}
+	for i := 0; i < 16; i++ {
+		rep.UEs = append(rep.UEs, enb.UEReport{
+			RNTI: lte.RNTI(0x46 + i), CQI: 12, DLQueue: 15000,
+			AvgDLKbps: 9000,
+		}.ToProtocolUEStats())
+	}
+	msg := protocol.New(1, 1000, rep)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.SetBytes(int64(len(protocol.Encode(msg))))
+	}
+}
+
+// BenchmarkENBStep measures one data-plane TTI with 16 backlogged UEs.
+func BenchmarkENBStep(b *testing.B) {
+	e := enb.New(enb.Config{ID: 1, Seed: 1})
+	var rntis []lte.RNTI
+	for i := 0; i < 16; i++ {
+		rnti, err := e.AddUE(enb.UEParams{IMSI: uint64(i), Cell: 0, Channel: radio.Fixed(12)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rntis = append(rntis, rnti)
+	}
+	for i := 0; i < 100; i++ {
+		e.Step()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range rntis {
+			e.DLEnqueue(r, 3000)
+		}
+		e.Step()
+	}
+}
+
+// BenchmarkSchedulerPF measures one PF scheduling decision over 16 UEs.
+func BenchmarkSchedulerPF(b *testing.B) {
+	pf := sched.NewProportionalFair()
+	in := sched.Input{SF: 1, Dir: lte.Downlink, TotalPRB: 50}
+	for i := 0; i < 16; i++ {
+		in.UEs = append(in.UEs, sched.UEInfo{
+			RNTI: lte.RNTI(i + 1), CQI: lte.CQI(3 + i%12),
+			QueueBytes: 20000, AvgRateKbps: float64(500 + i*100),
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.SF++
+		pf.Schedule(in)
+	}
+}
+
+// BenchmarkSimTTI measures one full-platform TTI: EPC + eNodeB + agent +
+// protocol + master with 16 UEs and per-TTI reporting.
+func BenchmarkSimTTI(b *testing.B) {
+	opts := flexran.DefaultMasterOptions()
+	var specs []flexran.UESpec
+	for i := 0; i < 16; i++ {
+		specs = append(specs, flexran.UESpec{
+			IMSI: uint64(i + 1), Channel: flexran.FixedChannel(12),
+			DL: flexran.NewCBR(500),
+		})
+	}
+	s := flexran.MustNewSim(flexran.SimConfig{Master: &opts},
+		flexran.ENBSpec{ID: 1, Agent: true, Seed: 1, UEs: specs})
+	s.WaitAttached(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}

@@ -1,0 +1,91 @@
+// flexran-enb runs an agent-enabled simulated eNodeB in real time (one
+// subframe per millisecond) and connects its FlexRAN agent to a master
+// over TCP. Emulated UEs with configurable channel quality and downlink
+// load attach at startup.
+//
+// Usage:
+//
+//	flexran-enb [-master 127.0.0.1:2210] [-id 1] [-ues 4] [-cqi 12] [-dl-kbps 2000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"flexran"
+)
+
+func main() {
+	masterAddr := flag.String("master", "127.0.0.1:2210", "master controller address")
+	id := flag.Uint("id", 1, "eNodeB identifier")
+	ues := flag.Int("ues", 4, "number of emulated UEs")
+	cqi := flag.Uint("cqi", 12, "mean channel quality (Gauss-Markov fading around it)")
+	dlKbps := flag.Float64("dl-kbps", 2000, "downlink CBR load per UE (kb/s)")
+	flag.Parse()
+
+	e := flexran.NewENB(flexran.ENBConfig{ID: flexran.ENBID(*id), Seed: int64(*id)})
+	a := flexran.NewAgent(e, flexran.AgentOptions{})
+	epc := flexran.NewEPC()
+	epc.Register(e)
+
+	type src struct {
+		imsi uint64
+		gen  flexran.TrafficGenerator
+	}
+	var sources []src
+	for i := 0; i < *ues; i++ {
+		imsi := uint64(*id)*1000 + uint64(i)
+		rnti, err := e.AddUE(flexran.UEParams{
+			IMSI:    imsi,
+			Cell:    0,
+			Channel: flexran.FadingChannel(float64(*cqi), 0.99, 1.5, int64(i+1)),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adding UE:", err)
+			os.Exit(1)
+		}
+		if _, err := epc.Attach(imsi, flexran.ENBID(*id), rnti); err != nil {
+			fmt.Fprintln(os.Stderr, "bearer:", err)
+			os.Exit(1)
+		}
+		sources = append(sources, src{imsi: imsi, gen: flexran.NewCBR(*dlKbps)})
+	}
+
+	// Downlink traffic injection, paced in wall-clock time alongside the
+	// agent loop's TTI ticker.
+	stop := make(chan struct{})
+	go func() {
+		t := time.NewTicker(time.Millisecond)
+		defer t.Stop()
+		var sf flexran.Subframe
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				for _, s := range sources {
+					if b := s.gen.BytesAt(sf); b > 0 {
+						epc.Downlink(s.imsi, b) //nolint:errcheck
+					}
+				}
+				sf++
+			}
+		}
+	}()
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		close(stop)
+	}()
+
+	fmt.Printf("flexran-enb %d: %d UEs, connecting to %s\n", *id, *ues, *masterAddr)
+	if err := flexran.RunAgentLoop(a, *masterAddr, stop); err != nil {
+		fmt.Fprintln(os.Stderr, "agent:", err)
+		os.Exit(1)
+	}
+}

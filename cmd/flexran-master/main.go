@@ -1,0 +1,60 @@
+// flexran-master runs a standalone FlexRAN master controller serving the
+// FlexRAN protocol over TCP, with a monitoring application registered.
+// Agent-enabled eNodeBs (cmd/flexran-enb) connect to it.
+//
+// Usage:
+//
+//	flexran-master [-addr :2210] [-stats-period 1] [-sync-period 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"flexran"
+	"flexran/internal/apps"
+)
+
+func main() {
+	addr := flag.String("addr", flexran.DefaultMasterAddr, "listen address for agent connections")
+	statsPeriod := flag.Int("stats-period", 1, "statistics reporting period in TTIs (0 disables)")
+	syncPeriod := flag.Int("sync-period", 1, "subframe sync period in TTIs (0 disables)")
+	report := flag.Duration("report", 2*time.Second, "status print interval")
+	flag.Parse()
+
+	opts := flexran.DefaultMasterOptions()
+	opts.StatsPeriodTTI = *statsPeriod
+	opts.SyncPeriodTTI = *syncPeriod
+	m := flexran.NewMaster(opts)
+	m.Register(apps.NewMonitor(100), 0)
+
+	stop := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		close(stop)
+	}()
+
+	go func() {
+		t := time.NewTicker(*report)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				fmt.Println(flexran.MasterSummary(m))
+			}
+		}
+	}()
+
+	fmt.Printf("flexran-master listening on %s\n", *addr)
+	if err := flexran.ServeMaster(m, *addr, stop); err != nil {
+		fmt.Fprintln(os.Stderr, "master:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,22 @@
+// eICIC: the paper's §6.1 interference-management use case. A macro cell
+// and a co-channel small cell coordinate through almost-blank subframes;
+// the FlexRAN coordinator re-grants unused ABS capacity to the macro cell
+// (optimized eICIC), nearly doubling network throughput over the
+// uncoordinated baseline.
+package main
+
+import (
+	"fmt"
+
+	"flexran/internal/experiments"
+)
+
+func main() {
+	res, err := experiments.Run("fig10", 0.5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(res)
+	fmt.Println("\n(cases: independent schedulers; macro muted during 4 ABS/frame;")
+	fmt.Println(" coordinator re-grants ABS the small cell leaves idle)")
+}

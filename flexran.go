@@ -1,0 +1,212 @@
+// Package flexran is the public API of the FlexRAN reproduction: a
+// software-defined radio access network (SD-RAN) platform with a clean
+// control/data-plane separation, reproducing "FlexRAN: A Flexible and
+// Programmable Platform for Software-Defined Radio Access Networks"
+// (Foukas et al., CoNEXT 2016) in pure Go.
+//
+// The platform has two halves, mirroring the paper's architecture:
+//
+//   - The FlexRAN control plane: a Master controller hosting RAN
+//     control/management applications over a northbound API, connected to
+//     per-eNodeB Agents through the FlexRAN protocol. Agents execute
+//     Virtual Subsystem Functions (VSFs) for time-critical operations and
+//     support runtime control delegation: VSF updation (pushing compiled
+//     scheduler bytecode over the wire) and policy reconfiguration
+//     (YAML-subset documents selecting VSF behaviors and parameters).
+//
+//   - The data-plane substrate: a simulated LTE eNodeB (TTI-accurate MAC
+//     with HARQ, RLC queues, attach signaling), emulated UEs with traffic
+//     generators and channel models, and a minimal EPC — the stand-ins
+//     for OpenAirInterface, COTS UEs and openair-cn.
+//
+// Quick start (virtual time, one eNodeB, one saturated UE):
+//
+//	opts := flexran.DefaultMasterOptions()
+//	s := flexran.MustNewSim(flexran.SimConfig{Master: &opts},
+//	    flexran.ENBSpec{ID: 1, Agent: true, UEs: []flexran.UESpec{{
+//	        IMSI: 1, Channel: flexran.FixedChannel(15),
+//	        DL: flexran.NewFullBuffer(),
+//	    }}})
+//	s.WaitAttached(1000)
+//	s.RunSeconds(2)
+//
+// For wall-clock deployments over TCP, see ServeMaster and RunAgentLoop.
+// The experiments regenerating every table and figure of the paper live in
+// internal/experiments and are runnable via cmd/flexran-exp.
+package flexran
+
+import (
+	"flexran/internal/agent"
+	"flexran/internal/controller"
+	"flexran/internal/dash"
+	"flexran/internal/enb"
+	"flexran/internal/epc"
+	"flexran/internal/lte"
+	"flexran/internal/radio"
+	"flexran/internal/sched"
+	"flexran/internal/sim"
+	"flexran/internal/transport"
+	"flexran/internal/ue"
+	"flexran/internal/vsfdsl"
+)
+
+// Identifier and radio types.
+type (
+	// RNTI identifies a UE within a cell.
+	RNTI = lte.RNTI
+	// CQI is a channel quality indicator in [0, 15].
+	CQI = lte.CQI
+	// Subframe is the absolute TTI counter.
+	Subframe = lte.Subframe
+	// ENBID identifies an eNodeB/agent.
+	ENBID = lte.ENBID
+	// CellID identifies a cell within an eNodeB.
+	CellID = lte.CellID
+)
+
+// Control-plane types.
+type (
+	// Master is the FlexRAN master controller.
+	Master = controller.Master
+	// MasterOptions configures master behaviour.
+	MasterOptions = controller.Options
+	// App is a northbound application; see also TickerApp and EventApp.
+	App = controller.App
+	// TickerApp runs once per master TTI cycle.
+	TickerApp = controller.TickerApp
+	// EventApp receives agent events.
+	EventApp = controller.EventApp
+	// Context is the northbound API handed to applications.
+	Context = controller.Context
+	// AgentEvent is a data-plane event dispatched to applications.
+	AgentEvent = controller.AgentEvent
+	// RIB is the RAN information base.
+	RIB = controller.RIB
+	// Agent is the per-eNodeB FlexRAN agent.
+	Agent = agent.Agent
+	// AgentOptions configures agent trust policy.
+	AgentOptions = agent.Options
+)
+
+// Data-plane types.
+type (
+	// ENB is the simulated eNodeB data plane.
+	ENB = enb.ENB
+	// ENBConfig configures an eNodeB.
+	ENBConfig = enb.Config
+	// UEParams configures a UE added to an eNodeB.
+	UEParams = enb.UEParams
+	// UEReport is a per-UE data-plane snapshot.
+	UEReport = enb.UEReport
+	// EPC is the minimal core network.
+	EPC = epc.EPC
+	// ChannelModel yields per-subframe CQIs.
+	ChannelModel = radio.Model
+	// TrafficGenerator produces per-subframe traffic.
+	TrafficGenerator = ue.Generator
+	// Scheduler is a MAC scheduling algorithm.
+	Scheduler = sched.Scheduler
+	// Netem impairs a control channel (one-way delay/jitter/loss).
+	Netem = transport.Netem
+)
+
+// Simulation types.
+type (
+	// Sim is a running virtual-time scenario.
+	Sim = sim.Sim
+	// SimConfig configures a scenario.
+	SimConfig = sim.Config
+	// ENBSpec declares one eNodeB of a scenario.
+	ENBSpec = sim.ENBSpec
+	// UESpec declares one UE of a scenario.
+	UESpec = sim.UESpec
+)
+
+// VSF delegation types.
+type (
+	// VSFProgram is compiled scheduler bytecode pushable over the wire.
+	VSFProgram = vsfdsl.Program
+)
+
+// MAC control-module operation names (VSF slots).
+const (
+	OpDLUESched = agent.OpDLUESched
+	OpULUESched = agent.OpULUESched
+)
+
+// NewMaster builds a master controller.
+func NewMaster(opts MasterOptions) *Master { return controller.NewMaster(opts) }
+
+// DefaultMasterOptions mirrors the paper's evaluation configuration:
+// per-TTI statistics reporting and per-TTI master-agent synchronization.
+func DefaultMasterOptions() MasterOptions { return controller.DefaultOptions() }
+
+// NewENB builds a simulated eNodeB with local default scheduling (the
+// "vanilla" configuration of the paper's Fig. 6 comparison).
+func NewENB(cfg ENBConfig) *ENB { return enb.New(cfg) }
+
+// NewAgent attaches a FlexRAN agent to an eNodeB, taking over its
+// control hooks.
+func NewAgent(e *ENB, opts AgentOptions) *Agent { return agent.New(e, opts) }
+
+// NewEPC builds an empty core network.
+func NewEPC() *EPC { return epc.New() }
+
+// NewSim builds a virtual-time scenario.
+func NewSim(cfg SimConfig, enbs ...ENBSpec) (*Sim, error) { return sim.New(cfg, enbs...) }
+
+// MustNewSim is NewSim panicking on configuration errors.
+func MustNewSim(cfg SimConfig, enbs ...ENBSpec) *Sim { return sim.MustNew(cfg, enbs...) }
+
+// Channel models.
+
+// FixedChannel is a constant-quality channel.
+func FixedChannel(c CQI) ChannelModel { return radio.Fixed(c) }
+
+// SquareWaveChannel alternates between two CQIs.
+func SquareWaveChannel(a, b CQI, halfPeriod, total Subframe) ChannelModel {
+	return radio.NewSquareWave(a, b, halfPeriod, total)
+}
+
+// FadingChannel is a Gauss-Markov fading process around a mean CQI.
+func FadingChannel(mean, rho, sigma float64, seed int64) ChannelModel {
+	return radio.NewGaussMarkov(mean, rho, sigma, seed)
+}
+
+// Traffic generators.
+
+// NewCBR is a constant-bit-rate source (kb/s).
+func NewCBR(rateKbps float64) TrafficGenerator { return ue.NewCBR(rateKbps) }
+
+// NewFullBuffer keeps the queue saturated.
+func NewFullBuffer() TrafficGenerator { return ue.NewFullBuffer() }
+
+// Schedulers.
+
+// NewRoundRobin is the fair equal-share scheduler.
+func NewRoundRobin() Scheduler { return sched.NewRoundRobin() }
+
+// NewProportionalFair is the classic PF scheduler.
+func NewProportionalFair() Scheduler { return sched.NewProportionalFair() }
+
+// NewSlicer partitions PRBs among UE groups by share (RAN sharing).
+func NewSlicer(name string, shares []float64, workConserving bool, inner func() Scheduler) Scheduler {
+	return sched.NewSlicer(name, shares, workConserving, inner)
+}
+
+// CompileVSF compiles a scheduling-priority expression against the MAC
+// variable environment (agent.MACVars) for pushing to agents via
+// Context.PushProgramVSF or direct installation.
+func CompileVSF(expr string) (*VSFProgram, error) {
+	return vsfdsl.Compile(expr, agent.MACVars)
+}
+
+// SustainableBitrate returns the highest ladder bitrate sustainable at a
+// TCP goodput (the Table 2 mapping used by the MEC application).
+func SustainableBitrate(ladder []float64, availMbps float64) (float64, bool) {
+	return dash.SustainableBitrate(ladder, availMbps)
+}
+
+// MaxTCPThroughput reports the steady TCP goodput achievable at a CQI
+// over the standard 10 MHz evaluation cell (Table 2's left column).
+func MaxTCPThroughput(c CQI) float64 { return ue.MaxTCPThroughput(c) }

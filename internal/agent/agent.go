@@ -1,0 +1,347 @@
+// Package agent implements the FlexRAN Agent (paper §4.3.1): the local
+// controller co-located with each eNodeB. It installs itself into the data
+// plane's hook surface, executes the active Virtual Subsystem Functions
+// for time-critical operations, relays statistics reports and events to
+// the master, and hosts the control-delegation machinery (VSF cache and
+// updation, policy reconfiguration).
+//
+// The agent is transport-agnostic: it emits messages through an injected
+// send function and consumes messages via Deliver, so the same code runs
+// over the simulated virtual-time link and over TCP (paper §4.3.2's
+// "abstract communication channel").
+package agent
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"flexran/internal/enb"
+	"flexran/internal/lte"
+	"flexran/internal/protocol"
+	"flexran/internal/sched"
+	"flexran/internal/yamlite"
+)
+
+// Options configures agent policy.
+type Options struct {
+	// RequireSignedVSFs makes InstallVSF verify the trust signature
+	// before caching pushed code.
+	RequireSignedVSFs bool
+	// TrustKey overrides the deployment trust key.
+	TrustKey string
+}
+
+// statsSub is one registered statistics subscription.
+type statsSub struct {
+	req      protocol.StatsRequest
+	lastSent lte.Subframe
+	started  lte.Subframe
+	lastHash uint64 // for triggered mode
+	sentOnce bool
+}
+
+// Agent is one FlexRAN agent fronting one eNodeB.
+type Agent struct {
+	mu   sync.Mutex
+	enb  *enb.ENB
+	send func(*protocol.Message) error
+	opts Options
+
+	mac     *MACModule
+	mgmt    *MgmtModule
+	rrc     *RRCModule
+	modules map[string]Module
+
+	subs map[uint32]*statsSub
+
+	// droppedSends counts messages lost because no transport is attached
+	// or the transport failed; surfaced for diagnostics.
+	droppedSends int
+}
+
+// New builds an agent and wires it into the eNodeB's control hooks. From
+// this point on, every scheduling decision of the data plane flows through
+// the agent's MAC control module.
+func New(e *enb.ENB, opts Options) *Agent {
+	if opts.TrustKey == "" {
+		opts.TrustKey = DefaultTrustKey
+	}
+	a := &Agent{
+		enb:  e,
+		opts: opts,
+		mac:  NewMACModule(),
+		mgmt: NewMgmtModule(),
+		rrc:  NewRRCModule(),
+		subs: map[uint32]*statsSub{},
+	}
+	a.modules = map[string]Module{
+		a.mac.Name():  a.mac,
+		a.mgmt.Name(): a.mgmt,
+		a.rrc.Name():  a.rrc,
+	}
+	e.SetHooks(enb.Hooks{
+		DLSchedule: func(_ lte.CellID, in sched.Input) []sched.Alloc {
+			return a.mac.Schedule(OpDLUESched, in)
+		},
+		ULSchedule: func(_ lte.CellID, in sched.Input) []sched.Alloc {
+			return a.mac.Schedule(OpULUESched, in)
+		},
+		OnUEEvent:  a.onUEEvent,
+		OnSubframe: a.onSubframe,
+	})
+	return a
+}
+
+// MAC exposes the MAC control module (local applications and tests).
+func (a *Agent) MAC() *MACModule { return a.mac }
+
+// Mgmt exposes the management module.
+func (a *Agent) Mgmt() *MgmtModule { return a.mgmt }
+
+// RRC exposes the RRC control module.
+func (a *Agent) RRC() *RRCModule { return a.rrc }
+
+// ENB returns the fronted data plane.
+func (a *Agent) ENB() *enb.ENB { return a.enb }
+
+// Connect attaches the outbound transport and sends the Hello handshake.
+func (a *Agent) Connect(send func(*protocol.Message) error) {
+	a.mu.Lock()
+	a.send = send
+	a.mu.Unlock()
+	a.emit(&protocol.Hello{
+		Version: protocol.ProtocolVersion,
+		Config:  a.enb.Config(),
+	})
+}
+
+// emit sends a payload to the master, stamping the envelope.
+func (a *Agent) emit(p protocol.Payload) {
+	a.mu.Lock()
+	send := a.send
+	a.mu.Unlock()
+	if send == nil {
+		a.mu.Lock()
+		a.droppedSends++
+		a.mu.Unlock()
+		return
+	}
+	if err := send(protocol.New(a.enb.ID(), a.enb.Now(), p)); err != nil {
+		a.mu.Lock()
+		a.droppedSends++
+		a.mu.Unlock()
+	}
+}
+
+// DroppedSends reports messages lost for lack of a working transport.
+func (a *Agent) DroppedSends() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.droppedSends
+}
+
+// Deliver processes one message from the master (the message handler and
+// dispatcher of Fig. 2). It must be called from the same goroutine that
+// steps the eNodeB (sim loop) or with external serialization (TCP driver).
+func (a *Agent) Deliver(m *protocol.Message) {
+	switch p := m.Payload.(type) {
+	case *protocol.HelloAck:
+		// Session established; nothing further to do.
+	case *protocol.Echo:
+		a.emit(&protocol.EchoReply{Seq: p.Seq, SenderSF: p.SenderSF})
+	case *protocol.ENBConfigRequest:
+		a.emit(&protocol.ENBConfigReply{Config: a.enb.Config()})
+	case *protocol.UEConfigRequest:
+		a.emit(a.ueConfigReply())
+	case *protocol.StatsRequest:
+		a.handleStatsRequest(p)
+	case *protocol.DLSchedule:
+		a.mac.PushDecision(OpDLUESched, p.TargetSF, a.enb.Now(), fromProtocolAllocs(p.Allocs))
+	case *protocol.ULSchedule:
+		a.mac.PushDecision(OpULUESched, p.TargetSF, a.enb.Now(), fromProtocolAllocs(p.Allocs))
+	case *protocol.VSFUpdate:
+		a.ack(a.installVSF(p))
+	case *protocol.PolicyReconf:
+		a.ack(a.Reconfigure(p.Doc))
+	}
+}
+
+func (a *Agent) ack(err error) {
+	if err != nil {
+		a.emit(&protocol.ControlAck{OK: false, Detail: err.Error()})
+		return
+	}
+	a.emit(&protocol.ControlAck{OK: true})
+}
+
+func (a *Agent) installVSF(up *protocol.VSFUpdate) error {
+	if a.opts.RequireSignedVSFs {
+		if err := Verify(a.opts.TrustKey, up); err != nil {
+			return err
+		}
+	}
+	mod, ok := a.modules[up.Module]
+	if !ok {
+		return fmt.Errorf("agent: unknown control module %q", up.Module)
+	}
+	return mod.InstallVSF(up)
+}
+
+// Reconfigure applies a policy document (yamlite text) across modules.
+// It is exported so local applications can reconfigure a co-located agent
+// directly, exactly as the master does remotely.
+func (a *Agent) Reconfigure(doc string) error {
+	root, err := yamlite.Parse(doc)
+	if err != nil {
+		return fmt.Errorf("agent: policy parse: %w", err)
+	}
+	if root.Kind != yamlite.KindMap {
+		return fmt.Errorf("agent: policy document must be a map of modules")
+	}
+	for _, modName := range root.Keys() {
+		mod, ok := a.modules[modName]
+		if !ok {
+			return fmt.Errorf("agent: unknown control module %q", modName)
+		}
+		if err := mod.Reconfigure(root.Get(modName)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *Agent) handleStatsRequest(req *protocol.StatsRequest) {
+	now := a.enb.Now()
+	switch req.Mode {
+	case protocol.StatsOneOff:
+		a.emit(a.buildReport(req, now))
+	case protocol.StatsPeriodic:
+		if req.PeriodTTI == 0 {
+			a.mu.Lock()
+			delete(a.subs, req.ID)
+			a.mu.Unlock()
+			return
+		}
+		a.mu.Lock()
+		a.subs[req.ID] = &statsSub{req: *req, started: now}
+		a.mu.Unlock()
+	case protocol.StatsTriggered:
+		a.mu.Lock()
+		a.subs[req.ID] = &statsSub{req: *req, started: now}
+		a.mu.Unlock()
+	}
+}
+
+// onSubframe is the agent's TTI tick (installed as an eNodeB hook): it
+// emits subframe-sync triggers and due statistics reports.
+func (a *Agent) onSubframe(sf lte.Subframe) {
+	if p := a.mgmt.SyncPeriod(); p > 0 && int(sf)%p == 0 {
+		a.emit(&protocol.SubframeTrigger{SF: sf})
+	}
+	a.mu.Lock()
+	subs := make([]*statsSub, 0, len(a.subs))
+	for _, s := range a.subs {
+		subs = append(subs, s)
+	}
+	a.mu.Unlock()
+	for _, s := range subs {
+		switch s.req.Mode {
+		case protocol.StatsPeriodic:
+			if int(sf-s.started)%int(s.req.PeriodTTI) == 0 {
+				a.emit(a.buildReport(&s.req, sf))
+			}
+		case protocol.StatsTriggered:
+			rep := a.buildReport(&s.req, sf)
+			h := reportHash(rep)
+			if !s.sentOnce || h != s.lastHash {
+				s.sentOnce = true
+				s.lastHash = h
+				a.emit(rep)
+			}
+		}
+	}
+}
+
+// buildReport assembles a StatsReply for a subscription's content flags.
+func (a *Agent) buildReport(req *protocol.StatsRequest, sf lte.Subframe) *protocol.StatsReply {
+	rep := &protocol.StatsReply{ID: req.ID, SF: sf}
+	if req.Flags&(protocol.StatsQueues|protocol.StatsCQI|protocol.StatsRates|protocol.StatsHARQ) != 0 {
+		for _, r := range a.enb.UEReports() {
+			s := r.ToProtocolUEStats()
+			if req.Flags&protocol.StatsQueues == 0 {
+				s.DLQueue, s.ULQueue = 0, 0
+				s.LCs = nil
+			}
+			if req.Flags&protocol.StatsCQI == 0 {
+				s.CQI = 0
+				s.SubbandCQI = nil
+			}
+			if req.Flags&protocol.StatsRates == 0 {
+				s.DLRateKbps, s.ULRateKbps = 0, 0
+			}
+			if req.Flags&protocol.StatsHARQ == 0 {
+				s.HARQRetx = 0
+			}
+			rep.UEs = append(rep.UEs, s)
+		}
+	}
+	if req.Flags&protocol.StatsCell != 0 {
+		for _, c := range a.enb.CellReports() {
+			rep.Cells = append(rep.Cells, c.ToProtocolCellStats())
+		}
+	}
+	return rep
+}
+
+// reportHash fingerprints a report's content, excluding the subframe stamp
+// so triggered subscriptions fire only on real changes.
+func reportHash(rep *protocol.StatsReply) uint64 {
+	clone := *rep
+	clone.SF = 0
+	h := fnv.New64a()
+	h.Write(protocol.Encode(protocol.New(0, 0, &clone)))
+	return h.Sum64()
+}
+
+func (a *Agent) ueConfigReply() *protocol.UEConfigReply {
+	rep := &protocol.UEConfigReply{}
+	for _, r := range a.enb.UEReports() {
+		rep.UEs = append(rep.UEs, protocol.UEConfig{RNTI: r.RNTI, Cell: r.Cell})
+	}
+	return rep
+}
+
+func (a *Agent) onUEEvent(ev protocol.UEEventType, rnti lte.RNTI, cellID lte.CellID) {
+	if a.mgmt.ForwardEvents() {
+		a.emit(&protocol.UEEvent{Type: ev, RNTI: rnti, Cell: cellID})
+	}
+}
+
+func fromProtocolAllocs(in []protocol.Alloc) []sched.Alloc {
+	out := make([]sched.Alloc, len(in))
+	for i, p := range in {
+		out[i] = sched.Alloc{
+			RNTI:    p.RNTI,
+			RBStart: int(p.RBStart),
+			RBCount: int(p.RBCount),
+			MCS:     p.MCS,
+		}
+	}
+	return out
+}
+
+// ToProtocolAllocs converts scheduler output into protocol form (used by
+// the master's centralized scheduling applications).
+func ToProtocolAllocs(in []sched.Alloc) []protocol.Alloc {
+	out := make([]protocol.Alloc, len(in))
+	for i, s := range in {
+		out[i] = protocol.Alloc{
+			RNTI:    s.RNTI,
+			RBStart: uint16(s.RBStart),
+			RBCount: uint16(s.RBCount),
+			MCS:     s.MCS,
+		}
+	}
+	return out
+}

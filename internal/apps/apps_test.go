@@ -1,0 +1,244 @@
+package apps_test
+
+import (
+	"testing"
+
+	"flexran/internal/agent"
+	"flexran/internal/apps"
+	"flexran/internal/controller"
+	"flexran/internal/dash"
+	"flexran/internal/lte"
+	"flexran/internal/radio"
+	"flexran/internal/sched"
+	"flexran/internal/sim"
+	"flexran/internal/transport"
+	"flexran/internal/ue"
+)
+
+func masterOpts() *controller.Options {
+	o := controller.DefaultOptions()
+	return &o
+}
+
+func TestRemoteSchedulerDrivesThroughput(t *testing.T) {
+	s := sim.MustNew(sim.Config{Master: masterOpts()}, sim.ENBSpec{
+		ID: 1, Agent: true, Seed: 1,
+		UEs: []sim.UESpec{{IMSI: 100, Channel: radio.Fixed(15), DL: ue.NewFullBuffer()}},
+	})
+	rs := apps.NewRemoteScheduler(3, sched.NewRoundRobin())
+	s.Master.Register(rs, 100)
+	if !s.WaitAttached(500) {
+		t.Fatal("attach failed")
+	}
+	// Move the agent to remote mode.
+	if err := s.Nodes[0].Agent.Reconfigure("mac:\n  dl_ue_sched:\n    behavior: remote\n"); err != nil {
+		t.Fatal(err)
+	}
+	before := s.DeliveredDL(0)
+	s.RunSeconds(2)
+	mbps := float64(s.DeliveredDL(0)-before) * 8 / 1e6 / 2
+	if mbps < 20 {
+		t.Errorf("remote-scheduled rate = %.1f Mb/s", mbps)
+	}
+	if rs.Sent == 0 {
+		t.Error("no commands sent")
+	}
+}
+
+func TestRemoteSchedulerMissesAllDeadlinesWhenAheadTooSmall(t *testing.T) {
+	// RTT 20 ms, ahead 2 subframes: every decision arrives too late
+	// (the Fig. 9 lower triangle).
+	s := sim.MustNew(sim.Config{Master: masterOpts()}, sim.ENBSpec{
+		ID: 1, Agent: true, Seed: 1,
+		ToMaster: transport.Netem{OneWayTTI: 10}, ToAgent: transport.Netem{OneWayTTI: 10},
+		UEs: []sim.UESpec{{IMSI: 100, Channel: radio.Fixed(15), DL: ue.NewFullBuffer()}},
+	})
+	rs := apps.NewRemoteScheduler(2, sched.NewRoundRobin())
+	s.Master.Register(rs, 100)
+	s.Nodes[0].Agent.Reconfigure("mac:\n  dl_ue_sched:\n    behavior: remote\n")
+	s.RunSeconds(3)
+	if d := s.DeliveredDL(0); d != 0 {
+		t.Errorf("delivered %d bytes despite hopeless deadline", d)
+	}
+	if s.Nodes[0].ENB.Connected(s.Nodes[0].RNTIs[0]) {
+		t.Error("UE attached despite unschedulable control loop")
+	}
+}
+
+func TestMonitorCollectsSeries(t *testing.T) {
+	s := sim.MustNew(sim.Config{Master: masterOpts()}, sim.ENBSpec{
+		ID: 1, Agent: true, Seed: 1,
+		UEs: []sim.UESpec{{IMSI: 100, Channel: radio.Fixed(12), DL: ue.NewCBR(3000)}},
+	})
+	mon := apps.NewMonitor(100)
+	s.Master.Register(mon, 0)
+	s.WaitAttached(500)
+	s.RunSeconds(2)
+	series := mon.RateSeries(1)
+	if series == nil || series.Len() < 10 {
+		t.Fatalf("rate series = %+v", series)
+	}
+	if series.Max() < 2000 {
+		t.Errorf("peak sampled rate = %.0f kb/s, want ~3000", series.Max())
+	}
+	if mon.Events() == 0 {
+		t.Error("no events observed")
+	}
+}
+
+func TestMECAssistRecommendations(t *testing.T) {
+	s := sim.MustNew(sim.Config{Master: masterOpts()}, sim.ENBSpec{
+		ID: 1, Agent: true, Seed: 1,
+		UEs: []sim.UESpec{{IMSI: 100, Channel: radio.Fixed(10)}},
+	})
+	mec := apps.NewMECAssist()
+	s.Master.Register(mec, 0)
+	s.WaitAttached(500)
+	s.RunSeconds(1)
+	rnti := s.Nodes[0].RNTIs[0]
+	if got := mec.SmoothedCQI(1, rnti); got < 9.5 || got > 10.5 {
+		t.Errorf("smoothed CQI = %v, want ~10", got)
+	}
+	rec, ok := mec.Recommend(1, rnti, dash.Ladder4K)
+	if !ok || rec != 7.3 {
+		t.Errorf("recommendation = %v, %v (want 7.3: the Table 2 mapping)", rec, ok)
+	}
+	// Unknown UE: no recommendation.
+	if _, ok := mec.Recommend(1, 9999, dash.Ladder4K); ok {
+		t.Error("recommendation for unknown UE")
+	}
+}
+
+func TestMECAssistTracksChannelChanges(t *testing.T) {
+	// CQI drops 10 -> 4 at 2 s: the recommendation must follow.
+	s := sim.MustNew(sim.Config{Master: masterOpts()}, sim.ENBSpec{
+		ID: 1, Agent: true, Seed: 1,
+		UEs: []sim.UESpec{{IMSI: 100, Channel: radio.Schedule{{At: 0, CQI: 10}, {At: 2000, CQI: 4}}}},
+	})
+	mec := apps.NewMECAssist()
+	s.Master.Register(mec, 0)
+	s.WaitAttached(500)
+	s.RunSeconds(1.5)
+	rnti := s.Nodes[0].RNTIs[0]
+	recHigh, _ := mec.Recommend(1, rnti, dash.Ladder4K)
+	s.RunSeconds(3)
+	recLow, _ := mec.Recommend(1, rnti, dash.Ladder4K)
+	if recHigh != 7.3 {
+		t.Errorf("high-CQI rec = %v", recHigh)
+	}
+	if recLow != 2.9 {
+		t.Errorf("low-CQI rec = %v (CQI 4 -> 3.3 Mb/s TCP -> 2.9)", recLow)
+	}
+}
+
+func TestRANSharingAppliesPlan(t *testing.T) {
+	s := sim.MustNew(sim.Config{Master: masterOpts()}, sim.ENBSpec{
+		ID: 1, Agent: true, Seed: 1,
+		UEs: []sim.UESpec{
+			{IMSI: 100, Channel: radio.Fixed(10), Group: 0, DL: ue.NewFullBuffer()},
+			{IMSI: 101, Channel: radio.Fixed(10), Group: 1, DL: ue.NewFullBuffer()},
+		},
+	})
+	// Activate the slicer with initial shares.
+	a := s.Nodes[0].Agent
+	if err := a.Reconfigure("mac:\n  dl_ue_sched:\n    behavior: slice-rr\n    parameters:\n      rb_share: [0.7, 0.3]\n"); err != nil {
+		t.Fatal(err)
+	}
+	share := apps.NewRANSharing(1, []apps.ShareChange{
+		{At: 1000, Shares: []float64{0.2, 0.8}},
+	})
+	s.Master.Register(share, 10)
+	s.WaitAttached(500)
+
+	before0, before1 := s.Report(0, 0).DLDelivered, s.Report(0, 1).DLDelivered
+	s.RunSeconds(1) // still 70/30 until cycle 1000... includes switch point
+	mid0, mid1 := s.Report(0, 0).DLDelivered, s.Report(0, 1).DLDelivered
+	s.RunSeconds(2)
+	end0, end1 := s.Report(0, 0).DLDelivered, s.Report(0, 1).DLDelivered
+
+	earlyRatio := float64(mid0-before0) / float64(mid1-before1+1)
+	lateRatio := float64(end0-mid0) / float64(end1-mid1+1)
+	if earlyRatio < 1.5 {
+		t.Errorf("early ratio = %.2f, want ~7/3", earlyRatio)
+	}
+	if lateRatio > 0.5 {
+		t.Errorf("late ratio = %.2f, want ~2/8", lateRatio)
+	}
+	if share.Applied != 1 {
+		t.Errorf("applied = %d", share.Applied)
+	}
+}
+
+func TestEICICCoordinatorGrantsIdleABS(t *testing.T) {
+	// Macro with backlog, small cell idle: the optimized coordinator must
+	// grant ABS subframes to the macro.
+	s := sim.MustNew(sim.Config{Master: masterOpts()},
+		sim.ENBSpec{
+			ID: 1, Agent: true, Seed: 1,
+			UEs: []sim.UESpec{{IMSI: 100, Channel: radio.Fixed(12), DL: ue.NewFullBuffer()}},
+		},
+		sim.ENBSpec{
+			ID: 2, Agent: true, Seed: 2,
+			UEs: []sim.UESpec{{IMSI: 200, Channel: radio.Fixed(12)}}, // idle
+		},
+	)
+	coord := apps.NewEICIC(1, []lte.ENBID{2}, 4, true)
+	s.Master.Register(coord, 100)
+	s.WaitAttached(500)
+
+	// Install the macro ABS switch: local RR outside ABS, remote stub in ABS.
+	mac := s.Nodes[0].Agent.MAC()
+	sw := sched.NewABSSwitch("eicic-macro", sched.ABSPattern(4),
+		sched.NewRoundRobin(), mac.RemoteStub(agent.OpDLUESched))
+	if err := mac.InstallLocal(agent.OpDLUESched, "eicic-macro", sw); err != nil {
+		t.Fatal(err)
+	}
+	if err := mac.Activate(agent.OpDLUESched, "eicic-macro"); err != nil {
+		t.Fatal(err)
+	}
+	s.RunSeconds(2)
+	if coord.Granted == 0 {
+		t.Error("no ABS granted to the macro despite idle small cell")
+	}
+	applied, _ := mac.StubStats(agent.OpDLUESched)
+	if applied == 0 {
+		t.Error("granted decisions never applied")
+	}
+}
+
+func TestEICICCoordinatorRespectsSmallCellPriority(t *testing.T) {
+	// Small cell backlogged: no grants.
+	s := sim.MustNew(sim.Config{Master: masterOpts()},
+		sim.ENBSpec{
+			ID: 1, Agent: true, Seed: 1,
+			UEs: []sim.UESpec{{IMSI: 100, Channel: radio.Fixed(12), DL: ue.NewFullBuffer()}},
+		},
+		sim.ENBSpec{
+			ID: 2, Agent: true, Seed: 2,
+			UEs: []sim.UESpec{{IMSI: 200, Channel: radio.Fixed(12), DL: ue.NewFullBuffer()}},
+		},
+	)
+	coord := apps.NewEICIC(1, []lte.ENBID{2}, 4, true)
+	s.Master.Register(coord, 100)
+	s.WaitAttached(500)
+	s.RunSeconds(2)
+	if coord.Granted != 0 {
+		t.Errorf("granted %d ABS despite small-cell backlog", coord.Granted)
+	}
+}
+
+func TestEICICPlainModeNeverGrants(t *testing.T) {
+	s := sim.MustNew(sim.Config{Master: masterOpts()},
+		sim.ENBSpec{ID: 1, Agent: true, Seed: 1,
+			UEs: []sim.UESpec{{IMSI: 100, Channel: radio.Fixed(12), DL: ue.NewFullBuffer()}}},
+		sim.ENBSpec{ID: 2, Agent: true, Seed: 2,
+			UEs: []sim.UESpec{{IMSI: 200, Channel: radio.Fixed(12)}}},
+	)
+	coord := apps.NewEICIC(1, []lte.ENBID{2}, 4, false)
+	s.Master.Register(coord, 100)
+	s.WaitAttached(500)
+	s.RunSeconds(1)
+	if coord.Granted != 0 {
+		t.Errorf("plain eICIC granted %d", coord.Granted)
+	}
+}

@@ -1,0 +1,113 @@
+package apps
+
+import (
+	"math"
+	"sync"
+
+	"flexran/internal/controller"
+	"flexran/internal/dash"
+	"flexran/internal/lte"
+	"flexran/internal/metrics"
+	"flexran/internal/ue"
+)
+
+// MECAssist is the mobile-edge-computing application of §6.2: it smooths
+// each UE's CQI with an exponential moving average (as the paper's app
+// does), maps the smoothed quality to the maximum sustainable video
+// bitrate via the Table 2 relationship, and exposes the recommendation
+// that the FlexRAN-assisted DASH player consumes over an out-of-band
+// channel.
+type MECAssist struct {
+	// Alpha is the CQI EWMA smoothing factor.
+	Alpha float64
+
+	mu    sync.Mutex
+	ewmas map[ueKey]*metrics.EWMA
+}
+
+type ueKey struct {
+	enb  lte.ENBID
+	rnti lte.RNTI
+}
+
+// NewMECAssist builds the app with the default smoothing.
+func NewMECAssist() *MECAssist {
+	return &MECAssist{Alpha: 0.05, ewmas: map[ueKey]*metrics.EWMA{}}
+}
+
+// Name implements controller.App.
+func (*MECAssist) Name() string { return "mec-assist" }
+
+// OnTick implements controller.TickerApp: fold the RIB's CQI readings into
+// the per-UE averages.
+func (m *MECAssist) OnTick(ctx *controller.Context, _ lte.Subframe) {
+	rib := ctx.RIB()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, enbID := range rib.Agents() {
+		for _, u := range rib.UEsOf(enbID) {
+			if u.CQI == 0 {
+				continue
+			}
+			k := ueKey{enbID, u.RNTI}
+			e := m.ewmas[k]
+			if e == nil {
+				e = metrics.NewEWMA(m.Alpha)
+				m.ewmas[k] = e
+			}
+			e.Observe(float64(u.CQI))
+		}
+	}
+}
+
+// SmoothedCQI returns the UE's averaged CQI (0 before any observation).
+func (m *MECAssist) SmoothedCQI(enb lte.ENBID, rnti lte.RNTI) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e := m.ewmas[ueKey{enb, rnti}]; e != nil {
+		return e.Value()
+	}
+	return 0
+}
+
+// tcpByCQI caches the steady TCP goodput per CQI (the Table 2 left
+// column), which is expensive to recompute per tick.
+var (
+	tcpByCQIOnce sync.Once
+	tcpByCQI     [lte.MaxCQI + 1]float64
+)
+
+func tcpGoodput(c lte.CQI) float64 {
+	tcpByCQIOnce.Do(func() {
+		for q := lte.CQI(1); q <= lte.MaxCQI; q++ {
+			tcpByCQI[q] = ue.MaxTCPThroughput(q)
+		}
+	})
+	if !c.Valid() || c == 0 {
+		return 0
+	}
+	return tcpByCQI[c]
+}
+
+// Recommend maps a UE's smoothed CQI to the optimal bitrate of a ladder:
+// the highest rung sustainable at the CQI's achievable TCP goodput. The
+// boolean is false while the app has no CQI observations yet.
+func (m *MECAssist) Recommend(enb lte.ENBID, rnti lte.RNTI, ladder []float64) (float64, bool) {
+	smoothed := m.SmoothedCQI(enb, rnti)
+	if smoothed <= 0 {
+		return 0, false
+	}
+	// Floor for a conservative quality estimate, with an epsilon so an
+	// EWMA that has converged to an integer (2.999...) is not demoted.
+	cqi := lte.CQI(math.Floor(smoothed + 1e-6))
+	avail := tcpGoodput(cqi)
+	if r, ok := dash.SustainableBitrate(ladder, avail); ok {
+		return r, true
+	}
+	// Nothing sustainable: recommend the lowest rung (the player must
+	// render something).
+	if len(ladder) > 0 {
+		return ladder[0], true
+	}
+	return 0, false
+}

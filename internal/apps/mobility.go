@@ -1,0 +1,152 @@
+package apps
+
+import (
+	"sync"
+
+	"flexran/internal/controller"
+	"flexran/internal/lte"
+)
+
+// MobilityManager implements the paper's §7.1 mobility-management use
+// case: a centralized handover decision maker that exploits the master's
+// network-wide view instead of per-cell signal strength alone. It watches
+// each UE's RSRP toward its serving agent and the candidate agents in the
+// RIB and raises a handover decision when the standard A3 condition
+// (candidate better than serving by a hysteresis, sustained for a
+// time-to-trigger) holds — the two knobs the RRC control module exposes
+// to policy reconfiguration.
+//
+// Like the paper (whose OAI substrate could not execute handovers in
+// emulation mode either), the application produces the *decisions*; the
+// EPC's Handover path switch and target-cell admission are exercised by
+// the epc package tests.
+type MobilityManager struct {
+	// HysteresisDB and TimeToTriggerTTI mirror the RRC module defaults;
+	// the master can retune them per agent via policy reconfiguration.
+	HysteresisDB     float64
+	TimeToTriggerTTI int
+
+	mu sync.Mutex
+	// a3Since tracks when the A3 condition started holding per UE.
+	a3Since map[ueKey]lte.Subframe
+	// decisions is the ordered log of handover decisions taken.
+	decisions []HandoverDecision
+	// loadWeight biases decisions toward less-loaded target cells
+	// (0 disables; the paper's "load of cells" factor).
+	LoadWeight float64
+}
+
+// HandoverDecision is one decision produced by the manager.
+type HandoverDecision struct {
+	RNTI    lte.RNTI
+	From    lte.ENBID
+	To      lte.ENBID
+	AtCycle lte.Subframe
+	// MarginDB is the RSRP advantage of the target at decision time.
+	MarginDB float64
+}
+
+// NewMobilityManager builds the app with 3GPP-ish defaults (3 dB, 40 ms).
+func NewMobilityManager() *MobilityManager {
+	return &MobilityManager{
+		HysteresisDB:     3,
+		TimeToTriggerTTI: 40,
+		a3Since:          map[ueKey]lte.Subframe{},
+	}
+}
+
+// Name implements controller.App.
+func (*MobilityManager) Name() string { return "mobility-manager" }
+
+// OnTick implements controller.TickerApp: evaluate the A3 condition for
+// every UE against every other agent's cells.
+func (m *MobilityManager) OnTick(ctx *controller.Context, cycle lte.Subframe) {
+	rib := ctx.RIB()
+	agents := rib.Agents()
+	if len(agents) < 2 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, serving := range agents {
+		for _, u := range rib.UEsOf(serving) {
+			if u.CQI == 0 {
+				continue
+			}
+			best, margin := m.bestCandidate(rib, agents, serving, u.RSRPdBm)
+			key := ueKey{serving, u.RNTI}
+			if best == 0 || margin < m.HysteresisDB {
+				delete(m.a3Since, key)
+				continue
+			}
+			since, ok := m.a3Since[key]
+			if !ok {
+				m.a3Since[key] = cycle
+				continue
+			}
+			if int(cycle-since) >= m.TimeToTriggerTTI {
+				m.decisions = append(m.decisions, HandoverDecision{
+					RNTI: u.RNTI, From: serving, To: best,
+					AtCycle: cycle, MarginDB: margin,
+				})
+				delete(m.a3Since, key)
+			}
+		}
+	}
+}
+
+// bestCandidate estimates the strongest neighbour for a UE. Without
+// per-neighbour measurement reports in the RIB (the paper's prototype did
+// not carry them either), the neighbour RSRP is approximated by the
+// median RSRP of the UEs the neighbour currently serves — its coverage
+// operating point — optionally discounted by cell load.
+func (m *MobilityManager) bestCandidate(rib *controller.RIB, agents []lte.ENBID, serving lte.ENBID, servingRSRP int32) (lte.ENBID, float64) {
+	var best lte.ENBID
+	bestMargin := -1e9
+	for _, cand := range agents {
+		if cand == serving || !rib.Connected(cand) {
+			continue
+		}
+		ues := rib.UEsOf(cand)
+		if len(ues) == 0 {
+			continue
+		}
+		var rsrps []int32
+		for _, u := range ues {
+			if u.CQI > 0 {
+				rsrps = append(rsrps, u.RSRPdBm)
+			}
+		}
+		if len(rsrps) == 0 {
+			continue
+		}
+		candRSRP := medianI32(rsrps)
+		margin := float64(candRSRP - servingRSRP)
+		if m.LoadWeight > 0 {
+			margin -= m.LoadWeight * float64(len(ues))
+		}
+		if margin > bestMargin {
+			best, bestMargin = cand, margin
+		}
+	}
+	return best, bestMargin
+}
+
+func medianI32(v []int32) int32 {
+	// Insertion sort: the slices are tiny (UEs per cell).
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+	return v[len(v)/2]
+}
+
+// Decisions drains the decision log.
+func (m *MobilityManager) Decisions() []HandoverDecision {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := m.decisions
+	m.decisions = nil
+	return out
+}

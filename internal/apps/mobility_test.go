@@ -1,0 +1,86 @@
+package apps_test
+
+import (
+	"testing"
+
+	"flexran/internal/apps"
+	"flexran/internal/radio"
+	"flexran/internal/sim"
+)
+
+// Two agents: the serving cell degrades (CQI 12 -> 3 at 1 s) while the
+// neighbour stays strong; the mobility manager must raise a handover
+// decision after the A3 condition holds for the time-to-trigger.
+func TestMobilityManagerTriggersOnDegradation(t *testing.T) {
+	s := sim.MustNew(sim.Config{Master: masterOpts()},
+		sim.ENBSpec{ID: 1, Agent: true, Seed: 1, UEs: []sim.UESpec{
+			{IMSI: 100, Channel: radio.Schedule{{At: 0, CQI: 12}, {At: 1000, CQI: 3}}},
+		}},
+		sim.ENBSpec{ID: 2, Agent: true, Seed: 2, UEs: []sim.UESpec{
+			{IMSI: 200, Channel: radio.Fixed(12)},
+		}},
+	)
+	mm := apps.NewMobilityManager()
+	s.Master.Register(mm, 5)
+	if !s.WaitAttached(500) {
+		t.Fatal("attach failed")
+	}
+	// Strong serving cell: no decisions.
+	s.RunSeconds(0.5)
+	if d := mm.Decisions(); len(d) != 0 {
+		t.Fatalf("premature handover decisions: %+v", d)
+	}
+	// Serving degrades at 1 s; A3 + TTT must fire shortly after.
+	s.RunSeconds(1.0)
+	decisions := mm.Decisions()
+	if len(decisions) == 0 {
+		t.Fatal("no handover decision after serving-cell degradation")
+	}
+	d := decisions[0]
+	if d.From != 1 || d.To != 2 {
+		t.Errorf("decision = %+v, want 1 -> 2", d)
+	}
+	// RSRP model: -140 + 6*CQI, so CQI 12 vs 3 is a 54 dB margin.
+	if d.MarginDB < mm.HysteresisDB {
+		t.Errorf("margin %.1f below hysteresis", d.MarginDB)
+	}
+	if int(d.AtCycle) < 1000+mm.TimeToTriggerTTI {
+		t.Errorf("decision at cycle %d, before TTT elapsed", d.AtCycle)
+	}
+}
+
+// A symmetric network must stay handover-free: margins never exceed the
+// hysteresis.
+func TestMobilityManagerStableWhenBalanced(t *testing.T) {
+	s := sim.MustNew(sim.Config{Master: masterOpts()},
+		sim.ENBSpec{ID: 1, Agent: true, Seed: 1, UEs: []sim.UESpec{
+			{IMSI: 100, Channel: radio.Fixed(11)},
+		}},
+		sim.ENBSpec{ID: 2, Agent: true, Seed: 2, UEs: []sim.UESpec{
+			{IMSI: 200, Channel: radio.Fixed(11)},
+		}},
+	)
+	mm := apps.NewMobilityManager()
+	s.Master.Register(mm, 5)
+	s.WaitAttached(500)
+	s.RunSeconds(1)
+	if d := mm.Decisions(); len(d) != 0 {
+		t.Errorf("spurious handovers in balanced network: %+v", d)
+	}
+}
+
+// With a single agent there is nowhere to go; the manager must be a no-op.
+func TestMobilityManagerSingleAgentNoOp(t *testing.T) {
+	s := sim.MustNew(sim.Config{Master: masterOpts()},
+		sim.ENBSpec{ID: 1, Agent: true, Seed: 1, UEs: []sim.UESpec{
+			{IMSI: 100, Channel: radio.Fixed(2)},
+		}},
+	)
+	mm := apps.NewMobilityManager()
+	s.Master.Register(mm, 5)
+	s.WaitAttached(500)
+	s.RunSeconds(0.5)
+	if d := mm.Decisions(); len(d) != 0 {
+		t.Errorf("decisions without candidates: %+v", d)
+	}
+}

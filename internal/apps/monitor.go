@@ -1,0 +1,85 @@
+package apps
+
+import (
+	"sync"
+
+	"flexran/internal/controller"
+	"flexran/internal/lte"
+	"flexran/internal/metrics"
+)
+
+// Monitor is the statistics-monitoring application of §3: it periodically
+// samples the RIB into time series other applications (and experiments)
+// consume. It exercises the "periodic application" execution pattern of
+// the northbound API.
+type Monitor struct {
+	// EveryTTI is the sampling period in master cycles.
+	EveryTTI int
+
+	mu      sync.Mutex
+	rate    map[lte.ENBID]*metrics.Series // aggregate DL rate, kb/s
+	ueCount map[lte.ENBID]*metrics.Series
+	events  int
+}
+
+// NewMonitor builds a monitor sampling every period cycles.
+func NewMonitor(period int) *Monitor {
+	if period <= 0 {
+		period = 100
+	}
+	return &Monitor{
+		EveryTTI: period,
+		rate:     map[lte.ENBID]*metrics.Series{},
+		ueCount:  map[lte.ENBID]*metrics.Series{},
+	}
+}
+
+// Name implements controller.App.
+func (*Monitor) Name() string { return "monitor" }
+
+// OnTick implements controller.TickerApp.
+func (m *Monitor) OnTick(ctx *controller.Context, cycle lte.Subframe) {
+	if int(cycle)%m.EveryTTI != 0 {
+		return
+	}
+	rib := ctx.RIB()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, enbID := range rib.Agents() {
+		var kbps float64
+		ues := rib.UEsOf(enbID)
+		for _, u := range ues {
+			kbps += float64(u.DLRateKbps)
+		}
+		if m.rate[enbID] == nil {
+			m.rate[enbID] = &metrics.Series{}
+			m.ueCount[enbID] = &metrics.Series{}
+		}
+		t := cycle.Seconds()
+		m.rate[enbID].Add(t, kbps)
+		m.ueCount[enbID].Add(t, float64(len(ues)))
+	}
+}
+
+// OnEvent implements controller.EventApp (the monitor counts events,
+// demonstrating an app that is both periodic and event-based — §4.4 notes
+// some applications fall into both categories).
+func (m *Monitor) OnEvent(_ *controller.Context, _ controller.AgentEvent) {
+	m.mu.Lock()
+	m.events++
+	m.mu.Unlock()
+}
+
+// RateSeries returns the sampled aggregate DL rate of an agent (kb/s).
+func (m *Monitor) RateSeries(enb lte.ENBID) *metrics.Series {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rate[enb]
+}
+
+// Events returns the number of agent events observed.
+func (m *Monitor) Events() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.events
+}

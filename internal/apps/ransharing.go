@@ -1,0 +1,51 @@
+package apps
+
+import (
+	"flexran/internal/controller"
+	"flexran/internal/lte"
+)
+
+// ShareChange is one scheduled reallocation of radio resources between
+// operators (the Fig. 12a experiment script: 70/30 at start, 40/60 at
+// 10 s, 80/20 at 140 s).
+type ShareChange struct {
+	// At is the master cycle at which the change is pushed.
+	At lte.Subframe
+	// Shares is the per-operator PRB fraction vector.
+	Shares []float64
+}
+
+// RANSharing is the RAN-sharing management application of §6.3: it drives
+// the agent-side slicing scheduler through the policy-reconfiguration
+// mechanism, changing each operator's resource share on demand.
+type RANSharing struct {
+	// ENB is the shared eNodeB; VSF the slicing operation ("dl_ue_sched").
+	ENB    lte.ENBID
+	Module string
+	VSF    string
+	// Plan is the scripted share schedule, ascending by At.
+	Plan []ShareChange
+
+	// Applied counts pushed reconfigurations.
+	Applied int
+	next    int
+}
+
+// NewRANSharing builds the app for the MAC downlink slicer.
+func NewRANSharing(enb lte.ENBID, plan []ShareChange) *RANSharing {
+	return &RANSharing{ENB: enb, Module: "mac", VSF: "dl_ue_sched", Plan: plan}
+}
+
+// Name implements controller.App.
+func (*RANSharing) Name() string { return "ran-sharing" }
+
+// OnTick implements controller.TickerApp.
+func (r *RANSharing) OnTick(ctx *controller.Context, cycle lte.Subframe) {
+	for r.next < len(r.Plan) && cycle >= r.Plan[r.next].At {
+		change := r.Plan[r.next]
+		if err := ctx.SetSliceShares(r.ENB, r.Module, r.VSF, change.Shares); err == nil {
+			r.Applied++
+		}
+		r.next++
+	}
+}

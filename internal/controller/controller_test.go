@@ -1,0 +1,389 @@
+package controller_test
+
+import (
+	"testing"
+
+	"flexran/internal/agent"
+	"flexran/internal/controller"
+	"flexran/internal/enb"
+	"flexran/internal/lte"
+	"flexran/internal/protocol"
+	"flexran/internal/radio"
+	"flexran/internal/sched"
+	"flexran/internal/transport"
+)
+
+// rig wires one master and one agent-enabled eNodeB over a simulated link
+// and steps them in lockstep.
+type rig struct {
+	t       *testing.T
+	master  *controller.Master
+	agent   *agent.Agent
+	enb     *enb.ENB
+	mEp     *transport.SimEndpoint // master side
+	aEp     *transport.SimEndpoint // agent side
+	deliver func(*protocol.Message)
+}
+
+func newRig(t *testing.T, opts controller.Options, netemToMaster, netemToAgent transport.Netem) *rig {
+	t.Helper()
+	e := enb.New(enb.Config{ID: 9, Seed: 1})
+	a := agent.New(e, agent.Options{RequireSignedVSFs: true})
+	m := controller.NewMaster(opts)
+	aEp, mEp := transport.NewSimPair(netemToMaster, netemToAgent)
+	r := &rig{t: t, master: m, agent: a, enb: e, mEp: mEp, aEp: aEp}
+	r.deliver = m.HandleAgent(mEp.Send)
+	a.Connect(aEp.Send)
+	return r
+}
+
+// step advances the whole system by one TTI.
+func (r *rig) step() {
+	sf := r.enb.Now()
+	// Deliver agent->master traffic that has arrived by now.
+	msgs, err := r.mEp.AdvanceTo(sf)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	for _, m := range msgs {
+		r.deliver(m)
+	}
+	// Master cycle.
+	r.master.Tick()
+	// Deliver master->agent traffic.
+	msgs, err = r.aEp.AdvanceTo(sf)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	for _, m := range msgs {
+		r.agent.Deliver(m)
+	}
+	// Data plane TTI.
+	r.enb.Step()
+}
+
+func (r *rig) run(ttis int) {
+	for i := 0; i < ttis; i++ {
+		r.step()
+	}
+}
+
+func (r *rig) addConnectedUE(ch radio.Model) lte.RNTI {
+	r.t.Helper()
+	rnti, err := r.enb.AddUE(enb.UEParams{IMSI: 1, Cell: 0, Channel: ch})
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	for i := 0; i < 300 && !r.enb.Connected(rnti); i++ {
+		r.step()
+	}
+	if !r.enb.Connected(rnti) {
+		r.t.Fatal("UE failed to attach")
+	}
+	return rnti
+}
+
+func TestHandshakePopulatesRIB(t *testing.T) {
+	r := newRig(t, controller.DefaultOptions(), transport.Netem{}, transport.Netem{})
+	r.run(5)
+	rib := r.master.RIB()
+	agents := rib.Agents()
+	if len(agents) != 1 || agents[0] != 9 {
+		t.Fatalf("agents = %v", agents)
+	}
+	if !rib.Connected(9) {
+		t.Error("agent not marked connected")
+	}
+	cfg, ok := rib.AgentConfig(9)
+	if !ok || len(cfg.Cells) != 1 || cfg.Cells[0].Bandwidth != lte.BW10MHz {
+		t.Errorf("config = %+v", cfg)
+	}
+}
+
+func TestPerTTIStatsReachRIB(t *testing.T) {
+	r := newRig(t, controller.DefaultOptions(), transport.Netem{}, transport.Netem{})
+	rnti := r.addConnectedUE(radio.Fixed(11))
+	r.enb.DLEnqueue(rnti, 100000)
+	r.run(10)
+	stats, ok := r.master.RIB().UEStats(9, rnti)
+	if !ok {
+		t.Fatal("UE missing from RIB")
+	}
+	if stats.CQI != 11 {
+		t.Errorf("CQI in RIB = %d, want 11", stats.CQI)
+	}
+	sf, _ := r.master.RIB().AgentSF(9)
+	if sf == 0 {
+		t.Error("agent subframe never synchronized")
+	}
+}
+
+func TestSubframeSyncTracksAgentTime(t *testing.T) {
+	r := newRig(t, controller.DefaultOptions(), transport.Netem{}, transport.Netem{})
+	r.run(100)
+	sf, ok := r.master.RIB().AgentSF(9)
+	if !ok {
+		t.Fatal("no agent time")
+	}
+	if sf < 95 || sf > 100 {
+		t.Errorf("master's agent time = %v, enb at %v", sf, r.enb.Now())
+	}
+}
+
+func TestSyncLagGrowsWithDelay(t *testing.T) {
+	// With one-way delay d, the master's view of agent time lags by ~d
+	// (the RTT/2 staleness of §5.3).
+	lag := func(d int) int {
+		r := newRig(t, controller.DefaultOptions(),
+			transport.Netem{OneWayTTI: d}, transport.Netem{OneWayTTI: d})
+		r.run(200)
+		sf, _ := r.master.RIB().AgentSF(9)
+		return int(r.enb.Now()) - int(sf)
+	}
+	l0, l20 := lag(0), lag(20)
+	if l20 < l0+15 {
+		t.Errorf("lag with 20ms delay = %d, lag without = %d", l20, l0)
+	}
+}
+
+// schedApp is a minimal centralized scheduler app for testing the command
+// path end to end.
+type schedApp struct {
+	ahead lte.Subframe
+	algo  sched.Scheduler
+	sent  int
+}
+
+func (s *schedApp) Name() string { return "test-sched" }
+
+func (s *schedApp) OnTick(ctx *controller.Context, _ lte.Subframe) {
+	rib := ctx.RIB()
+	for _, enbID := range rib.Agents() {
+		sf, ok := rib.AgentSF(enbID)
+		if !ok {
+			continue
+		}
+		var in sched.Input
+		in.SF = sf + s.ahead
+		in.Dir = lte.Downlink
+		in.TotalPRB = 50
+		for _, ue := range rib.UEsOf(enbID) {
+			in.UEs = append(in.UEs, sched.UEInfo{
+				RNTI: ue.RNTI, CQI: ue.CQI,
+				QueueBytes:  int(ue.DLQueue),
+				AvgRateKbps: float64(ue.DLRateKbps),
+			})
+		}
+		allocs := s.algo.Schedule(in)
+		if len(allocs) > 0 {
+			ctx.ScheduleDL(enbID, 0, in.SF, allocs)
+			s.sent++
+		}
+	}
+}
+
+func TestCentralizedSchedulingEndToEnd(t *testing.T) {
+	r := newRig(t, controller.DefaultOptions(), transport.Netem{}, transport.Netem{})
+	app := &schedApp{ahead: 2, algo: sched.NewRoundRobin()}
+	r.master.Register(app, 100)
+	rnti := r.addConnectedUE(radio.Fixed(15))
+
+	// Swap the agent to remote mode via the policy path.
+	ctx := r.ctx()
+	if err := ctx.ActivateVSF(9, "mac", agent.OpDLUESched, "remote"); err != nil {
+		t.Fatal(err)
+	}
+	r.run(5) // let the policy arrive
+	if got := r.agent.MAC().ActiveName(agent.OpDLUESched); got != "remote" {
+		t.Fatalf("active VSF = %q", got)
+	}
+
+	before, _ := r.enb.UEReport(rnti)
+	for i := 0; i < 2000; i++ {
+		r.enb.DLEnqueue(rnti, 1<<20)
+		r.step()
+	}
+	after, _ := r.enb.UEReport(rnti)
+	mbps := float64(after.DLDelivered-before.DLDelivered) * 8 / 1e6 / 2
+	if mbps < 20 {
+		t.Errorf("remote-scheduled throughput = %.1f Mb/s, want near line rate", mbps)
+	}
+	if app.sent == 0 {
+		t.Error("app sent no scheduling commands")
+	}
+	applied, _ := r.agent.MAC().StubStats(agent.OpDLUESched)
+	if applied == 0 {
+		t.Error("no remote decisions applied")
+	}
+}
+
+// ctx builds a northbound context outside a tick (test convenience).
+func (r *rig) ctx() *controller.Context {
+	var captured *controller.Context
+	probe := appFunc{name: "probe", fn: func(c *controller.Context, _ lte.Subframe) {
+		captured = c
+	}}
+	r.master.Register(probe, -1000)
+	r.master.Tick()
+	return captured
+}
+
+type appFunc struct {
+	name string
+	fn   func(*controller.Context, lte.Subframe)
+}
+
+func (a appFunc) Name() string                                  { return a.name }
+func (a appFunc) OnTick(c *controller.Context, sf lte.Subframe) { a.fn(c, sf) }
+
+func TestVSFPushAndAckRoundTrip(t *testing.T) {
+	r := newRig(t, controller.DefaultOptions(), transport.Netem{}, transport.Netem{})
+	r.run(3)
+	ctx := r.ctx()
+	if err := ctx.PushProgramVSF(9, "mac", agent.OpDLUESched, "edge-first",
+		"queue > 0 ? cqi : -1", []string{"queue", "cqi"}); err != nil {
+		t.Fatal(err)
+	}
+	r.run(3)
+	acks := r.master.Acks()
+	okCount := 0
+	for _, a := range acks {
+		if a.OK {
+			okCount++
+		} else {
+			t.Errorf("nack: %s", a.Detail)
+		}
+	}
+	if okCount == 0 {
+		t.Fatal("no acks received")
+	}
+	if err := ctx.ActivateVSF(9, "mac", agent.OpDLUESched, "edge-first"); err != nil {
+		t.Fatal(err)
+	}
+	r.run(3)
+	if got := r.agent.MAC().ActiveName(agent.OpDLUESched); got != "edge-first" {
+		t.Errorf("active = %q", got)
+	}
+}
+
+func TestPushNativeVSF(t *testing.T) {
+	r := newRig(t, controller.DefaultOptions(), transport.Netem{}, transport.Netem{})
+	r.run(3)
+	ctx := r.ctx()
+	if err := ctx.PushNativeVSF(9, "mac", agent.OpDLUESched, "pf-live", "pf"); err != nil {
+		t.Fatal(err)
+	}
+	r.run(3)
+	if err := ctx.ActivateVSF(9, "mac", agent.OpDLUESched, "pf-live"); err != nil {
+		t.Fatal(err)
+	}
+	r.run(3)
+	if got := r.agent.MAC().ActiveName(agent.OpDLUESched); got != "pf-live" {
+		t.Errorf("active = %q", got)
+	}
+}
+
+func TestSetSliceShares(t *testing.T) {
+	r := newRig(t, controller.DefaultOptions(), transport.Netem{}, transport.Netem{})
+	r.run(3)
+	ctx := r.ctx()
+	if err := ctx.ActivateVSF(9, "mac", agent.OpDLUESched, "slice-rr"); err != nil {
+		t.Fatal(err)
+	}
+	r.run(3)
+	if err := ctx.SetSliceShares(9, "mac", agent.OpDLUESched, []float64{0.4, 0.6}); err != nil {
+		t.Fatal(err)
+	}
+	r.run(3)
+	for _, a := range r.master.Acks() {
+		if !a.OK {
+			t.Errorf("nack: %s", a.Detail)
+		}
+	}
+	if err := ctx.SetSliceShares(9, "mac", agent.OpDLUESched, []float64{0.9, 0.9}); err == nil {
+		t.Error("invalid shares accepted locally")
+	}
+}
+
+// eventCounter collects dispatched events.
+type eventCounter struct{ events []controller.AgentEvent }
+
+func (e *eventCounter) Name() string { return "events" }
+func (e *eventCounter) OnEvent(_ *controller.Context, ev controller.AgentEvent) {
+	e.events = append(e.events, ev)
+}
+
+func TestEventNotificationService(t *testing.T) {
+	r := newRig(t, controller.DefaultOptions(), transport.Netem{}, transport.Netem{})
+	ec := &eventCounter{}
+	r.master.Register(ec, 0)
+	r.addConnectedUE(radio.Fixed(15))
+	r.run(5)
+	var sawRA, sawAttach bool
+	for _, ev := range ec.events {
+		switch ev.Type {
+		case protocol.UEEventRandomAccess:
+			sawRA = true
+		case protocol.UEEventAttach:
+			sawAttach = true
+		}
+	}
+	if !sawRA || !sawAttach {
+		t.Errorf("events = %+v", ec.events)
+	}
+	// The attach also created a RIB UE record.
+	if r.master.RIB().UECount(9) != 1 {
+		t.Errorf("RIB UE count = %d", r.master.RIB().UECount(9))
+	}
+}
+
+func TestAppPriorityOrdering(t *testing.T) {
+	m := controller.NewMaster(controller.Options{})
+	var order []string
+	mk := func(name string) controller.App {
+		return appFunc{name: name, fn: func(*controller.Context, lte.Subframe) {
+			order = append(order, name)
+		}}
+	}
+	m.Register(mk("low"), 1)
+	m.Register(mk("high"), 10)
+	m.Register(mk("mid"), 5)
+	m.Tick()
+	if len(order) != 3 || order[0] != "high" || order[1] != "mid" || order[2] != "low" {
+		t.Errorf("execution order = %v", order)
+	}
+	if names := m.Apps(); names[0] != "high" {
+		t.Errorf("Apps() = %v", names)
+	}
+}
+
+func TestCycleTimesRecorded(t *testing.T) {
+	r := newRig(t, controller.DefaultOptions(), transport.Netem{}, transport.Netem{})
+	r.run(50)
+	core, apps := r.master.CycleTimes()
+	if core.Len() != 50 || apps.Len() != 50 {
+		t.Errorf("cycle samples = %d/%d", core.Len(), apps.Len())
+	}
+	if r.master.Cycle() != 50 {
+		t.Errorf("cycles = %d", r.master.Cycle())
+	}
+}
+
+func TestSendWithoutSession(t *testing.T) {
+	m := controller.NewMaster(controller.Options{})
+	if err := m.Send(42, &protocol.Echo{}); err == nil {
+		t.Error("send to unknown agent accepted")
+	}
+}
+
+func TestDisconnectAgent(t *testing.T) {
+	r := newRig(t, controller.DefaultOptions(), transport.Netem{}, transport.Netem{})
+	r.run(3)
+	r.master.DisconnectAgent(9)
+	if r.master.RIB().Connected(9) {
+		t.Error("still connected after disconnect")
+	}
+	if err := r.master.Send(9, &protocol.Echo{}); err == nil {
+		t.Error("send after disconnect accepted")
+	}
+}

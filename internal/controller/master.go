@@ -1,0 +1,357 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"flexran/internal/lte"
+	"flexran/internal/metrics"
+	"flexran/internal/protocol"
+)
+
+// Options configures master behaviour applied to every agent session.
+type Options struct {
+	// ID names this master in HelloAcks.
+	ID string
+	// StatsPeriodTTI subscribes agents to periodic full reports at this
+	// period (0 disables the default subscription).
+	StatsPeriodTTI int
+	// StatsMode selects periodic or triggered default reporting.
+	StatsMode protocol.StatsMode
+	// StatsFlags selects report contents for the default subscription.
+	StatsFlags protocol.StatsFlags
+	// SyncPeriodTTI subscribes agents to subframe triggers (0 disables).
+	SyncPeriodTTI int
+	// TrustKey signs pushed VSFs.
+	TrustKey string
+}
+
+// DefaultOptions mirror the paper's demanding evaluation setup: per-TTI
+// full statistics and per-TTI master-agent synchronization.
+func DefaultOptions() Options {
+	return Options{
+		ID:             "flexran-master",
+		StatsPeriodTTI: 1,
+		StatsMode:      protocol.StatsPeriodic,
+		StatsFlags:     protocol.StatsAll,
+		SyncPeriodTTI:  1,
+	}
+}
+
+// AgentEvent is a data-plane event dispatched to event-based applications
+// by the Event Notification Service.
+type AgentEvent struct {
+	ENB  lte.ENBID
+	SF   lte.Subframe
+	Type protocol.UEEventType
+	RNTI lte.RNTI
+	Cell lte.CellID
+}
+
+// App is a RAN control/management application registered with the master.
+// Applications additionally implement TickerApp (periodic pattern) and/or
+// EventApp (event-based pattern) — the two execution patterns of §4.4.
+type App interface {
+	Name() string
+}
+
+// TickerApp runs once per master TTI cycle, in priority order.
+type TickerApp interface {
+	App
+	OnTick(ctx *Context, cycle lte.Subframe)
+}
+
+// EventApp receives agent events after each RIB update.
+type EventApp interface {
+	App
+	OnEvent(ctx *Context, ev AgentEvent)
+}
+
+type appEntry struct {
+	app      App
+	priority int
+	order    int // registration order breaks priority ties
+}
+
+type session struct {
+	enb  lte.ENBID
+	send func(*protocol.Message) error
+}
+
+type inbound struct {
+	msg *protocol.Message
+}
+
+// Master is the FlexRAN master controller.
+type Master struct {
+	opts Options
+	rib  *RIB
+
+	mu       sync.Mutex
+	sessions map[lte.ENBID]*session
+	apps     []appEntry
+	nextApp  int
+	inbox    []inbound
+	events   []AgentEvent
+	acks     []protocol.ControlAck
+
+	cycle lte.Subframe
+	// lastReport tracks the master cycle of each agent's latest stats
+	// report, driving subscription maintenance: a lossy control channel
+	// can swallow the one-shot welcome subscription, so the master
+	// re-issues it when an agent goes quiet.
+	lastReport map[lte.ENBID]lte.Subframe
+
+	// Task-manager accounting (Fig. 8): per-cycle CPU time spent in the
+	// RIB updater ("core components") and in applications.
+	coreTime metrics.Series
+	appsTime metrics.Series
+}
+
+// NewMaster builds a master controller.
+func NewMaster(opts Options) *Master {
+	if opts.ID == "" {
+		opts.ID = "flexran-master"
+	}
+	if opts.TrustKey == "" {
+		opts.TrustKey = defaultTrustKey
+	}
+	return &Master{
+		opts:       opts,
+		rib:        NewRIB(),
+		sessions:   map[lte.ENBID]*session{},
+		lastReport: map[lte.ENBID]lte.Subframe{},
+	}
+}
+
+// maintenanceInterval is how often (in cycles) the master checks for
+// agents whose reporting has gone quiet, and the staleness threshold that
+// triggers a subscription re-issue.
+const (
+	maintenanceEvery = 256
+	staleAfter       = 512
+)
+
+// defaultTrustKey mirrors agent.DefaultTrustKey without importing the
+// agent package (the two sides share only the protocol).
+const defaultTrustKey = "flexran-dev-trust-key"
+
+// RIB exposes the information base (applications read it; only the
+// master's updater writes).
+func (m *Master) RIB() *RIB { return m.rib }
+
+// Register adds an application with a priority (higher runs earlier in
+// the cycle — e.g. a centralized scheduler above a monitoring app).
+// It implements the Registry Service of the northbound API.
+func (m *Master) Register(app App, priority int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.apps = append(m.apps, appEntry{app: app, priority: priority, order: m.nextApp})
+	m.nextApp++
+	sort.SliceStable(m.apps, func(i, j int) bool {
+		if m.apps[i].priority != m.apps[j].priority {
+			return m.apps[i].priority > m.apps[j].priority
+		}
+		return m.apps[i].order < m.apps[j].order
+	})
+}
+
+// Apps lists registered application names in execution order.
+func (m *Master) Apps() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, len(m.apps))
+	for i, e := range m.apps {
+		out[i] = e.app.Name()
+	}
+	return out
+}
+
+// HandleAgent attaches one agent transport. send transmits master-to-agent
+// messages; the returned function is how the transport driver delivers
+// agent-to-master messages (they are queued and applied by the RIB Updater
+// during the next Tick, preserving the single-writer design).
+func (m *Master) HandleAgent(send func(*protocol.Message) error) func(*protocol.Message) {
+	s := &session{send: send}
+	return func(msg *protocol.Message) {
+		m.mu.Lock()
+		if s.enb == 0 && msg.Payload.Kind() == protocol.KindHello {
+			s.enb = msg.ENB
+			m.sessions[msg.ENB] = s
+		}
+		m.inbox = append(m.inbox, inbound{msg: msg})
+		m.mu.Unlock()
+	}
+}
+
+// DisconnectAgent marks an agent session closed.
+func (m *Master) DisconnectAgent(enb lte.ENBID) {
+	m.mu.Lock()
+	delete(m.sessions, enb)
+	m.mu.Unlock()
+	m.rib.applyDisconnect(enb)
+}
+
+// Send transmits a payload to an agent (northbound command path).
+func (m *Master) Send(enb lte.ENBID, p protocol.Payload) error {
+	m.mu.Lock()
+	s := m.sessions[enb]
+	m.mu.Unlock()
+	if s == nil {
+		return fmt.Errorf("controller: no session for agent %d", enb)
+	}
+	return s.send(protocol.New(enb, m.cycle, p))
+}
+
+// Tick runs one task-manager cycle: the RIB Updater slot (drain inbound
+// messages into the RIB — the only writer), then the application slot
+// (priority-ordered OnTick calls and event dispatch). In the deployment
+// mode each cycle is pinned to one TTI; in simulation the caller invokes
+// Tick once per simulated subframe.
+func (m *Master) Tick() {
+	m.mu.Lock()
+	inbox := m.inbox
+	m.inbox = nil
+	apps := append([]appEntry(nil), m.apps...)
+	m.mu.Unlock()
+
+	// --- RIB Updater slot ---
+	t0 := time.Now()
+	for _, in := range inbox {
+		m.applyInbound(in.msg)
+	}
+	if m.opts.StatsPeriodTTI > 0 && m.cycle%maintenanceEvery == maintenanceEvery-1 {
+		m.maintainSubscriptions()
+	}
+	core := time.Since(t0)
+
+	// --- Application slot ---
+	m.mu.Lock()
+	events := m.events
+	m.events = nil
+	m.mu.Unlock()
+
+	t1 := time.Now()
+	ctx := &Context{master: m, Now: m.cycle}
+	for _, e := range apps {
+		if ticker, ok := e.app.(TickerApp); ok {
+			ticker.OnTick(ctx, m.cycle)
+		}
+		if evApp, ok := e.app.(EventApp); ok {
+			for _, ev := range events {
+				evApp.OnEvent(ctx, ev)
+			}
+		}
+	}
+	appsDur := time.Since(t1)
+
+	m.mu.Lock()
+	m.coreTime.Add(float64(m.cycle), core.Seconds()*1000)
+	m.appsTime.Add(float64(m.cycle), appsDur.Seconds()*1000)
+	m.cycle++
+	m.mu.Unlock()
+}
+
+// applyInbound is the RIB Updater: the single component allowed to mutate
+// the RIB (paper Fig. 5).
+func (m *Master) applyInbound(msg *protocol.Message) {
+	switch p := msg.Payload.(type) {
+	case *protocol.Hello:
+		m.rib.applyHello(msg.ENB, p.Config)
+		m.welcome(msg.ENB)
+	case *protocol.ENBConfigReply:
+		m.rib.applyHello(msg.ENB, p.Config)
+	case *protocol.SubframeTrigger:
+		m.rib.applySF(msg.ENB, p.SF)
+	case *protocol.StatsReply:
+		m.rib.applyStats(msg.ENB, p)
+		m.mu.Lock()
+		m.lastReport[msg.ENB] = m.cycle
+		m.mu.Unlock()
+	case *protocol.UEEvent:
+		m.rib.applyUEEvent(msg.ENB, p)
+		m.mu.Lock()
+		m.events = append(m.events, AgentEvent{
+			ENB: msg.ENB, SF: msg.SF, Type: p.Type, RNTI: p.RNTI, Cell: p.Cell,
+		})
+		m.mu.Unlock()
+	case *protocol.EchoReply:
+		m.rib.applySF(msg.ENB, p.SenderSF)
+	case *protocol.ControlAck:
+		m.mu.Lock()
+		m.acks = append(m.acks, *p)
+		m.mu.Unlock()
+	}
+}
+
+// welcome completes the handshake: HelloAck plus the default statistics
+// and synchronization subscriptions.
+func (m *Master) welcome(enb lte.ENBID) {
+	m.Send(enb, &protocol.HelloAck{
+		Version:  protocol.ProtocolVersion,
+		MasterID: m.opts.ID,
+	})
+	if m.opts.StatsPeriodTTI > 0 {
+		m.Send(enb, &protocol.StatsRequest{
+			ID:        1,
+			Mode:      m.opts.StatsMode,
+			PeriodTTI: uint32(m.opts.StatsPeriodTTI),
+			Flags:     m.opts.StatsFlags,
+		})
+	}
+	if m.opts.SyncPeriodTTI > 0 {
+		m.Send(enb, &protocol.PolicyReconf{
+			Doc: fmt.Sprintf("agent:\n  sync_period: %d\n", m.opts.SyncPeriodTTI),
+		})
+	}
+}
+
+// maintainSubscriptions re-issues the default subscriptions toward agents
+// whose reporting went quiet (lost subscription or restarted agent).
+func (m *Master) maintainSubscriptions() {
+	m.mu.Lock()
+	var stale []lte.ENBID
+	for enb := range m.sessions {
+		if m.cycle-m.lastReport[enb] > staleAfter {
+			stale = append(stale, enb)
+		}
+	}
+	cycle := m.cycle
+	m.mu.Unlock()
+	for _, enb := range stale {
+		if !m.rib.Connected(enb) {
+			continue
+		}
+		m.welcome(enb)
+		m.mu.Lock()
+		m.lastReport[enb] = cycle // back off until the next window
+		m.mu.Unlock()
+	}
+}
+
+// Acks drains the control acknowledgements received so far.
+func (m *Master) Acks() []protocol.ControlAck {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := m.acks
+	m.acks = nil
+	return out
+}
+
+// Cycle returns the number of completed task-manager cycles.
+func (m *Master) Cycle() lte.Subframe {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cycle
+}
+
+// CycleTimes returns the per-cycle CPU time series (milliseconds) of the
+// core components (RIB updater) and the applications — the Fig. 8 data.
+func (m *Master) CycleTimes() (core, apps *metrics.Series) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, a := m.coreTime, m.appsTime
+	return &c, &a
+}

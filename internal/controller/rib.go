@@ -1,0 +1,265 @@
+// Package controller implements the FlexRAN master controller (paper
+// §4.3.3): the RAN Information Base (a forest of agents, cells and UEs),
+// the single-writer RIB Updater, the Task Manager running applications in
+// TTI cycles, the Event Notification Service and the northbound API that
+// RAN control/management applications program against.
+package controller
+
+import (
+	"sort"
+	"sync"
+
+	"flexran/internal/lte"
+	"flexran/internal/protocol"
+)
+
+// UERecord is a UE leaf of the RIB.
+type UERecord struct {
+	Config    protocol.UEConfig
+	Stats     protocol.UEStats
+	UpdatedSF lte.Subframe // agent subframe of the latest stats
+}
+
+// CellRecord is a cell node of the RIB.
+type CellRecord struct {
+	Config protocol.CellConfig
+	Stats  protocol.CellStats
+	UEs    map[lte.RNTI]*UERecord
+}
+
+// AgentRecord is the root of one tree in the RIB forest.
+type AgentRecord struct {
+	Config protocol.ENBConfig
+	// LastSF is the latest agent subframe observed (from subframe
+	// triggers or report stamps): the master's view of agent time,
+	// outdated by half the control-channel RTT (paper §5.3).
+	LastSF     lte.Subframe
+	LastReport lte.Subframe
+	Connected  bool
+	Cells      map[lte.CellID]*CellRecord
+}
+
+// RIB is the RAN Information Base. Mutation is reserved to the RIB
+// Updater (the master's Tick); applications read concurrently. The paper's
+// single-writer/multi-reader discipline is enforced with an RWMutex so the
+// wall-clock deployment mode is also safe.
+type RIB struct {
+	mu     sync.RWMutex
+	agents map[lte.ENBID]*AgentRecord
+}
+
+// NewRIB returns an empty information base.
+func NewRIB() *RIB {
+	return &RIB{agents: map[lte.ENBID]*AgentRecord{}}
+}
+
+// --- writer side (RIB Updater only) ---
+
+func (r *RIB) applyHello(enb lte.ENBID, cfg protocol.ENBConfig) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec := &AgentRecord{
+		Config:    cfg,
+		Connected: true,
+		Cells:     map[lte.CellID]*CellRecord{},
+	}
+	for _, cc := range cfg.Cells {
+		rec.Cells[cc.Cell] = &CellRecord{Config: cc, UEs: map[lte.RNTI]*UERecord{}}
+	}
+	r.agents[enb] = rec
+}
+
+func (r *RIB) applyDisconnect(enb lte.ENBID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if a := r.agents[enb]; a != nil {
+		a.Connected = false
+	}
+}
+
+func (r *RIB) applySF(enb lte.ENBID, sf lte.Subframe) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if a := r.agents[enb]; a != nil && sf > a.LastSF {
+		a.LastSF = sf
+	}
+}
+
+func (r *RIB) applyStats(enb lte.ENBID, rep *protocol.StatsReply) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a := r.agents[enb]
+	if a == nil {
+		return
+	}
+	if rep.SF > a.LastSF {
+		a.LastSF = rep.SF
+	}
+	a.LastReport = rep.SF
+	for _, cs := range rep.Cells {
+		if c := a.Cells[cs.Cell]; c != nil {
+			c.Stats = cs
+		}
+	}
+	for _, us := range rep.UEs {
+		c := a.Cells[us.Cell]
+		if c == nil {
+			continue
+		}
+		u := c.UEs[us.RNTI]
+		if u == nil {
+			u = &UERecord{Config: protocol.UEConfig{RNTI: us.RNTI, Cell: us.Cell}}
+			c.UEs[us.RNTI] = u
+		}
+		u.Stats = us
+		u.UpdatedSF = rep.SF
+	}
+}
+
+func (r *RIB) applyUEEvent(enb lte.ENBID, ev *protocol.UEEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a := r.agents[enb]
+	if a == nil {
+		return
+	}
+	c := a.Cells[ev.Cell]
+	if c == nil {
+		return
+	}
+	switch ev.Type {
+	case protocol.UEEventAttach, protocol.UEEventRandomAccess:
+		if _, ok := c.UEs[ev.RNTI]; !ok {
+			c.UEs[ev.RNTI] = &UERecord{
+				Config: protocol.UEConfig{RNTI: ev.RNTI, Cell: ev.Cell},
+			}
+		}
+	case protocol.UEEventDetach:
+		delete(c.UEs, ev.RNTI)
+	}
+}
+
+// --- reader side (applications) ---
+
+// Agents lists the known agents, ordered by id.
+func (r *RIB) Agents() []lte.ENBID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]lte.ENBID, 0, len(r.agents))
+	for id := range r.agents {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Connected reports whether an agent session is live.
+func (r *RIB) Connected(enb lte.ENBID) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	a := r.agents[enb]
+	return a != nil && a.Connected
+}
+
+// AgentSF returns the master's view of an agent's current subframe.
+func (r *RIB) AgentSF(enb lte.ENBID) (lte.Subframe, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	a := r.agents[enb]
+	if a == nil {
+		return 0, false
+	}
+	return a.LastSF, true
+}
+
+// AgentConfig returns an agent's eNodeB configuration.
+func (r *RIB) AgentConfig(enb lte.ENBID) (protocol.ENBConfig, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	a := r.agents[enb]
+	if a == nil {
+		return protocol.ENBConfig{}, false
+	}
+	return a.Config, true
+}
+
+// CellStats returns the latest cell statistics.
+func (r *RIB) CellStats(enb lte.ENBID, cellID lte.CellID) (protocol.CellStats, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	a := r.agents[enb]
+	if a == nil {
+		return protocol.CellStats{}, false
+	}
+	c := a.Cells[cellID]
+	if c == nil {
+		return protocol.CellStats{}, false
+	}
+	return c.Stats, true
+}
+
+// UEStats returns the latest stats of one UE.
+func (r *RIB) UEStats(enb lte.ENBID, rnti lte.RNTI) (protocol.UEStats, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	a := r.agents[enb]
+	if a == nil {
+		return protocol.UEStats{}, false
+	}
+	for _, c := range a.Cells {
+		if u, ok := c.UEs[rnti]; ok {
+			return u.Stats, true
+		}
+	}
+	return protocol.UEStats{}, false
+}
+
+// UEsOf returns the latest stats of every UE under an agent, ordered by
+// RNTI (the snapshot a centralized scheduler works from).
+func (r *RIB) UEsOf(enb lte.ENBID) []protocol.UEStats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	a := r.agents[enb]
+	if a == nil {
+		return nil
+	}
+	var out []protocol.UEStats
+	for _, c := range a.Cells {
+		for _, u := range c.UEs {
+			out = append(out, u.Stats)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RNTI < out[j].RNTI })
+	return out
+}
+
+// UECount returns the number of UEs known under an agent.
+func (r *RIB) UECount(enb lte.ENBID) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	a := r.agents[enb]
+	if a == nil {
+		return 0
+	}
+	n := 0
+	for _, c := range a.Cells {
+		n += len(c.UEs)
+	}
+	return n
+}
+
+// Size approximates the RIB's record count (agents + cells + UEs), used by
+// the Fig. 8 memory accounting.
+func (r *RIB) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, a := range r.agents {
+		n++
+		for _, c := range a.Cells {
+			n++
+			n += len(c.UEs)
+		}
+	}
+	return n
+}

@@ -1,0 +1,562 @@
+// Package enb simulates the LTE eNodeB data plane — the role OpenAirInterface
+// plays in the original FlexRAN implementation (run in emulation mode with
+// PHY abstraction, exactly as the paper's scalability evaluation does).
+//
+// The simulator executes one subframe (TTI) at a time: it refreshes channel
+// state, runs the attach state machine, invokes the configured scheduling
+// hooks, and applies the resulting allocations to per-UE RLC transmission
+// queues with HARQ-style error/retransmission behaviour derived from the
+// lte.BLER model.
+//
+// The essential design point mirrors the paper's control/data separation:
+// the data plane performs only *actions* (applying scheduling decisions,
+// delivering transport blocks, reporting state); every *decision* enters
+// through the Hooks structure. A vanilla eNodeB installs local default
+// schedulers; a FlexRAN eNodeB hands the hooks to an agent.
+package enb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"flexran/internal/lte"
+	"flexran/internal/protocol"
+	"flexran/internal/radio"
+	"flexran/internal/sched"
+)
+
+// Defaults for the attach procedure and queue bounds.
+const (
+	// DefaultAttachSignalingBytes is the volume of downlink RRC signaling
+	// that must be delivered to complete network attachment.
+	DefaultAttachSignalingBytes = 300
+	// DefaultAttachTimeoutTTI is the attach deadline; if the signaling
+	// cannot be scheduled in time the attach restarts. A control plane
+	// that never schedules (e.g. remote decisions always missing their
+	// deadline, Fig. 9's lower triangle) therefore keeps the UE detached.
+	DefaultAttachTimeoutTTI = 2000
+	// DefaultDLQueueCap bounds each UE's RLC transmission queue; excess
+	// downlink arrivals are dropped (UDP-like behaviour under overload).
+	DefaultDLQueueCap = 3 << 20
+	// activityWindow is how many past subframes of per-cell transmission
+	// activity are retained (for interference coupling between eNBs).
+	activityWindow = 64
+)
+
+// UEState is the attach state machine.
+type UEState uint8
+
+// UE states.
+const (
+	// StateAttaching: RRC signaling pending; data is not delivered yet.
+	StateAttaching UEState = iota
+	// StateConnected: attach complete, data flows.
+	StateConnected
+	// StateDetached: removed from the eNodeB.
+	StateDetached
+)
+
+func (s UEState) String() string {
+	switch s {
+	case StateAttaching:
+		return "attaching"
+	case StateConnected:
+		return "connected"
+	case StateDetached:
+		return "detached"
+	}
+	return "invalid"
+}
+
+// UEParams configures a UE added to the eNodeB.
+type UEParams struct {
+	IMSI    uint64
+	Cell    lte.CellID
+	Channel radio.Model
+	// Group labels the UE for quota-based scheduling (operator/tier).
+	Group int
+}
+
+// drx is per-UE discontinuous-reception state: the UE is schedulable only
+// during the on-duration of its cycle.
+type drx struct {
+	enabled    bool
+	cycleTTI   int
+	onDuration int
+}
+
+// ue is the per-UE data-plane context.
+type ue struct {
+	rnti   lte.RNTI
+	params UEParams
+	state  UEState
+	cqi    lte.CQI
+	attach struct {
+		sigPending int
+		deadline   lte.Subframe
+		attempts   int
+	}
+
+	dlQueue int // RLC transmission queue, bytes
+	ulQueue int // buffer status, bytes
+
+	dlDelivered uint64 // cumulative goodput, bytes
+	ulDelivered uint64
+	dlDropped   uint64 // queue-cap drops
+
+	avgDLKbps float64 // PF average rate (EWMA)
+	avgULKbps float64
+
+	pendingRetxDL int // consecutive HARQ failures (chase combining state)
+	pendingRetxUL int
+	harqRetx      uint32 // cumulative retransmissions
+
+	lastSched lte.Subframe
+	drx       drx
+
+	// per-TTI delivery accounting (reset each Step).
+	ttiDLBytes int
+	ttiULBytes int
+}
+
+// cell is one carrier of the eNodeB.
+type cell struct {
+	cfg   protocol.CellConfig
+	prbs  int
+	muted func(sf lte.Subframe) bool
+	// activity[sf % activityWindow] is the number of PRBs transmitted in
+	// that subframe (0 = silent), with the subframe recorded to detect
+	// staleness.
+	activity   [activityWindow]int
+	activitySF [activityWindow]lte.Subframe
+	usedPRB    int // last subframe's allocation total (for reports)
+}
+
+// Hooks is the control attachment surface of the data plane: the FlexRAN
+// separation point. DLSchedule/ULSchedule make the per-TTI decisions;
+// OnUEEvent and OnSubframe feed the control plane's event stream.
+type Hooks struct {
+	DLSchedule func(cellID lte.CellID, in sched.Input) []sched.Alloc
+	ULSchedule func(cellID lte.CellID, in sched.Input) []sched.Alloc
+	OnUEEvent  func(ev protocol.UEEventType, rnti lte.RNTI, cellID lte.CellID)
+	OnSubframe func(sf lte.Subframe)
+}
+
+// Config configures an eNodeB.
+type Config struct {
+	ID    lte.ENBID
+	Cells []protocol.CellConfig
+	// Seed drives the HARQ error draws (deterministic).
+	Seed int64
+	// AttachSignalingBytes / AttachTimeoutTTI override the defaults.
+	AttachSignalingBytes int
+	AttachTimeoutTTI     int
+	// DLQueueCap overrides the RLC queue bound.
+	DLQueueCap int
+}
+
+// DefaultCell returns the paper's evaluation cell: FDD, 10 MHz, TM1, band 5.
+func DefaultCell(id lte.CellID) protocol.CellConfig {
+	return protocol.CellConfig{
+		Cell: id, Bandwidth: lte.BW10MHz, Duplex: lte.FDD,
+		TxMode: 1, Antennas: 1, Band: 5,
+	}
+}
+
+// ENB is the simulated eNodeB data plane. It is not safe for concurrent
+// use: the owner (simulation loop or agent runtime) serializes access.
+type ENB struct {
+	cfg   Config
+	cells map[lte.CellID]*cell
+	ues   map[lte.RNTI]*ue
+	order []lte.RNTI // stable iteration order
+
+	sf       lte.Subframe
+	hooks    Hooks
+	rnd      *rand.Rand
+	nextRNTI lte.RNTI
+}
+
+// New builds an eNodeB with local default schedulers (round robin), i.e.
+// the "vanilla OAI" configuration of the Fig. 6 comparison.
+func New(cfg Config) *ENB {
+	if cfg.AttachSignalingBytes == 0 {
+		cfg.AttachSignalingBytes = DefaultAttachSignalingBytes
+	}
+	if cfg.AttachTimeoutTTI == 0 {
+		cfg.AttachTimeoutTTI = DefaultAttachTimeoutTTI
+	}
+	if cfg.DLQueueCap == 0 {
+		cfg.DLQueueCap = DefaultDLQueueCap
+	}
+	if len(cfg.Cells) == 0 {
+		cfg.Cells = []protocol.CellConfig{DefaultCell(0)}
+	}
+	e := &ENB{
+		cfg:      cfg,
+		cells:    map[lte.CellID]*cell{},
+		ues:      map[lte.RNTI]*ue{},
+		rnd:      rand.New(rand.NewSource(cfg.Seed + 1)),
+		nextRNTI: lte.FirstUERNTI,
+	}
+	for _, cc := range cfg.Cells {
+		e.cells[cc.Cell] = &cell{cfg: cc, prbs: cc.Bandwidth.PRBs()}
+	}
+	dl := sched.NewRoundRobin()
+	ul := sched.NewRoundRobin()
+	e.hooks = Hooks{
+		DLSchedule: func(_ lte.CellID, in sched.Input) []sched.Alloc { return dl.Schedule(in) },
+		ULSchedule: func(_ lte.CellID, in sched.Input) []sched.Alloc { return ul.Schedule(in) },
+	}
+	return e
+}
+
+// ID returns the eNodeB identifier.
+func (e *ENB) ID() lte.ENBID { return e.cfg.ID }
+
+// Now returns the current subframe (the next one Step will execute).
+func (e *ENB) Now() lte.Subframe { return e.sf }
+
+// Config exports the eNodeB configuration for the agent's Hello message.
+func (e *ENB) Config() protocol.ENBConfig {
+	out := protocol.ENBConfig{ID: e.cfg.ID}
+	ids := make([]int, 0, len(e.cells))
+	for id := range e.cells {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		out.Cells = append(out.Cells, e.cells[lte.CellID(id)].cfg)
+	}
+	return out
+}
+
+// SetHooks installs the control plane. Passing a partially filled Hooks
+// keeps the previous function for nil fields, so an agent can take over
+// scheduling while leaving event routing unchanged (or vice versa).
+func (e *ENB) SetHooks(h Hooks) {
+	if h.DLSchedule != nil {
+		e.hooks.DLSchedule = h.DLSchedule
+	}
+	if h.ULSchedule != nil {
+		e.hooks.ULSchedule = h.ULSchedule
+	}
+	if h.OnUEEvent != nil {
+		e.hooks.OnUEEvent = h.OnUEEvent
+	}
+	if h.OnSubframe != nil {
+		e.hooks.OnSubframe = h.OnSubframe
+	}
+}
+
+// SetMuted installs a per-subframe muting predicate for a cell (the
+// almost-blank-subframe hook of the eICIC use case).
+func (e *ENB) SetMuted(cellID lte.CellID, muted func(sf lte.Subframe) bool) error {
+	c, ok := e.cells[cellID]
+	if !ok {
+		return fmt.Errorf("enb: unknown cell %d", cellID)
+	}
+	c.muted = muted
+	return nil
+}
+
+// AddUE starts the attach procedure for a new UE and returns its RNTI.
+func (e *ENB) AddUE(p UEParams) (lte.RNTI, error) {
+	if _, ok := e.cells[p.Cell]; !ok {
+		return 0, fmt.Errorf("enb: unknown cell %d", p.Cell)
+	}
+	if p.Channel == nil {
+		p.Channel = radio.Fixed(lte.MaxCQI)
+	}
+	rnti := e.nextRNTI
+	e.nextRNTI++
+	u := &ue{rnti: rnti, params: p, state: StateAttaching}
+	u.attach.sigPending = e.cfg.AttachSignalingBytes
+	u.attach.deadline = e.sf + lte.Subframe(e.cfg.AttachTimeoutTTI)
+	u.attach.attempts = 1
+	e.ues[rnti] = u
+	e.order = append(e.order, rnti)
+	e.event(protocol.UEEventRandomAccess, rnti, p.Cell)
+	return rnti, nil
+}
+
+// RemoveUE detaches a UE.
+func (e *ENB) RemoveUE(rnti lte.RNTI) {
+	u, ok := e.ues[rnti]
+	if !ok {
+		return
+	}
+	u.state = StateDetached
+	delete(e.ues, rnti)
+	for i, r := range e.order {
+		if r == rnti {
+			e.order = append(e.order[:i], e.order[i+1:]...)
+			break
+		}
+	}
+	e.event(protocol.UEEventDetach, rnti, u.params.Cell)
+}
+
+// SetDRX configures discontinuous reception for a UE (Table 1 "DRX
+// commands"). cycleTTI 0 disables DRX.
+func (e *ENB) SetDRX(rnti lte.RNTI, cycleTTI, onDuration int) error {
+	u, ok := e.ues[rnti]
+	if !ok {
+		return fmt.Errorf("enb: unknown UE %d", rnti)
+	}
+	if cycleTTI <= 0 {
+		u.drx = drx{}
+		return nil
+	}
+	if onDuration <= 0 || onDuration > cycleTTI {
+		return fmt.Errorf("enb: invalid DRX on-duration %d for cycle %d", onDuration, cycleTTI)
+	}
+	u.drx = drx{enabled: true, cycleTTI: cycleTTI, onDuration: onDuration}
+	return nil
+}
+
+// DLEnqueue adds downlink bytes for a UE (the EPC injection path).
+// It returns the bytes accepted after the queue cap.
+func (e *ENB) DLEnqueue(rnti lte.RNTI, bytes int) int {
+	u, ok := e.ues[rnti]
+	if !ok || bytes <= 0 {
+		return 0
+	}
+	room := e.cfg.DLQueueCap - u.dlQueue
+	if bytes > room {
+		u.dlDropped += uint64(bytes - room)
+		bytes = room
+	}
+	u.dlQueue += bytes
+	return bytes
+}
+
+// ULEnqueue adds uplink bytes at the UE (its traffic generator). The first
+// byte after an empty buffer raises a scheduling-request event.
+func (e *ENB) ULEnqueue(rnti lte.RNTI, bytes int) int {
+	u, ok := e.ues[rnti]
+	if !ok || bytes <= 0 {
+		return 0
+	}
+	if u.ulQueue == 0 {
+		e.event(protocol.UEEventSchedulingRequest, rnti, u.params.Cell)
+	}
+	u.ulQueue += bytes
+	return bytes
+}
+
+func (e *ENB) event(ev protocol.UEEventType, rnti lte.RNTI, cellID lte.CellID) {
+	if e.hooks.OnUEEvent != nil {
+		e.hooks.OnUEEvent(ev, rnti, cellID)
+	}
+}
+
+// Step executes the current subframe and advances the clock by one TTI.
+func (e *ENB) Step() {
+	sf := e.sf
+
+	// 1. Channel refresh and attach supervision.
+	for _, rnti := range e.order {
+		u := e.ues[rnti]
+		u.cqi = u.params.Channel.CQI(sf)
+		if u.state == StateAttaching && sf >= u.attach.deadline {
+			// Attach timed out: restart the procedure (the UE retries).
+			u.attach.sigPending = e.cfg.AttachSignalingBytes
+			u.attach.deadline = sf + lte.Subframe(e.cfg.AttachTimeoutTTI)
+			u.attach.attempts++
+			e.event(protocol.UEEventRandomAccess, rnti, u.params.Cell)
+		}
+	}
+
+	// 2. Control-plane subframe tick (agent sends triggers/reports here).
+	if e.hooks.OnSubframe != nil {
+		e.hooks.OnSubframe(sf)
+	}
+
+	// 3. Per-cell scheduling and transmission.
+	for _, rnti := range e.order {
+		e.ues[rnti].ttiDLBytes = 0
+		e.ues[rnti].ttiULBytes = 0
+	}
+	for _, c := range e.sortedCells() {
+		e.runCell(c, sf)
+	}
+
+	// 4. Rate averaging for PF (updated every TTI, ~100 ms horizon).
+	for _, rnti := range e.order {
+		u := e.ues[rnti]
+		u.avgDLKbps = updateAvg(u.avgDLKbps, u.lastDLBits(sf))
+		u.avgULKbps = updateAvg(u.avgULKbps, u.lastULBits(sf))
+	}
+
+	e.sf++
+}
+
+// lastDLBits/lastULBits report this subframe's delivered bits; they rely
+// on delivery bookkeeping done in runCell via the perTTI fields.
+func (u *ue) lastDLBits(lte.Subframe) float64 { return float64(u.ttiDLBytes) * 8 }
+func (u *ue) lastULBits(lte.Subframe) float64 { return float64(u.ttiULBytes) * 8 }
+
+func updateAvg(avgKbps, bitsThisTTI float64) float64 {
+	const alpha = 0.01      // ~100 TTI averaging horizon
+	instKbps := bitsThisTTI // bits per ms == kbit/s
+	return (1-alpha)*avgKbps + alpha*instKbps
+}
+
+func (e *ENB) sortedCells() []*cell {
+	ids := make([]int, 0, len(e.cells))
+	for id := range e.cells {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	out := make([]*cell, len(ids))
+	for i, id := range ids {
+		out[i] = e.cells[lte.CellID(id)]
+	}
+	return out
+}
+
+func (e *ENB) runCell(c *cell, sf lte.Subframe) {
+	slot := int(sf % activityWindow)
+	c.activity[slot] = 0
+	c.activitySF[slot] = sf
+	c.usedPRB = 0
+	if c.muted != nil && c.muted(sf) {
+		return
+	}
+
+	// Downlink.
+	dlIn := e.schedInput(c, sf, lte.Downlink)
+	if len(dlIn.UEs) > 0 && e.hooks.DLSchedule != nil {
+		used := e.apply(c, sf, lte.Downlink, e.hooks.DLSchedule(c.cfg.Cell, dlIn), dlIn.TotalPRB)
+		c.activity[slot] += used
+		c.usedPRB += used
+	}
+	// Uplink (granted on the same TTI for simplicity; the 4 ms grant
+	// pipeline does not change steady-state behaviour).
+	ulIn := e.schedInput(c, sf, lte.Uplink)
+	if len(ulIn.UEs) > 0 && e.hooks.ULSchedule != nil {
+		e.apply(c, sf, lte.Uplink, e.hooks.ULSchedule(c.cfg.Cell, ulIn), ulIn.TotalPRB)
+	}
+}
+
+// schedInput snapshots the schedulable UEs of a cell.
+func (e *ENB) schedInput(c *cell, sf lte.Subframe, dir lte.Direction) sched.Input {
+	in := sched.Input{SF: sf, Dir: dir, TotalPRB: c.prbs}
+	for _, rnti := range e.order {
+		u := e.ues[rnti]
+		if u.params.Cell != c.cfg.Cell || u.state == StateDetached {
+			continue
+		}
+		if u.drx.enabled && int(sf)%u.drx.cycleTTI >= u.drx.onDuration {
+			continue // DRX sleep
+		}
+		var queue int
+		var avg float64
+		if dir == lte.Downlink {
+			queue = u.dlQueue
+			avg = u.avgDLKbps
+			if u.state == StateAttaching {
+				queue = u.attach.sigPending // signaling drains first
+			}
+		} else {
+			if u.state != StateConnected {
+				continue // no UL data before attach completes
+			}
+			queue = u.ulQueue
+			avg = u.avgULKbps
+		}
+		if queue == 0 {
+			continue
+		}
+		in.UEs = append(in.UEs, sched.UEInfo{
+			RNTI:        rnti,
+			CQI:         u.cqi,
+			QueueBytes:  queue,
+			AvgRateKbps: avg,
+			LastSched:   u.lastSched,
+			Group:       u.params.Group,
+		})
+	}
+	return in
+}
+
+// apply executes scheduling allocations against the data plane, returning
+// the PRBs actually transmitted.
+func (e *ENB) apply(c *cell, sf lte.Subframe, dir lte.Direction, allocs []sched.Alloc, budget int) int {
+	used := 0
+	for _, a := range allocs {
+		u, ok := e.ues[a.RNTI]
+		if !ok || a.RBCount <= 0 {
+			continue
+		}
+		if used+a.RBCount > budget {
+			a.RBCount = budget - used
+			if a.RBCount <= 0 {
+				break
+			}
+		}
+		used += a.RBCount
+		e.transmit(u, sf, dir, a)
+	}
+	return used
+}
+
+// transmit delivers one transport block with HARQ error behaviour.
+func (e *ENB) transmit(u *ue, sf lte.Subframe, dir lte.Direction, a sched.Alloc) {
+	chosen := lte.CQIForMCS(a.MCS)
+	tbs := lte.TBSBytes(dir, chosen, a.RBCount)
+	if tbs == 0 {
+		return
+	}
+	retx := u.pendingRetxDL
+	if dir == lte.Uplink {
+		retx = u.pendingRetxUL
+	}
+	p := lte.BLER(chosen, u.cqi, retx)
+	if e.rnd.Float64() < p {
+		// Transport block lost; HARQ keeps the data queued.
+		u.harqRetx++
+		if retx < lte.MaxHARQRetx {
+			retx++
+		}
+		if dir == lte.Downlink {
+			u.pendingRetxDL = retx
+		} else {
+			u.pendingRetxUL = retx
+		}
+		return
+	}
+	if dir == lte.Downlink {
+		u.pendingRetxDL = 0
+		if u.state == StateAttaching {
+			// Signaling is delivered ahead of user data.
+			sig := min(tbs, u.attach.sigPending)
+			u.attach.sigPending -= sig
+			tbs -= sig
+			if u.attach.sigPending == 0 {
+				u.state = StateConnected
+				e.event(protocol.UEEventAttach, u.rnti, u.params.Cell)
+			}
+		}
+		data := min(tbs, u.dlQueue)
+		u.dlQueue -= data
+		u.dlDelivered += uint64(data)
+		u.ttiDLBytes += data
+	} else {
+		u.pendingRetxUL = 0
+		data := min(tbs, u.ulQueue)
+		u.ulQueue -= data
+		u.ulDelivered += uint64(data)
+		u.ttiULBytes += data
+	}
+	u.lastSched = sf
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

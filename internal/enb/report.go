@@ -1,0 +1,196 @@
+package enb
+
+import (
+	"sort"
+
+	"flexran/internal/lte"
+	"flexran/internal/protocol"
+)
+
+// This file is the read-side of the data plane: the statistics snapshots
+// the FlexRAN agent turns into protocol reports, and the per-UE/per-cell
+// accessors the experiments sample.
+
+// UEReport is a point-in-time snapshot of one UE's data-plane state.
+type UEReport struct {
+	RNTI        lte.RNTI
+	Cell        lte.CellID
+	State       UEState
+	CQI         lte.CQI
+	DLQueue     int
+	ULQueue     int
+	SigQueue    int // pending attach signaling (SRB) bytes
+	DLDelivered uint64
+	ULDelivered uint64
+	DLDropped   uint64
+	AvgDLKbps   float64
+	AvgULKbps   float64
+	HARQRetx    uint32
+	LastSched   lte.Subframe
+	Group       int
+	AttachTries int
+}
+
+// UEReport returns the snapshot for one UE, with ok=false when unknown.
+func (e *ENB) UEReport(rnti lte.RNTI) (UEReport, bool) {
+	u, ok := e.ues[rnti]
+	if !ok {
+		return UEReport{}, false
+	}
+	return e.report(u), true
+}
+
+func (e *ENB) report(u *ue) UEReport {
+	return UEReport{
+		RNTI:        u.rnti,
+		Cell:        u.params.Cell,
+		State:       u.state,
+		CQI:         u.cqi,
+		DLQueue:     u.dlQueue,
+		ULQueue:     u.ulQueue,
+		SigQueue:    u.attach.sigPending,
+		DLDelivered: u.dlDelivered,
+		ULDelivered: u.ulDelivered,
+		DLDropped:   u.dlDropped,
+		AvgDLKbps:   u.avgDLKbps,
+		AvgULKbps:   u.avgULKbps,
+		HARQRetx:    u.harqRetx,
+		LastSched:   u.lastSched,
+		Group:       u.params.Group,
+		AttachTries: u.attach.attempts,
+	}
+}
+
+// UEReports snapshots every UE, ordered by RNTI.
+func (e *ENB) UEReports() []UEReport {
+	out := make([]UEReport, 0, len(e.order))
+	for _, rnti := range e.order {
+		out = append(out, e.report(e.ues[rnti]))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RNTI < out[j].RNTI })
+	return out
+}
+
+// UEs returns the RNTIs of all current UEs, ordered.
+func (e *ENB) UEs() []lte.RNTI {
+	out := append([]lte.RNTI(nil), e.order...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Connected reports whether a UE has completed attachment.
+func (e *ENB) Connected(rnti lte.RNTI) bool {
+	u, ok := e.ues[rnti]
+	return ok && u.state == StateConnected
+}
+
+// CellReport is a point-in-time snapshot of one cell.
+type CellReport struct {
+	Cell     lte.CellID
+	UsedPRB  int
+	TotalPRB int
+	Muted    bool // whether the *last executed* subframe was muted
+}
+
+// CellReports snapshots every cell, ordered by id.
+func (e *ENB) CellReports() []CellReport {
+	var out []CellReport
+	last := e.sf
+	if last > 0 {
+		last--
+	}
+	for _, c := range e.sortedCells() {
+		out = append(out, CellReport{
+			Cell:     c.cfg.Cell,
+			UsedPRB:  c.usedPRB,
+			TotalPRB: c.prbs,
+			Muted:    c.muted != nil && c.muted(last),
+		})
+	}
+	return out
+}
+
+// Active reports whether the cell transmitted any PRB in subframe sf.
+// Only the last activityWindow subframes are retained; older queries
+// return false. This is the interference-coupling hook: another eNodeB's
+// channel model can ask whether this cell was transmitting.
+func (e *ENB) Active(cellID lte.CellID, sf lte.Subframe) bool {
+	c, ok := e.cells[cellID]
+	if !ok {
+		return false
+	}
+	slot := int(sf % activityWindow)
+	return c.activitySF[slot] == sf && c.activity[slot] > 0
+}
+
+// SubbandsAt10MHz is the number of CQI subbands reported per UE over a
+// 10 MHz carrier (36.213 Table 7.2.1-3).
+const SubbandsAt10MHz = 13
+
+// ToProtocolUEStats converts a snapshot into the protocol's report entry,
+// including the subband CQIs, per-LC queue reports and L3 measurements the
+// OAI agent forwards each TTI. The subband values are a deterministic
+// ripple around the wideband CQI (the PHY abstraction has no frequency-
+// selective model); RSRP/RSRQ derive from the CQI operating point.
+func (r UEReport) ToProtocolUEStats() protocol.UEStats {
+	s := protocol.UEStats{
+		RNTI:            r.RNTI,
+		Cell:            r.Cell,
+		CQI:             r.CQI,
+		DLQueue:         uint64(r.DLQueue),
+		ULQueue:         uint64(r.ULQueue),
+		DLRateKbps:      uint32(r.AvgDLKbps),
+		ULRateKbps:      uint32(r.AvgULKbps),
+		HARQRetx:        r.HARQRetx,
+		LastSchedSF:     r.LastSched,
+		PowerHeadroomDB: 40 - 2*int32(r.CQI),
+		RSRPdBm:         -140 + 6*int32(r.CQI),
+		RSRQdB:          -20 + int32(r.CQI),
+	}
+	if r.CQI > 0 {
+		s.SubbandCQI = make([]uint8, SubbandsAt10MHz)
+		for i := range s.SubbandCQI {
+			ripple := int(r.RNTI) + i*7
+			c := int(r.CQI) + ripple%3 - 1
+			if c < 1 {
+				c = 1
+			}
+			if c > lte.MaxCQI {
+				c = lte.MaxCQI
+			}
+			s.SubbandCQI[i] = uint8(c)
+		}
+	}
+	s.LCs = []protocol.LCReport{
+		{LCID: 1, Bytes: uint64(r.SigQueue)},                         // SRB1
+		{LCID: 2, Bytes: 0},                                          // SRB2
+		{LCID: 3, Bytes: uint64(r.DLQueue), HoLDelayMs: holDelay(r)}, // default DRB
+	}
+	return s
+}
+
+// holDelay estimates the head-of-line delay of the data bearer from the
+// queue depth and the served rate.
+func holDelay(r UEReport) uint32 {
+	if r.AvgDLKbps < 1 {
+		if r.DLQueue > 0 {
+			return 1000
+		}
+		return 0
+	}
+	ms := float64(r.DLQueue) * 8 / r.AvgDLKbps
+	if ms > 10000 {
+		ms = 10000
+	}
+	return uint32(ms)
+}
+
+// ToProtocolCellStats converts a cell snapshot into the protocol entry.
+func (r CellReport) ToProtocolCellStats() protocol.CellStats {
+	return protocol.CellStats{
+		Cell:     r.Cell,
+		UsedPRB:  uint32(r.UsedPRB),
+		TotalPRB: uint32(r.TotalPRB),
+		ABS:      r.Muted,
+	}
+}

@@ -1,0 +1,134 @@
+package epc
+
+import (
+	"testing"
+
+	"flexran/internal/enb"
+	"flexran/internal/lte"
+	"flexran/internal/radio"
+)
+
+func setup(t *testing.T) (*EPC, *enb.ENB, lte.RNTI) {
+	t.Helper()
+	e := enb.New(enb.Config{ID: 1, Seed: 1})
+	rnti, err := e.AddUE(enb.UEParams{IMSI: 100, Cell: 0, Channel: radio.Fixed(15)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New()
+	c.Register(e)
+	return c, e, rnti
+}
+
+func TestAttachAndDownlink(t *testing.T) {
+	c, e, rnti := setup(t)
+	b, err := c.Attach(100, 1, rnti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TEID == 0 {
+		t.Error("no TEID assigned")
+	}
+	n, err := c.Downlink(100, 5000)
+	if err != nil || n != 5000 {
+		t.Fatalf("Downlink = %d, %v", n, err)
+	}
+	if b.DLOffered != 5000 || b.DLAccepted != 5000 {
+		t.Errorf("accounting = %+v", b)
+	}
+	// The bytes must be visible in the eNodeB queue.
+	r, _ := e.UEReport(rnti)
+	if r.DLQueue < 5000 {
+		t.Errorf("RLC queue = %d, want >= 5000", r.DLQueue)
+	}
+}
+
+func TestAttachErrors(t *testing.T) {
+	c, _, rnti := setup(t)
+	if _, err := c.Attach(100, 42, rnti); err == nil {
+		t.Error("unknown eNodeB accepted")
+	}
+	if _, err := c.Attach(100, 1, rnti); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Attach(100, 1, rnti); err == nil {
+		t.Error("duplicate IMSI accepted")
+	}
+}
+
+func TestDownlinkWithoutBearer(t *testing.T) {
+	c, _, _ := setup(t)
+	if _, err := c.Downlink(999, 100); err == nil {
+		t.Error("downlink without bearer accepted")
+	}
+}
+
+func TestDownlinkAccountsDrops(t *testing.T) {
+	e := enb.New(enb.Config{ID: 1, Seed: 1, DLQueueCap: 1000})
+	rnti, _ := e.AddUE(enb.UEParams{IMSI: 100, Cell: 0, Channel: radio.Fixed(15)})
+	c := New()
+	c.Register(e)
+	b, _ := c.Attach(100, 1, rnti)
+	n, err := c.Downlink(100, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000 {
+		t.Errorf("accepted = %d, want 1000 (queue cap)", n)
+	}
+	if b.DLOffered != 5000 || b.DLAccepted != 1000 {
+		t.Errorf("accounting = %+v", b)
+	}
+}
+
+func TestDetachStopsRouting(t *testing.T) {
+	c, _, rnti := setup(t)
+	c.Attach(100, 1, rnti)
+	c.Detach(100)
+	if _, err := c.Downlink(100, 100); err == nil {
+		t.Error("downlink after detach accepted")
+	}
+	if _, ok := c.Bearer(100); ok {
+		t.Error("bearer still present")
+	}
+}
+
+func TestBearersOrdered(t *testing.T) {
+	c, _, rnti := setup(t)
+	c.Attach(300, 1, rnti)
+	c.Attach(100, 1, rnti)
+	c.Attach(200, 1, rnti)
+	bs := c.Bearers()
+	if len(bs) != 3 || bs[0].IMSI != 100 || bs[2].IMSI != 300 {
+		t.Errorf("bearers = %+v", bs)
+	}
+}
+
+func TestHandover(t *testing.T) {
+	c, _, rnti := setup(t)
+	e2 := enb.New(enb.Config{ID: 2, Seed: 2})
+	rnti2, _ := e2.AddUE(enb.UEParams{IMSI: 100, Cell: 0, Channel: radio.Fixed(15)})
+	c.Register(e2)
+	c.Attach(100, 1, rnti)
+	if err := c.Handover(100, 2, rnti2); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := c.Bearer(100)
+	if b.ENB != 2 || b.RNTI != rnti2 {
+		t.Errorf("bearer after handover = %+v", b)
+	}
+	// Traffic now lands on the new eNodeB.
+	if _, err := c.Downlink(100, 100); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := e2.UEReport(rnti2)
+	if r.DLQueue == 0 {
+		t.Error("traffic not rerouted")
+	}
+	if err := c.Handover(100, 42, rnti2); err == nil {
+		t.Error("handover to unknown eNodeB accepted")
+	}
+	if err := c.Handover(999, 2, rnti2); err == nil {
+		t.Error("handover of unknown IMSI accepted")
+	}
+}

@@ -1,0 +1,396 @@
+package experiments
+
+import (
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"flexran/internal/protocol"
+)
+
+// Shape tests: each experiment must reproduce the paper's qualitative
+// result (who wins, by roughly what factor, where crossovers fall).
+// Scales are reduced so the suite stays fast; the cmd/flexran-exp binary
+// runs the full durations.
+
+const testScale = 0.25
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"delegation", "fig10", "fig11a", "fig11b", "fig12a", "fig12b",
+		"fig6a", "fig6b", "fig7a", "fig7b", "fig8", "fig9", "table2",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("IDs()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if _, err := Run("nope", 1); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestFig6bTransparency(t *testing.T) {
+	res, err := Run("fig6b", testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.(*Fig6bResult)
+	// The paper's headline: FlexRAN is imperceptible to the UE. DL ~25,
+	// UL ~8 Mb/s, equal within a few percent between configurations.
+	if r.VanillaDL < 24 || r.VanillaDL > 29 {
+		t.Errorf("vanilla DL = %.2f, want ~25-28", r.VanillaDL)
+	}
+	if math.Abs(r.VanillaDL-r.FlexDL)/r.VanillaDL > 0.03 {
+		t.Errorf("DL differs: vanilla %.2f vs flexran %.2f", r.VanillaDL, r.FlexDL)
+	}
+	if math.Abs(r.VanillaUL-r.FlexUL)/r.VanillaUL > 0.03 {
+		t.Errorf("UL differs: vanilla %.2f vs flexran %.2f", r.VanillaUL, r.FlexUL)
+	}
+	if r.VanillaUL < 7 || r.VanillaUL > 10 {
+		t.Errorf("vanilla UL = %.2f, want ~8-9", r.VanillaUL)
+	}
+	if !strings.Contains(r.String(), "downlink") {
+		t.Error("report rendering broken")
+	}
+}
+
+func TestFig6aOverheadSmall(t *testing.T) {
+	res, err := Run("fig6a", testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.(*Fig6aResult)
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %+v", r.Rows)
+	}
+	// The agent adds overhead. In the paper it is ~2% relative because
+	// OAI's PHY dominates the baseline; our abstracted data plane is so
+	// cheap that the agent's per-TTI reporting dominates instead, so the
+	// assertion is on absolute cost: the whole FlexRAN-enabled eNodeB
+	// must consume well under one real CPU (here: <200 ms per simulated
+	// second) — the deployability claim behind Fig. 6a.
+	v, f := r.Row("vanilla/ue"), r.Row("flexran/ue")
+	if v.CPUPerSec == 0 {
+		t.Fatal("vanilla row missing")
+	}
+	if f.CPUPerSec <= v.CPUPerSec {
+		t.Errorf("agent should add some overhead: %.2f vs %.2f ms/s", f.CPUPerSec, v.CPUPerSec)
+	}
+	if f.CPUPerSec > 200 {
+		t.Errorf("flexran eNodeB costs %.2f ms per simulated second", f.CPUPerSec)
+	}
+}
+
+func TestFig7aShape(t *testing.T) {
+	res, err := Run("fig7a", testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.(*Fig7Result)
+	stats := r.Mbps[protocol.CatStats]
+	sync := r.Mbps[protocol.CatSync]
+	mgmt := r.Mbps[protocol.CatManagement]
+	if stats == nil || sync == nil {
+		t.Fatalf("categories missing: %v", r.Mbps)
+	}
+	last := len(r.UECounts) - 1
+	// Stats reporting dominates, management is negligible (paper Fig. 7a).
+	if stats[last] <= sync[last] {
+		t.Errorf("stats (%.2f) should dominate sync (%.2f)", stats[last], sync[last])
+	}
+	if mgmt != nil && mgmt[last] > stats[last]/10 {
+		t.Errorf("management (%.2f) should be negligible vs stats (%.2f)", mgmt[last], stats[last])
+	}
+	// Overhead grows with UEs but sublinearly (aggregation): the per-UE
+	// byte rate at 50 UEs is below that at 10 UEs.
+	if stats[last] <= stats[0] {
+		t.Errorf("stats rate should grow: %v", stats)
+	}
+	perUE10 := stats[0] / float64(r.UECounts[0])
+	perUE50 := stats[last] / float64(r.UECounts[last])
+	if perUE50 >= perUE10 {
+		t.Errorf("stats growth not sublinear: %.3f/UE at 10, %.3f/UE at 50", perUE10, perUE50)
+	}
+}
+
+func TestFig7bShape(t *testing.T) {
+	resA, err := Run("fig7a", testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := Run("fig7b", testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := resA.(*Fig7Result)
+	b := resB.(*Fig7Result)
+	cmds := b.Mbps[protocol.CatCommands]
+	if cmds == nil {
+		t.Fatalf("no command bytes: %v", b.Mbps)
+	}
+	last := len(b.UECounts) - 1
+	// Master-to-agent is far below agent-to-master (paper: <4 vs ~100 Mb/s)
+	// and dominated by scheduling commands.
+	if b.Total(last) >= a.Total(last)/2.5 {
+		t.Errorf("master->agent (%.2f) should be well below agent->master (%.2f)",
+			b.Total(last), a.Total(last))
+	}
+	if cmds[last] < b.Mbps[protocol.CatManagement][last] {
+		t.Error("commands should dominate management")
+	}
+	if cmds[last] <= cmds[0] {
+		t.Errorf("command rate should grow with UEs: %v", cmds)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	res, err := Run("fig8", testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.(*Fig8Result)
+	if len(r.CoreMs) != 4 {
+		t.Fatalf("rows = %+v", r)
+	}
+	// Core (RIB updater) time grows with the number of agents, and the
+	// cycle stays far below the 1 ms TTI (the master is lightweight).
+	if r.CoreMs[3] <= r.CoreMs[0] {
+		t.Errorf("core time should grow with agents: %v", r.CoreMs)
+	}
+	for i, c := range r.CoreMs {
+		if c+r.AppsMs[i] > 0.9 {
+			t.Errorf("cycle with %d agents uses %.2f ms of the 1 ms TTI",
+				r.AgentCounts[i], c+r.AppsMs[i])
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig9 grid is slow")
+	}
+	res, err := Run("fig9", 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.(*Fig9Result)
+	// Lower triangle (ahead < RTT): zero throughput, attach impossible.
+	for _, cell := range [][2]int{{20, 8}, {30, 8}, {40, 16}, {60, 32}} {
+		if got := r.At(cell[0], cell[1]); got > 0.5 {
+			t.Errorf("RTT %d/ahead %d = %.2f Mb/s, want ~0 (missed deadlines)",
+				cell[0], cell[1], got)
+		}
+	}
+	// Upper region: scheduling works even at high RTT with enough ahead.
+	if got := r.At(60, 64); got < 5 {
+		t.Errorf("RTT 60/ahead 64 = %.2f Mb/s, want working", got)
+	}
+	// Throughput at zero RTT beats the high-RTT/high-ahead corner
+	// (stale CQI and long-horizon decisions degrade gradually).
+	if r.At(0, 4) <= r.At(60, 64) {
+		t.Errorf("no gradual decay: %.2f at (0,4) vs %.2f at (60,64)",
+			r.At(0, 4), r.At(60, 64))
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	res, err := Run("fig10", testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.(*Fig10Result)
+	// Ordering: uncoordinated < eICIC < optimized.
+	if !(r.Uncoordinated < r.EICIC && r.EICIC < r.Optimized) {
+		t.Fatalf("ordering broken: %s", r)
+	}
+	// Optimized roughly doubles the uncoordinated network throughput
+	// (paper: "almost doubled"); accept 1.6x-3x.
+	ratio := r.Optimized / r.Uncoordinated
+	if ratio < 1.6 || ratio > 3.2 {
+		t.Errorf("optimized/uncoordinated = %.2f, want ~2", ratio)
+	}
+	// Optimized improves on plain eICIC by tens of percent (paper: ~22%).
+	gain := r.Optimized/r.EICIC - 1
+	if gain < 0.10 || gain > 0.45 {
+		t.Errorf("optimized gain over eICIC = %.1f%%, want ~22%%", gain*100)
+	}
+	// Small-cell throughput unchanged between eICIC modes (Fig. 10b).
+	if math.Abs(r.SmallOptimized-r.SmallEICIC)/r.SmallEICIC > 0.1 {
+		t.Errorf("small cell changed: %.2f vs %.2f", r.SmallOptimized, r.SmallEICIC)
+	}
+	// The macro gains the re-granted ABS capacity.
+	if r.MacroOptimized <= r.MacroEICIC {
+		t.Errorf("macro did not gain: %.2f vs %.2f", r.MacroOptimized, r.MacroEICIC)
+	}
+	if r.GrantedABS == 0 {
+		t.Error("no ABS grants recorded")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	res, err := Run("table2", testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.(*Table2Result)
+	// TCP within 20% of the paper's measurements at every CQI.
+	for cqi, paper := range r.Paper {
+		tcp, sus := r.Row(cqi)
+		if math.Abs(tcp-paper[0])/paper[0] > 0.2 {
+			t.Errorf("CQI %d TCP = %.2f, paper %.2f", cqi, tcp, paper[0])
+		}
+		// Sustainable bitrate at or below the paper's (ladder-quantized).
+		if sus > paper[1]+0.01 {
+			t.Errorf("CQI %d sustainable = %.2f above paper's %.2f", cqi, sus, paper[1])
+		}
+		if sus < paper[1]*0.5 {
+			t.Errorf("CQI %d sustainable = %.2f far below paper's %.2f", cqi, sus, paper[1])
+		}
+	}
+	// The headline 4K point: CQI 10 sustains exactly 7.3 on the 4K ladder.
+	if _, sus := r.Row(10); sus != 7.3 {
+		t.Errorf("CQI 10 sustainable = %.2f, want 7.3", sus)
+	}
+}
+
+func TestFig11aShape(t *testing.T) {
+	res, err := Run("fig11a", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.(*Fig11Result)
+	// Neither player freezes; the default player underutilizes (stuck at
+	// the lowest rung) while the assisted player adapts upward.
+	if r.DefaultFreezes != 0 || r.AssistedFreezes != 0 {
+		t.Errorf("freezes: default %d, assisted %d, want 0/0", r.DefaultFreezes, r.AssistedFreezes)
+	}
+	if r.DefaultPeakBitrate > 1.2 {
+		t.Errorf("default peak = %.2f, want stuck at 1.2", r.DefaultPeakBitrate)
+	}
+	if r.AssistedPeakBitrate < 2.0 {
+		t.Errorf("assisted peak = %.2f, want 2.0", r.AssistedPeakBitrate)
+	}
+	if r.AssistedMeanBitrate <= r.DefaultMeanBitrate {
+		t.Errorf("assisted mean %.2f should beat default %.2f",
+			r.AssistedMeanBitrate, r.DefaultMeanBitrate)
+	}
+}
+
+func TestFig11bShape(t *testing.T) {
+	res, err := Run("fig11b", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.(*Fig11Result)
+	// The default player overshoots to 19.6 and freezes; the assisted
+	// player holds the sustainable 7.3 and never freezes.
+	if r.DefaultPeakBitrate < 19.6 {
+		t.Errorf("default peak = %.2f, want overshoot to 19.6", r.DefaultPeakBitrate)
+	}
+	if r.DefaultFreezes == 0 {
+		t.Error("default player should freeze")
+	}
+	if r.AssistedFreezes != 0 {
+		t.Errorf("assisted froze %d times", r.AssistedFreezes)
+	}
+	if r.AssistedPeakBitrate > 7.3 {
+		t.Errorf("assisted peak = %.2f, want capped at 7.3", r.AssistedPeakBitrate)
+	}
+	if r.AssistedMeanBitrate < 4 {
+		t.Errorf("assisted mean = %.2f, too low", r.AssistedMeanBitrate)
+	}
+}
+
+func TestFig12aShape(t *testing.T) {
+	res, err := Run("fig12a", testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.(*Fig12aResult)
+	if len(r.MNO) != 3 {
+		t.Fatalf("phases = %+v", r)
+	}
+	// Throughput tracks the configured shares phase by phase.
+	for i, shares := range r.Shares {
+		want := shares[0] / shares[1]
+		got := r.MNO[i] / r.MVNO[i]
+		if math.Abs(got-want)/want > 0.25 {
+			t.Errorf("phase %d ratio = %.2f, want %.2f", i+1, got, want)
+		}
+	}
+	// The reconfigurations flip the winner: MNO leads in phase 1 and 3,
+	// MVNO in phase 2.
+	if !(r.MNO[0] > r.MVNO[0] && r.MNO[1] < r.MVNO[1] && r.MNO[2] > r.MVNO[2]) {
+		t.Errorf("share flips not reflected: %s", r)
+	}
+}
+
+func TestFig12bShape(t *testing.T) {
+	res, err := Run("fig12b", testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.(*Fig12bResult)
+	mno := r.MNOCDF.Quantile(0.5)
+	prem := r.PremiumCDF.Quantile(0.5)
+	sec := r.SecondaryCDF.Quantile(0.5)
+	// Paper: premium (~450 kb/s) > MNO fair (~380) > secondary (<200).
+	if !(prem > mno && mno > sec) {
+		t.Errorf("ordering: premium %.0f, mno %.0f, secondary %.0f", prem, mno, sec)
+	}
+	// Fair policy: tight spread across MNO UEs.
+	spread := r.MNOCDF.Quantile(0.9) - r.MNOCDF.Quantile(0.1)
+	if spread/mno > 0.2 {
+		t.Errorf("fair policy spread = %.0f around %.0f", spread, mno)
+	}
+	// Premium/secondary per-UE ratio ~ (0.7/9)/(0.3/6) = 1.56 in paper's
+	// setup (450/200 = 2.25 with their rates); require premium >= 1.4x.
+	if prem < 1.4*sec {
+		t.Errorf("premium %.0f vs secondary %.0f, want >= 1.4x", prem, sec)
+	}
+}
+
+func TestDelegationShape(t *testing.T) {
+	res, err := Run("delegation", testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.(*DelegationResult)
+	if !r.PushAcked || r.PushBytes == 0 {
+		t.Fatalf("push bookkeeping: %+v", r)
+	}
+	// Swapping at any frequency (down to every TTI) must not change
+	// throughput versus the unswapped baseline (paper §5.4).
+	base := r.Mbps[0]
+	for i, p := range r.SwapPeriodsTTI {
+		if math.Abs(r.Mbps[i]-base)/base > 0.02 {
+			t.Errorf("swap period %d: %.2f Mb/s vs baseline %.2f", p, r.Mbps[i], base)
+		}
+	}
+}
+
+func TestRunAllRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep is slow")
+	}
+	// Smoke: every experiment renders a non-empty report at tiny scale.
+	for _, id := range IDs() {
+		if id == "fig9" || id == "fig11a" || id == "fig11b" {
+			continue // covered individually; too slow to repeat here
+		}
+		res, err := Run(id, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.String() == "" || res.ID() != id {
+			t.Errorf("experiment %s rendering broken", id)
+		}
+	}
+	_ = io.Discard
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"flexran/internal/controller"
+	"flexran/internal/radio"
+	"flexran/internal/sim"
+	"flexran/internal/ue"
+)
+
+// Fig6aResult is the eNodeB overhead comparison of Fig. 6a: the cost of
+// adding a FlexRAN agent to an eNodeB, idle and with one active UE. The
+// paper measures CPU utilization and memory of the OAI process; the
+// simulated equivalent is the CPU time consumed per simulated second of
+// data-plane execution plus the live heap.
+type Fig6aResult struct {
+	Rows []Fig6aRow
+}
+
+// Fig6aRow is one configuration's measurement.
+type Fig6aRow struct {
+	Config    string  // "vanilla" or "flexran", "idle" or "ue"
+	CPUPerSec float64 // wall CPU ms consumed per simulated second
+	HeapMB    float64
+}
+
+// ID implements Result.
+func (*Fig6aResult) ID() string { return "fig6a" }
+
+func (r *Fig6aResult) String() string {
+	t := newTable("Fig 6a: eNodeB overhead, vanilla vs FlexRAN agent")
+	t.row("config", "cpu (ms/sim-s)", "heap (MB)")
+	for _, row := range r.Rows {
+		t.row(row.Config, f2(row.CPUPerSec), f2(row.HeapMB))
+	}
+	return t.String()
+}
+
+// Row returns the row for a configuration name.
+func (r *Fig6aResult) Row(config string) Fig6aRow {
+	for _, row := range r.Rows {
+		if row.Config == config {
+			return row
+		}
+	}
+	return Fig6aRow{}
+}
+
+func runFig6a(scale float64) Result {
+	seconds := 4 * scale
+	res := &Fig6aResult{}
+	for _, cfg := range []struct {
+		name      string
+		withAgent bool
+		withUE    bool
+	}{
+		{"vanilla/idle", false, false},
+		{"vanilla/ue", false, true},
+		{"flexran/idle", true, false},
+		{"flexran/ue", true, true},
+	} {
+		spec := sim.ENBSpec{ID: 1, Agent: cfg.withAgent, Seed: 1}
+		if cfg.withUE {
+			spec.UEs = []sim.UESpec{{
+				IMSI: 100, Channel: radio.Fixed(15),
+				DL: ue.NewFullBuffer(), UL: ue.NewFullBuffer(),
+			}}
+		}
+		var c sim.Config
+		if cfg.withAgent {
+			o := controller.DefaultOptions()
+			c.Master = &o
+		}
+		s := sim.MustNew(c, spec)
+		s.WaitAttached(500)
+		runtime.GC()
+		var m0 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		s.RunSeconds(seconds)
+		elapsed := time.Since(start)
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		res.Rows = append(res.Rows, Fig6aRow{
+			Config:    cfg.name,
+			CPUPerSec: elapsed.Seconds() * 1000 / seconds,
+			HeapMB:    float64(m1.HeapAlloc) / (1 << 20),
+		})
+	}
+	return res
+}
+
+// Fig6bResult compares end-to-end DL/UL throughput of a vanilla eNodeB and
+// a FlexRAN-enabled one (Fig. 6b): the agent must be transparent, i.e. the
+// two configurations deliver the same service quality.
+type Fig6bResult struct {
+	VanillaDL, FlexDL float64 // Mb/s
+	VanillaUL, FlexUL float64
+}
+
+// ID implements Result.
+func (*Fig6bResult) ID() string { return "fig6b" }
+
+func (r *Fig6bResult) String() string {
+	t := newTable("Fig 6b: throughput, vanilla OAI vs OAI+FlexRAN (Mb/s)")
+	t.row("", "downlink", "uplink")
+	t.row("vanilla", f2(r.VanillaDL), f2(r.VanillaUL))
+	t.row("flexran", f2(r.FlexDL), f2(r.FlexUL))
+	return t.String()
+}
+
+func runFig6b(scale float64) Result {
+	seconds := 4 * scale
+	measure := func(withAgent bool) (dl, ul float64) {
+		var c sim.Config
+		if withAgent {
+			o := controller.DefaultOptions()
+			c.Master = &o
+		}
+		s := sim.MustNew(c, sim.ENBSpec{
+			ID: 1, Agent: withAgent, Seed: 1,
+			UEs: []sim.UESpec{{
+				IMSI: 100, Channel: radio.Fixed(15),
+				DL: ue.NewFullBuffer(), UL: ue.NewFullBuffer(),
+			}},
+		})
+		s.WaitAttached(500)
+		r0 := s.Report(0, 0)
+		s.RunSeconds(seconds)
+		r1 := s.Report(0, 0)
+		dl = float64(r1.DLDelivered-r0.DLDelivered) * 8 / 1e6 / seconds
+		ul = float64(r1.ULDelivered-r0.ULDelivered) * 8 / 1e6 / seconds
+		return dl, ul
+	}
+	res := &Fig6bResult{}
+	res.VanillaDL, res.VanillaUL = measure(false)
+	res.FlexDL, res.FlexUL = measure(true)
+	return res
+}
+
+func init() {
+	register("fig6a", runFig6a)
+	register("fig6b", runFig6b)
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"flexran/internal/apps"
+	"flexran/internal/controller"
+	"flexran/internal/metrics"
+	"flexran/internal/protocol"
+	"flexran/internal/radio"
+	"flexran/internal/sched"
+	"flexran/internal/sim"
+	"flexran/internal/ue"
+)
+
+// Fig7Result is the controller-agent signaling overhead of Figs. 7a/7b:
+// per-category Mb/s between one agent and the master under the paper's
+// worst-case configuration — per-TTI statistics reports, per-TTI subframe
+// synchronization and a centralized scheduler taking every decision, with
+// uniform downlink UDP traffic for all UEs.
+type Fig7Result struct {
+	Direction string // "agent-to-master" or "master-to-agent"
+	UECounts  []int
+	// Mbps[category][i] is the rate for UECounts[i].
+	Mbps map[string][]float64
+}
+
+// ID implements Result.
+func (r *Fig7Result) ID() string {
+	if r.Direction == "agent-to-master" {
+		return "fig7a"
+	}
+	return "fig7b"
+}
+
+func (r *Fig7Result) String() string {
+	t := newTable("Fig 7 (" + r.Direction + "): signaling overhead (Mb/s)")
+	header := []string{"UEs"}
+	cats := []string{protocol.CatStats, protocol.CatSync, protocol.CatCommands, protocol.CatManagement}
+	for _, c := range cats {
+		if _, ok := r.Mbps[c]; ok {
+			header = append(header, c)
+		}
+	}
+	t.row(header...)
+	for i, n := range r.UECounts {
+		row := []string{f1(float64(n))}
+		for _, c := range cats {
+			if series, ok := r.Mbps[c]; ok {
+				row = append(row, f2(series[i]))
+			}
+		}
+		t.row(row...)
+	}
+	return t.String()
+}
+
+// Total returns the summed rate across categories for a UE-count index.
+func (r *Fig7Result) Total(i int) float64 {
+	var sum float64
+	for _, series := range r.Mbps {
+		sum += series[i]
+	}
+	return sum
+}
+
+// runFig7 measures both directions with one scenario per UE count.
+func runFig7(scale float64, direction string) Result {
+	seconds := 2 * scale
+	ueCounts := []int{10, 20, 30, 40, 50}
+	res := &Fig7Result{Direction: direction, UECounts: ueCounts, Mbps: map[string][]float64{}}
+	// Every accounting category gets a column, even if it stays zero in
+	// one direction (e.g. no sync messages flow master-to-agent).
+	for _, cat := range []string{
+		protocol.CatStats, protocol.CatSync, protocol.CatCommands, protocol.CatManagement,
+	} {
+		res.Mbps[cat] = make([]float64, len(ueCounts))
+	}
+	for _, n := range ueCounts {
+		var specs []sim.UESpec
+		for i := 0; i < n; i++ {
+			specs = append(specs, sim.UESpec{
+				IMSI:    uint64(100 + i),
+				Channel: radio.Fixed(12),
+				DL:      ue.NewCBR(400), // uniform downlink UDP
+			})
+		}
+		o := controller.DefaultOptions() // per-TTI stats + sync
+		s := sim.MustNew(sim.Config{Master: &o}, sim.ENBSpec{
+			ID: 1, Agent: true, Seed: int64(n), UEs: specs,
+		})
+		rs := apps.NewRemoteScheduler(2, sched.NewRoundRobin())
+		s.Master.Register(rs, 100)
+		s.WaitAttached(3000)
+		// Switch to fully centralized scheduling.
+		if err := s.Nodes[0].Agent.Reconfigure("mac:\n  dl_ue_sched:\n    behavior: remote\n"); err != nil {
+			panic(err)
+		}
+		var meter *metrics.Meter
+		if direction == "agent-to-master" {
+			meter = s.Nodes[0].AgentMeter()
+		} else {
+			meter = s.Nodes[0].MasterMeter()
+		}
+		meter.Reset()
+		start := s.Now()
+		s.RunSeconds(seconds)
+		elapsedMs := uint64(s.Now() - start)
+		for cat, bytes := range meter.Snapshot() {
+			if res.Mbps[cat] == nil {
+				res.Mbps[cat] = make([]float64, len(ueCounts))
+			}
+		idx:
+			for i, c := range ueCounts {
+				if c == n {
+					res.Mbps[cat][i] = metrics.MbpsOver(bytes, elapsedMs)
+					break idx
+				}
+			}
+		}
+	}
+	// Normalize: every category vector has one entry per UE count.
+	for cat, v := range res.Mbps {
+		if len(v) != len(ueCounts) {
+			padded := make([]float64, len(ueCounts))
+			copy(padded, v)
+			res.Mbps[cat] = padded
+		}
+	}
+	return res
+}
+
+func init() {
+	register("fig7a", func(s float64) Result { return runFig7(s, "agent-to-master") })
+	register("fig7b", func(s float64) Result { return runFig7(s, "master-to-agent") })
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"flexran/internal/apps"
+	"flexran/internal/controller"
+	"flexran/internal/lte"
+	"flexran/internal/radio"
+	"flexran/internal/sched"
+	"flexran/internal/sim"
+	"flexran/internal/transport"
+	"flexran/internal/ue"
+)
+
+// Fig9Result is the control-channel latency study of Fig. 9: downlink
+// throughput of one UE scheduled by a centralized application, for a grid
+// of control-channel RTTs and schedule-ahead values. The lower triangular
+// region (schedule-ahead < RTT) yields zero throughput — the UE cannot
+// even complete attachment because every decision misses its deadline —
+// while larger RTTs degrade throughput gradually through stale CQI.
+type Fig9Result struct {
+	RTTms   []int
+	AheadSF []int
+	// Mbps[i][j] is the throughput at RTTms[i], AheadSF[j].
+	Mbps [][]float64
+}
+
+// ID implements Result.
+func (*Fig9Result) ID() string { return "fig9" }
+
+func (r *Fig9Result) String() string {
+	t := newTable("Fig 9: DL throughput (Mb/s) vs control RTT x schedule-ahead")
+	header := []string{"rtt\\ahead"}
+	for _, a := range r.AheadSF {
+		header = append(header, f1(float64(a)))
+	}
+	t.row(header...)
+	for i, rtt := range r.RTTms {
+		row := []string{f1(float64(rtt))}
+		for j := range r.AheadSF {
+			row = append(row, f2(r.Mbps[i][j]))
+		}
+		t.row(row...)
+	}
+	return t.String()
+}
+
+// At returns the throughput for an (rtt, ahead) pair.
+func (r *Fig9Result) At(rttMs, ahead int) float64 {
+	for i, rtt := range r.RTTms {
+		if rtt != rttMs {
+			continue
+		}
+		for j, a := range r.AheadSF {
+			if a == ahead {
+				return r.Mbps[i][j]
+			}
+		}
+	}
+	return -1
+}
+
+// fig9Point runs one grid cell.
+func fig9Point(rttMs, ahead int, seconds float64) float64 {
+	oneWay := rttMs / 2
+	o := controller.DefaultOptions()
+	s := sim.MustNew(sim.Config{Master: &o}, sim.ENBSpec{
+		ID: 1, Agent: true, Seed: 1,
+		ToMaster:         transport.Netem{OneWayTTI: oneWay},
+		ToAgent:          transport.Netem{OneWayTTI: oneWay},
+		AttachTimeoutTTI: 500,
+		UEs: []sim.UESpec{{
+			IMSI: 100,
+			// A slowly varying channel: remote decisions built on stale
+			// CQI increasingly misjudge the MCS as the RTT grows.
+			Channel: radio.NewGaussMarkov(13, 0.995, 1.8, 7),
+			DL:      ue.NewFullBuffer(),
+		}},
+	})
+	s.Master.Register(apps.NewRemoteScheduler(lte.Subframe(ahead), sched.NewProportionalFair()), 100)
+	if err := s.Nodes[0].Agent.Reconfigure("mac:\n  dl_ue_sched:\n    behavior: remote\n"); err != nil {
+		panic(err)
+	}
+	// Attach window (generous: several attach retries under long RTTs).
+	s.Run(3000)
+	r0 := s.Report(0, 0)
+	s.RunSeconds(seconds)
+	r1 := s.Report(0, 0)
+	return float64(r1.DLDelivered-r0.DLDelivered) * 8 / 1e6 / seconds
+}
+
+func runFig9(scale float64) Result {
+	seconds := 4 * scale
+	res := &Fig9Result{
+		RTTms:   []int{0, 10, 20, 30, 40, 60},
+		AheadSF: []int{0, 4, 8, 16, 32, 64},
+	}
+	for _, rtt := range res.RTTms {
+		var row []float64
+		for _, ahead := range res.AheadSF {
+			row = append(row, fig9Point(rtt, ahead, seconds))
+		}
+		res.Mbps = append(res.Mbps, row)
+	}
+	return res
+}
+
+func init() { register("fig9", runFig9) }

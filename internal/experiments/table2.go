@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"flexran/internal/dash"
+	"flexran/internal/lte"
+	"flexran/internal/ue"
+)
+
+// Table2Result reproduces Table 2: for each CQI, the maximum achievable
+// TCP throughput over the 10 MHz evaluation cell and the maximum
+// sustainable DASH bitrate (probed with fixed-rate streaming sessions on
+// the test video's ladder, the paper's measurement procedure).
+type Table2Result struct {
+	CQIs        []lte.CQI
+	TCPMbps     []float64
+	Sustainable []float64
+	Paper       map[lte.CQI][2]float64 // the paper's measured values
+}
+
+// ID implements Result.
+func (*Table2Result) ID() string { return "table2" }
+
+func (r *Table2Result) String() string {
+	t := newTable("Table 2: max TCP throughput and max sustainable DASH bitrate per CQI")
+	t.row("CQI", "TCP (Mb/s)", "bitrate (Mb/s)", "paper TCP", "paper bitrate")
+	for i, c := range r.CQIs {
+		p, ok := r.Paper[c]
+		paperTCP, paperBR := "-", "-"
+		if ok {
+			paperTCP, paperBR = f2(p[0]), f2(p[1])
+		}
+		t.row(f1(float64(c)), f2(r.TCPMbps[i]), f2(r.Sustainable[i]), paperTCP, paperBR)
+	}
+	return t.String()
+}
+
+// Row returns (tcp, sustainable) for a CQI.
+func (r *Table2Result) Row(c lte.CQI) (float64, float64) {
+	for i, q := range r.CQIs {
+		if q == c {
+			return r.TCPMbps[i], r.Sustainable[i]
+		}
+	}
+	return 0, 0
+}
+
+func runTable2(scale float64) Result {
+	probeSec := int(60 * scale)
+	if probeSec < 10 {
+		probeSec = 10
+	}
+	res := &Table2Result{
+		CQIs: []lte.CQI{2, 3, 4, 10},
+		Paper: map[lte.CQI][2]float64{
+			2:  {1.63, 1.4},
+			3:  {2.2, 2.0},
+			4:  {3.3, 2.9},
+			10: {15, 7.3},
+		},
+	}
+	// The paper probed "the available test videos" of the reference
+	// player; testLadder is the union of their bitrate rungs.
+	testLadder := []float64{1.2, 1.4, 2, 2.9, 4, 4.9, 7.3, 9.6, 14.6, 19.6}
+	for _, c := range res.CQIs {
+		tcp := ue.MaxTCPThroughput(c)
+		res.TCPMbps = append(res.TCPMbps, tcp)
+		res.Sustainable = append(res.Sustainable, dash.MaxSustainableBitrate(testLadder, tcp, probeSec))
+	}
+	return res
+}
+
+func init() { register("table2", runTable2) }

@@ -1,0 +1,124 @@
+package lte
+
+// This file holds the link-adaptation tables: CQI to spectral efficiency
+// (3GPP TS 36.213 Table 7.2.3-1), CQI to MCS, and the transport block
+// sizing used by the MAC simulator.
+//
+// Calibration note (see DESIGN.md, substitution S1): transport block sizes
+// are derived from per-CQI "bits per PRB per TTI" densities. The densities
+// follow the 36.213 spectral-efficiency curve but are calibrated so that the
+// simulated stack reproduces the OAI/USRP-B210 numbers measured in the
+// FlexRAN paper: ~25 Mb/s DL UDP and ~8 Mb/s UL at CQI 15 over 10 MHz/TM1
+// (Fig. 6b), and the TCP goodputs of Table 2 (CQI 2/3/4/10 ->
+// 1.63/2.2/3.3/15 Mb/s) given the simulator's TCP efficiency factor.
+
+// spectralEfficiency is 36.213 Table 7.2.3-1: information bits per symbol
+// for each CQI index (CQI 0 = out of range).
+var spectralEfficiency = [MaxCQI + 1]float64{
+	0, 0.1523, 0.2344, 0.3770, 0.6016, 0.8770, 1.1758, 1.4766,
+	1.9141, 2.4063, 2.7305, 3.3223, 3.9023, 4.5234, 5.1152, 5.5547,
+}
+
+// SpectralEfficiency returns the 36.213 efficiency (bits/symbol) for a CQI.
+func SpectralEfficiency(c CQI) float64 {
+	if !c.Valid() {
+		c = MaxCQI
+	}
+	return spectralEfficiency[c]
+}
+
+// cqiToMCS maps a reported CQI to the MCS the scheduler selects for it.
+// QPSK for CQI 1-6, 16QAM for 7-9, 64QAM for 10-15, following the usual
+// conservative mapping used by open-source stacks.
+var cqiToMCS = [MaxCQI + 1]MCS{
+	0, 1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25, 27, 28,
+}
+
+// MCSForCQI returns the MCS a link-adapting scheduler picks for a CQI.
+func MCSForCQI(c CQI) MCS {
+	if !c.Valid() {
+		c = MaxCQI
+	}
+	return cqiToMCS[c]
+}
+
+// CQIForMCS returns the lowest CQI whose mapped MCS is >= m; it is the
+// inverse used when validating a commanded MCS against channel state.
+func CQIForMCS(m MCS) CQI {
+	for c := CQI(0); c <= MaxCQI; c++ {
+		if cqiToMCS[c] >= m {
+			return c
+		}
+	}
+	return MaxCQI
+}
+
+// Modulation orders by MCS range (QPSK=2, 16QAM=4, 64QAM=6 bits/symbol).
+func ModulationOrder(m MCS) int {
+	switch {
+	case m <= 9:
+		return 2
+	case m <= 16:
+		return 4
+	default:
+		return 6
+	}
+}
+
+// dlBitsPerPRB is the calibrated downlink MAC throughput density:
+// transport-block bits carried by one PRB in one TTI at each CQI.
+var dlBitsPerPRB = [MaxCQI + 1]int{
+	0, 20, 36, 49, 73, 107, 143, 180, 234, 294, 333, 405, 476, 510, 535, 550,
+}
+
+// ulFactor scales the DL density to uplink (SC-FDMA, fewer data REs and the
+// B210-class platform limit of ~8 Mb/s at CQI 15 in the paper).
+const ulFactor = 0.32
+
+// TBSBits returns the transport block size in bits for scheduling nPRB
+// resource blocks at the given CQI in one TTI. The result is floored to a
+// whole number of bytes (MAC PDUs are byte aligned).
+func TBSBits(dir Direction, c CQI, nPRB int) int {
+	if nPRB <= 0 || !c.Valid() || c == 0 {
+		return 0
+	}
+	bits := dlBitsPerPRB[c] * nPRB
+	if dir == Uplink {
+		bits = int(float64(bits) * ulFactor)
+	}
+	return bits / 8 * 8
+}
+
+// TBSBytes is TBSBits expressed in bytes.
+func TBSBytes(dir Direction, c CQI, nPRB int) int {
+	return TBSBits(dir, c, nPRB) / 8
+}
+
+// PeakRateMbps returns the MAC-layer peak rate in Mb/s for a full
+// allocation of the given bandwidth at the given CQI.
+func PeakRateMbps(dir Direction, c CQI, bw Bandwidth) float64 {
+	return float64(TBSBits(dir, c, bw.PRBs())) * TTIsPerSecond / 1e6
+}
+
+// BLER returns the block error probability of a transport block sent with
+// an MCS chosen for cqiChosen while the actual channel is cqiActual, on the
+// (retx+1)-th HARQ attempt. Transmitting at or below the channel's CQI
+// meets the standard 10% initial BLER target; every CQI step of
+// overestimation roughly doubles-to-saturates the error rate, and each HARQ
+// retransmission recovers one step of margin (chase combining).
+func BLER(cqiChosen, cqiActual CQI, retx int) float64 {
+	diff := int(cqiChosen) - int(cqiActual) - retx
+	switch {
+	case diff <= 0:
+		if retx > 0 {
+			return 0.01 // combined retransmissions almost always decode
+		}
+		return 0.10
+	case diff == 1:
+		return 0.50
+	case diff == 2:
+		return 0.85
+	default:
+		return 0.99
+	}
+}

@@ -1,0 +1,584 @@
+package protocol
+
+import (
+	"flexran/internal/lte"
+	"flexran/internal/wire"
+)
+
+// ProtocolVersion is the FlexRAN protocol revision implemented here.
+const ProtocolVersion = 1
+
+// ---------------------------------------------------------------------------
+// Agent management (session establishment, liveness, configuration)
+
+// Hello is the first message an agent sends after connecting: it announces
+// the protocol version and the eNodeB configuration it fronts.
+type Hello struct {
+	Version uint32
+	Config  ENBConfig
+}
+
+// Kind implements Payload.
+func (*Hello) Kind() Kind { return KindHello }
+
+// MarshalWire implements wire.Marshaler.
+func (h *Hello) MarshalWire(e *wire.Encoder) {
+	e.Uint(1, uint64(h.Version))
+	e.Message(2, &h.Config)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (h *Hello) UnmarshalWire(d *wire.Decoder) error {
+	return eachField(d, func(f int) error {
+		switch f {
+		case 1:
+			return readU32(d, &h.Version)
+		case 2:
+			return d.ReadMessage(&h.Config)
+		}
+		return d.Skip()
+	})
+}
+
+// HelloAck is the master's response accepting an agent session.
+type HelloAck struct {
+	Version  uint32
+	MasterID string
+}
+
+// Kind implements Payload.
+func (*HelloAck) Kind() Kind { return KindHelloAck }
+
+// MarshalWire implements wire.Marshaler.
+func (h *HelloAck) MarshalWire(e *wire.Encoder) {
+	e.Uint(1, uint64(h.Version))
+	e.String(2, h.MasterID)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (h *HelloAck) UnmarshalWire(d *wire.Decoder) error {
+	return eachField(d, func(f int) error {
+		switch f {
+		case 1:
+			return readU32(d, &h.Version)
+		case 2:
+			s, err := d.ReadString()
+			h.MasterID = s
+			return err
+		}
+		return d.Skip()
+	})
+}
+
+// Echo is a keepalive/liveness probe; EchoReply mirrors its sequence.
+type Echo struct {
+	Seq      uint64
+	SenderSF lte.Subframe
+}
+
+// Kind implements Payload.
+func (*Echo) Kind() Kind { return KindEcho }
+
+// MarshalWire implements wire.Marshaler.
+func (p *Echo) MarshalWire(e *wire.Encoder) {
+	e.Uint(1, p.Seq)
+	e.Uint(2, uint64(p.SenderSF))
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (p *Echo) UnmarshalWire(d *wire.Decoder) error {
+	return eachField(d, func(f int) error {
+		switch f {
+		case 1:
+			v, err := d.ReadUint()
+			p.Seq = v
+			return err
+		case 2:
+			return readSF(d, &p.SenderSF)
+		}
+		return d.Skip()
+	})
+}
+
+// EchoReply answers an Echo.
+type EchoReply struct {
+	Seq      uint64
+	SenderSF lte.Subframe
+}
+
+// Kind implements Payload.
+func (*EchoReply) Kind() Kind { return KindEchoReply }
+
+// MarshalWire implements wire.Marshaler.
+func (p *EchoReply) MarshalWire(e *wire.Encoder) {
+	e.Uint(1, p.Seq)
+	e.Uint(2, uint64(p.SenderSF))
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (p *EchoReply) UnmarshalWire(d *wire.Decoder) error {
+	return eachField(d, func(f int) error {
+		switch f {
+		case 1:
+			v, err := d.ReadUint()
+			p.Seq = v
+			return err
+		case 2:
+			return readSF(d, &p.SenderSF)
+		}
+		return d.Skip()
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+
+// CellConfig describes one cell of an eNodeB (Table 1 "Configuration").
+type CellConfig struct {
+	Cell      lte.CellID
+	Bandwidth lte.Bandwidth
+	Duplex    lte.Duplex
+	TxMode    lte.TransmissionMode
+	Antennas  uint8
+	Band      uint16
+}
+
+// MarshalWire implements wire.Marshaler.
+func (c *CellConfig) MarshalWire(e *wire.Encoder) {
+	e.Uint(1, uint64(c.Cell))
+	e.Uint(2, uint64(c.Bandwidth))
+	e.Uint(3, uint64(c.Duplex))
+	e.Uint(4, uint64(c.TxMode))
+	e.Uint(5, uint64(c.Antennas))
+	e.Uint(6, uint64(c.Band))
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (c *CellConfig) UnmarshalWire(d *wire.Decoder) error {
+	return eachField(d, func(f int) error {
+		v, err := d.ReadUint()
+		if err != nil {
+			return err
+		}
+		switch f {
+		case 1:
+			c.Cell = lte.CellID(v)
+		case 2:
+			c.Bandwidth = lte.Bandwidth(v)
+		case 3:
+			c.Duplex = lte.Duplex(v)
+		case 4:
+			c.TxMode = lte.TransmissionMode(v)
+		case 5:
+			c.Antennas = uint8(v)
+		case 6:
+			c.Band = uint16(v)
+		}
+		return nil
+	})
+}
+
+// ENBConfig describes an eNodeB and its cells.
+type ENBConfig struct {
+	ID    lte.ENBID
+	Cells []CellConfig
+}
+
+// MarshalWire implements wire.Marshaler.
+func (c *ENBConfig) MarshalWire(e *wire.Encoder) {
+	e.Uint(1, uint64(c.ID))
+	for i := range c.Cells {
+		e.Message(2, &c.Cells[i])
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (c *ENBConfig) UnmarshalWire(d *wire.Decoder) error {
+	return eachField(d, func(f int) error {
+		switch f {
+		case 1:
+			v, err := d.ReadUint()
+			c.ID = lte.ENBID(v)
+			return err
+		case 2:
+			var cell CellConfig
+			if err := d.ReadMessage(&cell); err != nil {
+				return err
+			}
+			c.Cells = append(c.Cells, cell)
+			return nil
+		}
+		return d.Skip()
+	})
+}
+
+// ENBConfigRequest asks the agent for its ENBConfig.
+type ENBConfigRequest struct{}
+
+// Kind implements Payload.
+func (*ENBConfigRequest) Kind() Kind { return KindENBConfigRequest }
+
+// MarshalWire implements wire.Marshaler.
+func (*ENBConfigRequest) MarshalWire(*wire.Encoder) {}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (*ENBConfigRequest) UnmarshalWire(d *wire.Decoder) error {
+	return eachField(d, func(int) error { return d.Skip() })
+}
+
+// ENBConfigReply returns the agent's ENBConfig.
+type ENBConfigReply struct {
+	Config ENBConfig
+}
+
+// Kind implements Payload.
+func (*ENBConfigReply) Kind() Kind { return KindENBConfigReply }
+
+// MarshalWire implements wire.Marshaler.
+func (r *ENBConfigReply) MarshalWire(e *wire.Encoder) { e.Message(1, &r.Config) }
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *ENBConfigReply) UnmarshalWire(d *wire.Decoder) error {
+	return eachField(d, func(f int) error {
+		if f == 1 {
+			return d.ReadMessage(&r.Config)
+		}
+		return d.Skip()
+	})
+}
+
+// UEConfig describes one attached UE.
+type UEConfig struct {
+	RNTI lte.RNTI
+	Cell lte.CellID
+	IMSI uint64
+}
+
+// MarshalWire implements wire.Marshaler.
+func (u *UEConfig) MarshalWire(e *wire.Encoder) {
+	e.Uint(1, uint64(u.RNTI))
+	e.Uint(2, uint64(u.Cell))
+	e.Uint(3, u.IMSI)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (u *UEConfig) UnmarshalWire(d *wire.Decoder) error {
+	return eachField(d, func(f int) error {
+		v, err := d.ReadUint()
+		if err != nil {
+			return err
+		}
+		switch f {
+		case 1:
+			u.RNTI = lte.RNTI(v)
+		case 2:
+			u.Cell = lte.CellID(v)
+		case 3:
+			u.IMSI = v
+		}
+		return nil
+	})
+}
+
+// UEConfigRequest asks the agent for the attached-UE list.
+type UEConfigRequest struct{}
+
+// Kind implements Payload.
+func (*UEConfigRequest) Kind() Kind { return KindUEConfigRequest }
+
+// MarshalWire implements wire.Marshaler.
+func (*UEConfigRequest) MarshalWire(*wire.Encoder) {}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (*UEConfigRequest) UnmarshalWire(d *wire.Decoder) error {
+	return eachField(d, func(int) error { return d.Skip() })
+}
+
+// UEConfigReply lists the currently attached UEs.
+type UEConfigReply struct {
+	UEs []UEConfig
+}
+
+// Kind implements Payload.
+func (*UEConfigReply) Kind() Kind { return KindUEConfigReply }
+
+// MarshalWire implements wire.Marshaler.
+func (r *UEConfigReply) MarshalWire(e *wire.Encoder) {
+	for i := range r.UEs {
+		e.Message(1, &r.UEs[i])
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *UEConfigReply) UnmarshalWire(d *wire.Decoder) error {
+	return eachField(d, func(f int) error {
+		if f == 1 {
+			var u UEConfig
+			if err := d.ReadMessage(&u); err != nil {
+				return err
+			}
+			r.UEs = append(r.UEs, u)
+			return nil
+		}
+		return d.Skip()
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Events
+
+// UEEventType enumerates data-plane events the agent reports (Table 1
+// "Event-triggers").
+type UEEventType uint8
+
+// UE event types.
+const (
+	UEEventAttach UEEventType = iota
+	UEEventDetach
+	UEEventRandomAccess
+	UEEventSchedulingRequest
+)
+
+func (t UEEventType) String() string {
+	switch t {
+	case UEEventAttach:
+		return "attach"
+	case UEEventDetach:
+		return "detach"
+	case UEEventRandomAccess:
+		return "random_access"
+	case UEEventSchedulingRequest:
+		return "scheduling_request"
+	}
+	return "unknown"
+}
+
+// UEEvent notifies the master about a UE state change.
+type UEEvent struct {
+	Type UEEventType
+	RNTI lte.RNTI
+	Cell lte.CellID
+}
+
+// Kind implements Payload.
+func (*UEEvent) Kind() Kind { return KindUEEvent }
+
+// MarshalWire implements wire.Marshaler.
+func (p *UEEvent) MarshalWire(e *wire.Encoder) {
+	e.Uint(1, uint64(p.Type))
+	e.Uint(2, uint64(p.RNTI))
+	e.Uint(3, uint64(p.Cell))
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (p *UEEvent) UnmarshalWire(d *wire.Decoder) error {
+	return eachField(d, func(f int) error {
+		v, err := d.ReadUint()
+		if err != nil {
+			return err
+		}
+		switch f {
+		case 1:
+			p.Type = UEEventType(v)
+		case 2:
+			p.RNTI = lte.RNTI(v)
+		case 3:
+			p.Cell = lte.CellID(v)
+		}
+		return nil
+	})
+}
+
+// SubframeTrigger is the per-TTI synchronization message the agent emits
+// when the master subscribes to subframe sync (used by centralized
+// real-time scheduling).
+type SubframeTrigger struct {
+	SF lte.Subframe
+}
+
+// Kind implements Payload.
+func (*SubframeTrigger) Kind() Kind { return KindSubframeTrigger }
+
+// MarshalWire implements wire.Marshaler.
+func (p *SubframeTrigger) MarshalWire(e *wire.Encoder) {
+	e.Uint(1, uint64(p.SF))
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (p *SubframeTrigger) UnmarshalWire(d *wire.Decoder) error {
+	return eachField(d, func(f int) error {
+		if f == 1 {
+			return readSF(d, &p.SF)
+		}
+		return d.Skip()
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Control delegation
+
+// VSFKind distinguishes the two code-push mechanisms (DESIGN.md S5).
+type VSFKind uint8
+
+// VSF payload kinds.
+const (
+	// VSFNative references an implementation in the agent's built-in
+	// store (the signed-shared-library model of the paper).
+	VSFNative VSFKind = iota
+	// VSFProgram carries compiled vsfdsl bytecode executed in the
+	// agent's sandboxed VM.
+	VSFProgram
+)
+
+// VSFUpdate pushes a new VSF implementation into the agent's cache
+// (paper §4.3.1 "VSF updation"). It does not activate the implementation;
+// activation happens via PolicyReconf.
+type VSFUpdate struct {
+	// Module is the control module the VSF belongs to ("mac", "rrc").
+	Module string
+	// VSF is the CMI operation name, e.g. "dl_ue_sched".
+	VSF string
+	// Name is the cache key under which the implementation is stored.
+	Name string
+	// Kind selects native-store reference vs DSL bytecode.
+	VSFKind VSFKind
+	// Ref is the native store reference (VSFNative).
+	Ref string
+	// Program is serialized vsfdsl bytecode (VSFProgram).
+	Program []byte
+	// Signature is the trust signature over the payload; agents reject
+	// unsigned updates when operating in verified mode.
+	Signature []byte
+}
+
+// Kind implements Payload.
+func (*VSFUpdate) Kind() Kind { return KindVSFUpdate }
+
+// MarshalWire implements wire.Marshaler.
+func (p *VSFUpdate) MarshalWire(e *wire.Encoder) {
+	e.String(1, p.Module)
+	e.String(2, p.VSF)
+	e.String(3, p.Name)
+	e.Uint(4, uint64(p.VSFKind))
+	e.String(5, p.Ref)
+	e.BytesField(6, p.Program)
+	e.BytesField(7, p.Signature)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (p *VSFUpdate) UnmarshalWire(d *wire.Decoder) error {
+	return eachField(d, func(f int) error {
+		var err error
+		switch f {
+		case 1:
+			p.Module, err = d.ReadString()
+		case 2:
+			p.VSF, err = d.ReadString()
+		case 3:
+			p.Name, err = d.ReadString()
+		case 4:
+			var v uint64
+			v, err = d.ReadUint()
+			p.VSFKind = VSFKind(v)
+		case 5:
+			p.Ref, err = d.ReadString()
+		case 6:
+			var b []byte
+			b, err = d.ReadBytes()
+			p.Program = append([]byte(nil), b...)
+		case 7:
+			var b []byte
+			b, err = d.ReadBytes()
+			p.Signature = append([]byte(nil), b...)
+		default:
+			err = d.Skip()
+		}
+		return err
+	})
+}
+
+// PolicyReconf carries a policy reconfiguration document (paper Fig. 3):
+// yamlite text selecting VSF behaviors and setting their parameters.
+type PolicyReconf struct {
+	Doc string
+}
+
+// Kind implements Payload.
+func (*PolicyReconf) Kind() Kind { return KindPolicyReconf }
+
+// MarshalWire implements wire.Marshaler.
+func (p *PolicyReconf) MarshalWire(e *wire.Encoder) { e.String(1, p.Doc) }
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (p *PolicyReconf) UnmarshalWire(d *wire.Decoder) error {
+	return eachField(d, func(f int) error {
+		if f == 1 {
+			var err error
+			p.Doc, err = d.ReadString()
+			return err
+		}
+		return d.Skip()
+	})
+}
+
+// ControlAck reports the outcome of a command or delegation message.
+type ControlAck struct {
+	OK     bool
+	Detail string
+}
+
+// Kind implements Payload.
+func (*ControlAck) Kind() Kind { return KindControlAck }
+
+// MarshalWire implements wire.Marshaler.
+func (p *ControlAck) MarshalWire(e *wire.Encoder) {
+	e.Bool(1, p.OK)
+	e.String(2, p.Detail)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (p *ControlAck) UnmarshalWire(d *wire.Decoder) error {
+	return eachField(d, func(f int) error {
+		var err error
+		switch f {
+		case 1:
+			p.OK, err = d.ReadBool()
+		case 2:
+			p.Detail, err = d.ReadString()
+		default:
+			err = d.Skip()
+		}
+		return err
+	})
+}
+
+// ---------------------------------------------------------------------------
+// small decode helpers
+
+// eachField drives a decode loop, calling fn for every field.
+func eachField(d *wire.Decoder, fn func(field int) error) error {
+	for {
+		ok, err := d.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := fn(d.Field()); err != nil {
+			return err
+		}
+	}
+}
+
+func readU32(d *wire.Decoder, dst *uint32) error {
+	v, err := d.ReadUint()
+	*dst = uint32(v)
+	return err
+}
+
+func readSF(d *wire.Decoder, dst *lte.Subframe) error {
+	v, err := d.ReadUint()
+	*dst = lte.Subframe(v)
+	return err
+}

@@ -1,0 +1,248 @@
+// Package protocol defines the FlexRAN protocol: the message set exchanged
+// between the master controller and the agents over the southbound API
+// (paper §4.3.2 and Table 1). Messages cover the five interaction classes
+// of the FlexRAN Agent API:
+//
+//   - configuration (synchronous get/set of eNodeB/cell/UE parameters)
+//   - statistics (asynchronous request/reply reporting)
+//   - commands (applying control decisions, e.g. MAC scheduling)
+//   - event triggers (UE attachment, random access, subframe sync)
+//   - control delegation (VSF updation code push, policy reconfiguration)
+//
+// Every message carries a small envelope (kind, eNodeB id, subframe stamp)
+// and one payload. Serialization uses the internal/wire varint codec (the
+// stdlib-only stand-in for Google Protocol Buffers used by the original
+// implementation); unknown fields are skipped so the protocol can evolve
+// without breaking deployed agents, a design requirement the paper
+// emphasizes.
+package protocol
+
+import (
+	"errors"
+	"fmt"
+
+	"flexran/internal/lte"
+	"flexran/internal/wire"
+)
+
+// Kind identifies the payload type of a message.
+type Kind uint8
+
+// Message kinds. The numeric values are part of the wire format.
+const (
+	KindInvalid Kind = iota
+	KindHello
+	KindHelloAck
+	KindEcho
+	KindEchoReply
+	KindENBConfigRequest
+	KindENBConfigReply
+	KindUEConfigRequest
+	KindUEConfigReply
+	KindStatsRequest
+	KindStatsReply
+	KindSubframeTrigger
+	KindDLSchedule
+	KindULSchedule
+	KindUEEvent
+	KindVSFUpdate
+	KindPolicyReconf
+	KindControlAck
+	kindMax // sentinel
+)
+
+var kindNames = [...]string{
+	"invalid", "hello", "hello_ack", "echo", "echo_reply",
+	"enb_config_request", "enb_config_reply", "ue_config_request",
+	"ue_config_reply", "stats_request", "stats_reply", "subframe_trigger",
+	"dl_schedule", "ul_schedule", "ue_event", "vsf_update",
+	"policy_reconf", "control_ack",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Signaling categories used by the evaluation's overhead breakdowns
+// (paper Fig. 7). Every message kind belongs to exactly one category.
+const (
+	CatManagement = "agent management"
+	CatStats      = "stats reporting"
+	CatSync       = "master-agent sync"
+	CatCommands   = "master commands"
+	CatDelegation = "control delegation"
+)
+
+// Category returns the Fig. 7 accounting bucket for a message kind.
+func (k Kind) Category() string {
+	switch k {
+	case KindStatsRequest, KindStatsReply:
+		return CatStats
+	case KindSubframeTrigger:
+		return CatSync
+	case KindDLSchedule, KindULSchedule:
+		return CatCommands
+	case KindVSFUpdate, KindPolicyReconf:
+		return CatDelegation
+	default:
+		return CatManagement
+	}
+}
+
+// Payload is one decoded message body.
+type Payload interface {
+	wire.Marshaler
+	wire.Unmarshaler
+	// Kind returns the message kind this payload belongs to.
+	Kind() Kind
+}
+
+// Message is a FlexRAN protocol message: envelope plus payload.
+type Message struct {
+	// ENB identifies the agent/eNodeB this message concerns, for both
+	// directions of the protocol.
+	ENB lte.ENBID
+	// SF is the sender's current subframe when the message was built.
+	// The master uses agent stamps for synchronization; the agent uses
+	// master stamps to validate scheduling deadlines.
+	SF lte.Subframe
+	// Payload is the message body; its Kind() is serialized in the
+	// envelope.
+	Payload Payload
+}
+
+// Envelope wire fields.
+const (
+	envKind    = 1
+	envENB     = 2
+	envSF      = 3
+	envPayload = 4
+)
+
+// MarshalWire encodes the envelope and payload.
+func (m *Message) MarshalWire(e *wire.Encoder) {
+	e.Uint(envKind, uint64(m.Payload.Kind()))
+	e.Uint(envENB, uint64(m.ENB))
+	e.Uint(envSF, uint64(m.SF))
+	e.Message(envPayload, m.Payload)
+}
+
+// UnmarshalWire decodes the envelope, allocating the payload type that
+// matches the received kind.
+func (m *Message) UnmarshalWire(d *wire.Decoder) error {
+	var kind Kind
+	var payloadRaw []byte
+	seenPayload := false
+	for {
+		ok, err := d.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		switch d.Field() {
+		case envKind:
+			v, err := d.ReadUint()
+			if err != nil {
+				return err
+			}
+			kind = Kind(v)
+		case envENB:
+			v, err := d.ReadUint()
+			if err != nil {
+				return err
+			}
+			m.ENB = lte.ENBID(v)
+		case envSF:
+			v, err := d.ReadUint()
+			if err != nil {
+				return err
+			}
+			m.SF = lte.Subframe(v)
+		case envPayload:
+			payloadRaw, err = d.ReadBytes()
+			if err != nil {
+				return err
+			}
+			seenPayload = true
+		default:
+			if err := d.Skip(); err != nil {
+				return err
+			}
+		}
+	}
+	if !seenPayload {
+		return errors.New("protocol: message without payload")
+	}
+	p, err := newPayload(kind)
+	if err != nil {
+		return err
+	}
+	if err := wire.Unmarshal(payloadRaw, p); err != nil {
+		return fmt.Errorf("protocol: decoding %v payload: %w", kind, err)
+	}
+	m.Payload = p
+	return nil
+}
+
+// newPayload allocates the payload struct for a kind.
+func newPayload(k Kind) (Payload, error) {
+	switch k {
+	case KindHello:
+		return &Hello{}, nil
+	case KindHelloAck:
+		return &HelloAck{}, nil
+	case KindEcho:
+		return &Echo{}, nil
+	case KindEchoReply:
+		return &EchoReply{}, nil
+	case KindENBConfigRequest:
+		return &ENBConfigRequest{}, nil
+	case KindENBConfigReply:
+		return &ENBConfigReply{}, nil
+	case KindUEConfigRequest:
+		return &UEConfigRequest{}, nil
+	case KindUEConfigReply:
+		return &UEConfigReply{}, nil
+	case KindStatsRequest:
+		return &StatsRequest{}, nil
+	case KindStatsReply:
+		return &StatsReply{}, nil
+	case KindSubframeTrigger:
+		return &SubframeTrigger{}, nil
+	case KindDLSchedule:
+		return &DLSchedule{}, nil
+	case KindULSchedule:
+		return &ULSchedule{}, nil
+	case KindUEEvent:
+		return &UEEvent{}, nil
+	case KindVSFUpdate:
+		return &VSFUpdate{}, nil
+	case KindPolicyReconf:
+		return &PolicyReconf{}, nil
+	case KindControlAck:
+		return &ControlAck{}, nil
+	}
+	return nil, fmt.Errorf("protocol: unknown message kind %d", uint8(k))
+}
+
+// Encode serializes a message to bytes.
+func Encode(m *Message) []byte { return wire.Marshal(m) }
+
+// Decode parses a message from bytes.
+func Decode(b []byte) (*Message, error) {
+	m := &Message{}
+	if err := wire.Unmarshal(b, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// New builds a message around a payload.
+func New(enb lte.ENBID, sf lte.Subframe, p Payload) *Message {
+	return &Message{ENB: enb, SF: sf, Payload: p}
+}

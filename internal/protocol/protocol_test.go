@@ -1,0 +1,224 @@
+package protocol
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"flexran/internal/lte"
+	"flexran/internal/wire"
+)
+
+// roundTrip encodes a message and decodes it back, comparing payloads.
+func roundTrip(t *testing.T, p Payload) *Message {
+	t.Helper()
+	in := New(7, 12345, p)
+	b := Encode(in)
+	out, err := Decode(b)
+	if err != nil {
+		t.Fatalf("Decode(%v): %v", p.Kind(), err)
+	}
+	if out.ENB != in.ENB || out.SF != in.SF {
+		t.Errorf("envelope mismatch: %+v vs %+v", out, in)
+	}
+	if out.Payload.Kind() != p.Kind() {
+		t.Fatalf("kind = %v, want %v", out.Payload.Kind(), p.Kind())
+	}
+	if !reflect.DeepEqual(out.Payload, p) {
+		t.Errorf("%v payload mismatch:\n got %#v\nwant %#v", p.Kind(), out.Payload, p)
+	}
+	return out
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	payloads := []Payload{
+		&Hello{Version: 1, Config: ENBConfig{
+			ID: 3,
+			Cells: []CellConfig{
+				{Cell: 0, Bandwidth: lte.BW10MHz, Duplex: lte.FDD, TxMode: 1, Antennas: 2, Band: 5},
+				{Cell: 1, Bandwidth: lte.BW5MHz, Duplex: lte.TDD, TxMode: 1, Antennas: 1, Band: 7},
+			},
+		}},
+		&HelloAck{Version: 1, MasterID: "master-0"},
+		&Echo{Seq: 9, SenderSF: 100},
+		&EchoReply{Seq: 9, SenderSF: 101},
+		&ENBConfigRequest{},
+		&ENBConfigReply{Config: ENBConfig{ID: 8}},
+		&UEConfigRequest{},
+		&UEConfigReply{UEs: []UEConfig{
+			{RNTI: 0x46, Cell: 0, IMSI: 208950000000001},
+			{RNTI: 0x47, Cell: 0, IMSI: 208950000000002},
+		}},
+		&StatsRequest{ID: 2, Mode: StatsPeriodic, PeriodTTI: 1, Flags: StatsAll},
+		&StatsReply{
+			ID: 2, SF: 777,
+			UEs: []UEStats{{
+				RNTI: 0x46, Cell: 0, CQI: 12, DLQueue: 15000, ULQueue: 200,
+				DLRateKbps: 9000, ULRateKbps: 800, HARQRetx: 3, LastSchedSF: 776,
+				SubbandCQI: []uint8{11, 12, 13, 12, 11, 12, 13, 12, 11, 12, 13, 12, 11},
+				LCs: []LCReport{
+					{LCID: 1, Bytes: 0},
+					{LCID: 3, Bytes: 15000, HoLDelayMs: 13},
+				},
+				PowerHeadroomDB: 16, RSRPdBm: -68, RSRQdB: -8,
+			}},
+			Cells: []CellStats{{Cell: 0, UsedPRB: 42, TotalPRB: 50, ABS: true}},
+		},
+		&SubframeTrigger{SF: 4242},
+		&DLSchedule{Cell: 0, TargetSF: 800, Allocs: []Alloc{
+			{RNTI: 0x46, RBStart: 0, RBCount: 25, MCS: 20},
+			{RNTI: 0x47, RBStart: 25, RBCount: 25, MCS: 8},
+		}},
+		&ULSchedule{Cell: 0, TargetSF: 804, Allocs: []Alloc{
+			{RNTI: 0x46, RBStart: 10, RBCount: 8, MCS: 12},
+		}},
+		&UEEvent{Type: UEEventAttach, RNTI: 0x48, Cell: 1},
+		&VSFUpdate{
+			Module: "mac", VSF: "dl_ue_sched", Name: "pf-v2",
+			VSFKind: VSFProgram, Program: []byte{1, 2, 3},
+			Signature: []byte{9, 9},
+		},
+		&PolicyReconf{Doc: "mac:\n  dl_ue_sched:\n    behavior: pf-v2\n"},
+		&ControlAck{OK: true, Detail: "applied"},
+	}
+	seen := map[Kind]bool{}
+	for _, p := range payloads {
+		roundTrip(t, p)
+		seen[p.Kind()] = true
+	}
+	// Every declared kind must be covered by this test.
+	for k := KindHello; k < kindMax; k++ {
+		if !seen[k] {
+			t.Errorf("kind %v has no round-trip coverage", k)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownKind(t *testing.T) {
+	in := New(1, 2, &Echo{Seq: 1})
+	b := Encode(in)
+	// Corrupt the kind varint (field 1, first bytes: tag 0x08, value).
+	if b[0] != 0x08 {
+		t.Fatalf("unexpected leading tag %#x", b[0])
+	}
+	b[1] = 0x7f // kind 127: unknown
+	if _, err := Decode(b); err == nil {
+		t.Error("unknown kind should fail to decode")
+	}
+}
+
+func TestDecodeRejectsMissingPayload(t *testing.T) {
+	// An envelope with no payload field.
+	var m Message
+	b := []byte{0x08, byte(KindEcho)} // kind only
+	if err := (&m).UnmarshalWire(wire.NewDecoder(b)); err == nil {
+		t.Error("missing payload should fail")
+	}
+}
+
+func TestCategories(t *testing.T) {
+	cases := map[Kind]string{
+		KindHello:           CatManagement,
+		KindEcho:            CatManagement,
+		KindENBConfigReply:  CatManagement,
+		KindUEEvent:         CatManagement,
+		KindControlAck:      CatManagement,
+		KindStatsRequest:    CatStats,
+		KindStatsReply:      CatStats,
+		KindSubframeTrigger: CatSync,
+		KindDLSchedule:      CatCommands,
+		KindULSchedule:      CatCommands,
+		KindVSFUpdate:       CatDelegation,
+		KindPolicyReconf:    CatDelegation,
+	}
+	for k, want := range cases {
+		if got := k.Category(); got != want {
+			t.Errorf("%v category = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if KindStatsReply.String() != "stats_reply" {
+		t.Errorf("got %q", KindStatsReply)
+	}
+	if Kind(200).String() != "kind(200)" {
+		t.Errorf("got %q", Kind(200))
+	}
+}
+
+func TestStatsModeStrings(t *testing.T) {
+	for m, want := range map[StatsMode]string{
+		StatsOneOff: "one-off", StatsPeriodic: "periodic",
+		StatsTriggered: "triggered", StatsMode(99): "unknown",
+	} {
+		if m.String() != want {
+			t.Errorf("%d = %q, want %q", m, m, want)
+		}
+	}
+}
+
+func TestUEEventTypeStrings(t *testing.T) {
+	for e, want := range map[UEEventType]string{
+		UEEventAttach: "attach", UEEventDetach: "detach",
+		UEEventRandomAccess:      "random_access",
+		UEEventSchedulingRequest: "scheduling_request",
+		UEEventType(99):          "unknown",
+	} {
+		if e.String() != want {
+			t.Errorf("%d = %q, want %q", e, e, want)
+		}
+	}
+}
+
+func TestStatsReplySizeGrowsSublinearly(t *testing.T) {
+	// The per-message framing is amortized across UE entries: bytes per UE
+	// must shrink as the report aggregates more UEs (the Fig. 7a effect).
+	size := func(n int) int {
+		r := &StatsReply{ID: 1, SF: 1000}
+		for i := 0; i < n; i++ {
+			r.UEs = append(r.UEs, UEStats{
+				RNTI: lte.RNTI(0x46 + i), CQI: 10,
+				DLQueue: 100000, DLRateKbps: 5000, LastSchedSF: 999,
+			})
+		}
+		return len(Encode(New(1, 1000, r)))
+	}
+	perUE10 := float64(size(10)) / 10
+	perUE50 := float64(size(50)) / 50
+	if perUE50 >= perUE10 {
+		t.Errorf("per-UE bytes did not shrink: %v at 10 UEs, %v at 50", perUE10, perUE50)
+	}
+}
+
+func TestPropertyStatsReplyRoundTrip(t *testing.T) {
+	f := func(id uint32, sf uint32, rnti uint16, cqi uint8, q uint64) bool {
+		in := &StatsReply{
+			ID: id, SF: lte.Subframe(sf),
+			UEs: []UEStats{{RNTI: lte.RNTI(rnti), CQI: lte.CQI(cqi % 16), DLQueue: q}},
+		}
+		out, err := Decode(Encode(New(1, lte.Subframe(sf), in)))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(out.Payload, in)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDecodeGarbageNeverPanics(t *testing.T) {
+	f := func(b []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		_, _ = Decode(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

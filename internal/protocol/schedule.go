@@ -1,0 +1,132 @@
+package protocol
+
+import (
+	"flexran/internal/lte"
+	"flexran/internal/wire"
+)
+
+// Alloc is one UE's allocation within a scheduling decision: the resource
+// blocks and modulation/coding the data plane must apply.
+type Alloc struct {
+	RNTI lte.RNTI
+	// RBStart/RBCount describe the PRB range (contiguous type-2
+	// allocation, as the paper's prototype uses).
+	RBStart uint16
+	RBCount uint16
+	MCS     lte.MCS
+}
+
+// MarshalWire implements wire.Marshaler.
+func (a *Alloc) MarshalWire(e *wire.Encoder) {
+	e.Uint(1, uint64(a.RNTI))
+	e.Uint(2, uint64(a.RBStart))
+	e.Uint(3, uint64(a.RBCount))
+	e.Uint(4, uint64(a.MCS))
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (a *Alloc) UnmarshalWire(d *wire.Decoder) error {
+	return eachField(d, func(f int) error {
+		v, err := d.ReadUint()
+		if err != nil {
+			return err
+		}
+		switch f {
+		case 1:
+			a.RNTI = lte.RNTI(v)
+		case 2:
+			a.RBStart = uint16(v)
+		case 3:
+			a.RBCount = uint16(v)
+		case 4:
+			a.MCS = lte.MCS(v)
+		}
+		return nil
+	})
+}
+
+// DLSchedule is a downlink MAC scheduling command (Table 1 "Commands").
+// TargetSF is the subframe the decision must be applied in; a command
+// arriving after its target subframe has passed is discarded by the agent
+// (the "missed deadline" behaviour evaluated in Fig. 9).
+type DLSchedule struct {
+	Cell     lte.CellID
+	TargetSF lte.Subframe
+	Allocs   []Alloc
+}
+
+// Kind implements Payload.
+func (*DLSchedule) Kind() Kind { return KindDLSchedule }
+
+// MarshalWire implements wire.Marshaler.
+func (p *DLSchedule) MarshalWire(e *wire.Encoder) {
+	e.Uint(1, uint64(p.Cell))
+	e.Uint(2, uint64(p.TargetSF))
+	for i := range p.Allocs {
+		e.Message(3, &p.Allocs[i])
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (p *DLSchedule) UnmarshalWire(d *wire.Decoder) error {
+	return eachField(d, func(f int) error {
+		switch f {
+		case 1:
+			v, err := d.ReadUint()
+			p.Cell = lte.CellID(v)
+			return err
+		case 2:
+			return readSF(d, &p.TargetSF)
+		case 3:
+			var a Alloc
+			if err := d.ReadMessage(&a); err != nil {
+				return err
+			}
+			p.Allocs = append(p.Allocs, a)
+			return nil
+		}
+		return d.Skip()
+	})
+}
+
+// ULSchedule is an uplink grant command, structurally identical to
+// DLSchedule but applied to the uplink shared channel.
+type ULSchedule struct {
+	Cell     lte.CellID
+	TargetSF lte.Subframe
+	Allocs   []Alloc
+}
+
+// Kind implements Payload.
+func (*ULSchedule) Kind() Kind { return KindULSchedule }
+
+// MarshalWire implements wire.Marshaler.
+func (p *ULSchedule) MarshalWire(e *wire.Encoder) {
+	e.Uint(1, uint64(p.Cell))
+	e.Uint(2, uint64(p.TargetSF))
+	for i := range p.Allocs {
+		e.Message(3, &p.Allocs[i])
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (p *ULSchedule) UnmarshalWire(d *wire.Decoder) error {
+	return eachField(d, func(f int) error {
+		switch f {
+		case 1:
+			v, err := d.ReadUint()
+			p.Cell = lte.CellID(v)
+			return err
+		case 2:
+			return readSF(d, &p.TargetSF)
+		case 3:
+			var a Alloc
+			if err := d.ReadMessage(&a); err != nil {
+				return err
+			}
+			p.Allocs = append(p.Allocs, a)
+			return nil
+		}
+		return d.Skip()
+	})
+}

@@ -1,0 +1,324 @@
+package protocol
+
+import (
+	"flexran/internal/lte"
+	"flexran/internal/wire"
+)
+
+// StatsMode selects the reporting pattern of a statistics subscription
+// (paper §4.3.1 "eNodeB Report and Event Management").
+type StatsMode uint8
+
+// Reporting modes.
+const (
+	// StatsOneOff replies once to the request.
+	StatsOneOff StatsMode = iota
+	// StatsPeriodic replies every PeriodTTI subframes.
+	StatsPeriodic
+	// StatsTriggered replies only when report contents change.
+	StatsTriggered
+)
+
+func (m StatsMode) String() string {
+	switch m {
+	case StatsOneOff:
+		return "one-off"
+	case StatsPeriodic:
+		return "periodic"
+	case StatsTriggered:
+		return "triggered"
+	}
+	return "unknown"
+}
+
+// StatsFlags is a bitmask selecting report contents.
+type StatsFlags uint32
+
+// Report content flags.
+const (
+	StatsQueues StatsFlags = 1 << iota // RLC transmission queue sizes
+	StatsCQI                           // wideband CQI per UE
+	StatsRates                         // smoothed MAC rates per UE
+	StatsHARQ                          // HARQ retransmission counters
+	StatsCell                          // cell-level PRB utilization
+
+	// StatsAll selects every report component.
+	StatsAll = StatsQueues | StatsCQI | StatsRates | StatsHARQ | StatsCell
+)
+
+// StatsRequest subscribes the master to reports from an agent.
+type StatsRequest struct {
+	// ID names the subscription; replies echo it and a later request
+	// with the same ID replaces the subscription (PeriodTTI 0 with mode
+	// periodic cancels it).
+	ID        uint32
+	Mode      StatsMode
+	PeriodTTI uint32
+	Flags     StatsFlags
+}
+
+// Kind implements Payload.
+func (*StatsRequest) Kind() Kind { return KindStatsRequest }
+
+// MarshalWire implements wire.Marshaler.
+func (p *StatsRequest) MarshalWire(e *wire.Encoder) {
+	e.Uint(1, uint64(p.ID))
+	e.Uint(2, uint64(p.Mode))
+	e.Uint(3, uint64(p.PeriodTTI))
+	e.Uint(4, uint64(p.Flags))
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (p *StatsRequest) UnmarshalWire(d *wire.Decoder) error {
+	return eachField(d, func(f int) error {
+		v, err := d.ReadUint()
+		if err != nil {
+			return err
+		}
+		switch f {
+		case 1:
+			p.ID = uint32(v)
+		case 2:
+			p.Mode = StatsMode(v)
+		case 3:
+			p.PeriodTTI = uint32(v)
+		case 4:
+			p.Flags = StatsFlags(v)
+		}
+		return nil
+	})
+}
+
+// LCReport is the per-logical-channel queue component of a UE report
+// (SRB1/SRB2/DRB status, as the OAI agent reports per bearer).
+type LCReport struct {
+	LCID       uint8
+	Bytes      uint64 // pending bytes on this logical channel
+	HoLDelayMs uint32 // head-of-line delay estimate
+}
+
+// MarshalWire implements wire.Marshaler.
+func (l *LCReport) MarshalWire(e *wire.Encoder) {
+	e.Uint(1, uint64(l.LCID))
+	e.Uint(2, l.Bytes)
+	e.Uint(3, uint64(l.HoLDelayMs))
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (l *LCReport) UnmarshalWire(d *wire.Decoder) error {
+	return eachField(d, func(f int) error {
+		v, err := d.ReadUint()
+		if err != nil {
+			return err
+		}
+		switch f {
+		case 1:
+			l.LCID = uint8(v)
+		case 2:
+			l.Bytes = v
+		case 3:
+			l.HoLDelayMs = uint32(v)
+		}
+		return nil
+	})
+}
+
+// UEStats is the per-UE component of a statistics report: buffer status
+// reports, wideband and per-subband channel quality, rate information and
+// L3 measurements (Table 1 "Statistics"). The breadth mirrors the OAI
+// agent's per-TTI MAC report, which is why statistics dominate the
+// agent-to-master signaling volume in Fig. 7a.
+type UEStats struct {
+	RNTI        lte.RNTI
+	Cell        lte.CellID
+	CQI         lte.CQI
+	DLQueue     uint64 // RLC transmission queue, bytes
+	ULQueue     uint64 // UE buffer status report, bytes
+	DLRateKbps  uint32 // smoothed served DL rate
+	ULRateKbps  uint32
+	HARQRetx    uint32 // cumulative retransmissions
+	LastSchedSF lte.Subframe
+	// SubbandCQI holds the per-subband CQIs (13 subbands at 10 MHz).
+	SubbandCQI []uint8
+	// LCs reports per-logical-channel queue state.
+	LCs []LCReport
+	// PowerHeadroomDB is the UE's reported power headroom.
+	PowerHeadroomDB int32
+	// RSRPdBm / RSRQdB are the L3 measurements used by mobility managers.
+	RSRPdBm int32
+	RSRQdB  int32
+}
+
+// MarshalWire implements wire.Marshaler.
+func (s *UEStats) MarshalWire(e *wire.Encoder) {
+	e.Uint(1, uint64(s.RNTI))
+	e.Uint(2, uint64(s.Cell))
+	e.Uint(3, uint64(s.CQI))
+	e.Uint(4, s.DLQueue)
+	e.Uint(5, s.ULQueue)
+	e.Uint(6, uint64(s.DLRateKbps))
+	e.Uint(7, uint64(s.ULRateKbps))
+	e.Uint(8, uint64(s.HARQRetx))
+	e.Uint(9, uint64(s.LastSchedSF))
+	if len(s.SubbandCQI) > 0 {
+		e.BytesField(10, s.SubbandCQI)
+	}
+	for i := range s.LCs {
+		e.Message(11, &s.LCs[i])
+	}
+	e.Int(12, int64(s.PowerHeadroomDB))
+	e.Int(13, int64(s.RSRPdBm))
+	e.Int(14, int64(s.RSRQdB))
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (s *UEStats) UnmarshalWire(d *wire.Decoder) error {
+	return eachField(d, func(f int) error {
+		switch f {
+		case 10:
+			b, err := d.ReadBytes()
+			if err != nil {
+				return err
+			}
+			s.SubbandCQI = append([]uint8(nil), b...)
+			return nil
+		case 11:
+			var lc LCReport
+			if err := d.ReadMessage(&lc); err != nil {
+				return err
+			}
+			s.LCs = append(s.LCs, lc)
+			return nil
+		case 12, 13, 14:
+			v, err := d.ReadInt()
+			if err != nil {
+				return err
+			}
+			switch f {
+			case 12:
+				s.PowerHeadroomDB = int32(v)
+			case 13:
+				s.RSRPdBm = int32(v)
+			case 14:
+				s.RSRQdB = int32(v)
+			}
+			return nil
+		case 1, 2, 3, 4, 5, 6, 7, 8, 9:
+			v, err := d.ReadUint()
+			if err != nil {
+				return err
+			}
+			switch f {
+			case 1:
+				s.RNTI = lte.RNTI(v)
+			case 2:
+				s.Cell = lte.CellID(v)
+			case 3:
+				s.CQI = lte.CQI(v)
+			case 4:
+				s.DLQueue = v
+			case 5:
+				s.ULQueue = v
+			case 6:
+				s.DLRateKbps = uint32(v)
+			case 7:
+				s.ULRateKbps = uint32(v)
+			case 8:
+				s.HARQRetx = uint32(v)
+			case 9:
+				s.LastSchedSF = lte.Subframe(v)
+			}
+			return nil
+		}
+		return d.Skip()
+	})
+}
+
+// CellStats is the per-cell component of a statistics report.
+type CellStats struct {
+	Cell     lte.CellID
+	UsedPRB  uint32 // PRBs allocated in the reported subframe
+	TotalPRB uint32
+	ABS      bool // whether the reported subframe was almost-blank
+}
+
+// MarshalWire implements wire.Marshaler.
+func (s *CellStats) MarshalWire(e *wire.Encoder) {
+	e.Uint(1, uint64(s.Cell))
+	e.Uint(2, uint64(s.UsedPRB))
+	e.Uint(3, uint64(s.TotalPRB))
+	e.Bool(4, s.ABS)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (s *CellStats) UnmarshalWire(d *wire.Decoder) error {
+	return eachField(d, func(f int) error {
+		v, err := d.ReadUint()
+		if err != nil {
+			return err
+		}
+		switch f {
+		case 1:
+			s.Cell = lte.CellID(v)
+		case 2:
+			s.UsedPRB = uint32(v)
+		case 3:
+			s.TotalPRB = uint32(v)
+		case 4:
+			s.ABS = v != 0
+		}
+		return nil
+	})
+}
+
+// StatsReply carries one report for a subscription. Per-UE entries are
+// aggregated into a single message — the paper attributes the sublinear
+// growth of agent-to-master overhead (Fig. 7a) to exactly this aggregation.
+type StatsReply struct {
+	ID    uint32
+	SF    lte.Subframe
+	UEs   []UEStats
+	Cells []CellStats
+}
+
+// Kind implements Payload.
+func (*StatsReply) Kind() Kind { return KindStatsReply }
+
+// MarshalWire implements wire.Marshaler.
+func (p *StatsReply) MarshalWire(e *wire.Encoder) {
+	e.Uint(1, uint64(p.ID))
+	e.Uint(2, uint64(p.SF))
+	for i := range p.UEs {
+		e.Message(3, &p.UEs[i])
+	}
+	for i := range p.Cells {
+		e.Message(4, &p.Cells[i])
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (p *StatsReply) UnmarshalWire(d *wire.Decoder) error {
+	return eachField(d, func(f int) error {
+		switch f {
+		case 1:
+			return readU32(d, &p.ID)
+		case 2:
+			return readSF(d, &p.SF)
+		case 3:
+			var u UEStats
+			if err := d.ReadMessage(&u); err != nil {
+				return err
+			}
+			p.UEs = append(p.UEs, u)
+			return nil
+		case 4:
+			var c CellStats
+			if err := d.ReadMessage(&c); err != nil {
+				return err
+			}
+			p.Cells = append(p.Cells, c)
+			return nil
+		}
+		return d.Skip()
+	})
+}

@@ -1,0 +1,203 @@
+// Package radio supplies the channel models that replace the paper's RF
+// front-end (USRP B210) and OAI's emulated PHY. A model answers one
+// question per UE and subframe: what wideband CQI does the UE report?
+//
+// Deterministic models (Fixed, Schedule) drive the reproducible
+// experiments (Table 2, Fig. 11); GaussMarkov adds realistic correlated
+// fading for robustness tests; and the geometry helpers (path loss, SINR
+// with switchable interferers) implement the HetNet interference scenario
+// of the eICIC use case (Fig. 10).
+package radio
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"flexran/internal/lte"
+)
+
+// Model yields the CQI a UE reports at a subframe.
+type Model interface {
+	CQI(sf lte.Subframe) lte.CQI
+}
+
+// Fixed is a constant-quality channel.
+type Fixed lte.CQI
+
+// CQI implements Model.
+func (f Fixed) CQI(lte.Subframe) lte.CQI { return lte.CQI(f).Clamp() }
+
+// Change is one step of a scheduled channel trace.
+type Change struct {
+	At  lte.Subframe
+	CQI lte.CQI
+}
+
+// Schedule is a piecewise-constant channel trace: the CQI of the latest
+// change at or before the queried subframe (the first change's CQI before
+// that). It reproduces the paper's controlled CQI fluctuations in the MEC
+// experiment ("we emulated the fluctuations of the channel quality").
+type Schedule []Change
+
+// NewSquareWave builds a schedule alternating between two CQIs with the
+// given half-period, starting at a, for the given total duration.
+func NewSquareWave(a, b lte.CQI, halfPeriod, total lte.Subframe) Schedule {
+	var s Schedule
+	cur := a
+	for at := lte.Subframe(0); at < total; at += halfPeriod {
+		s = append(s, Change{At: at, CQI: cur})
+		if cur == a {
+			cur = b
+		} else {
+			cur = a
+		}
+	}
+	return s
+}
+
+// CQI implements Model.
+func (s Schedule) CQI(sf lte.Subframe) lte.CQI {
+	if len(s) == 0 {
+		return 0
+	}
+	// Binary search for the last change at or before sf.
+	i := sort.Search(len(s), func(i int) bool { return s[i].At > sf })
+	if i == 0 {
+		return s[0].CQI.Clamp()
+	}
+	return s[i-1].CQI.Clamp()
+}
+
+// GaussMarkov is a first-order autoregressive fading process around a mean
+// CQI: x(t+1) = mean + rho*(x(t)-mean) + sigma*sqrt(1-rho^2)*N(0,1),
+// sampled once per subframe, quantized and clamped to [1, 15].
+// It is deterministic for a given seed.
+type GaussMarkov struct {
+	Mean  float64
+	Rho   float64 // temporal correlation in [0, 1)
+	Sigma float64 // stationary standard deviation in CQI units
+	Seed  int64
+
+	rnd  *rand.Rand
+	last lte.Subframe
+	x    float64
+	init bool
+}
+
+// NewGaussMarkov builds the process. Typical values: rho 0.99 (slow
+// fading at 1 ms sampling), sigma 1.5.
+func NewGaussMarkov(mean, rho, sigma float64, seed int64) *GaussMarkov {
+	return &GaussMarkov{Mean: mean, Rho: rho, Sigma: sigma, Seed: seed}
+}
+
+// CQI implements Model. Subframes must be queried in non-decreasing order;
+// skipped subframes advance the process to keep the statistics intact.
+func (g *GaussMarkov) CQI(sf lte.Subframe) lte.CQI {
+	if !g.init {
+		g.rnd = rand.New(rand.NewSource(g.Seed))
+		g.x = g.Mean
+		g.last = 0 // the process always starts at subframe 0
+		g.init = true
+	}
+	for g.last < sf {
+		innov := g.Sigma * math.Sqrt(1-g.Rho*g.Rho) * g.rnd.NormFloat64()
+		g.x = g.Mean + g.Rho*(g.x-g.Mean) + innov
+		g.last++
+	}
+	q := int(math.Round(g.x))
+	if q < 1 {
+		q = 1
+	}
+	if q > lte.MaxCQI {
+		q = lte.MaxCQI
+	}
+	return lte.CQI(q)
+}
+
+// ---------------------------------------------------------------------------
+// Geometry: path loss, SINR and interference-switched channels (Fig. 10).
+
+// Point is a position in meters.
+type Point struct{ X, Y float64 }
+
+// Distance returns the Euclidean distance between two points in meters.
+func Distance(a, b Point) float64 {
+	return math.Hypot(a.X-b.X, a.Y-b.Y)
+}
+
+// PathLossDB is the 3GPP TR 36.814 urban-macro NLOS model:
+// 128.1 + 37.6 log10(d_km), floored at 1 m distance.
+func PathLossDB(distanceM float64) float64 {
+	if distanceM < 1 {
+		distanceM = 1
+	}
+	return 128.1 + 37.6*math.Log10(distanceM/1000)
+}
+
+// Transmitter is a downlink interference source (a cell).
+type Transmitter struct {
+	Pos      Point
+	PowerDBm float64 // total transmit power over the carrier
+}
+
+// NoiseDBm is the thermal noise floor over a 10 MHz carrier
+// (-174 dBm/Hz + 10log10(10e6) ≈ -104 dBm) plus a 5 dB noise figure.
+const NoiseDBm = -99.0
+
+// SINRdB computes the downlink SINR at a UE position served by one
+// transmitter, with the given co-channel interferers. active reports
+// whether interferer i transmits in the considered subframe (the hook the
+// eICIC almost-blank-subframe logic switches).
+func SINRdB(ue Point, serving Transmitter, interferers []Transmitter, active func(i int) bool) float64 {
+	sig := dbmToMw(serving.PowerDBm - PathLossDB(Distance(ue, serving.Pos)))
+	intf := dbmToMw(NoiseDBm)
+	for i, t := range interferers {
+		if active == nil || active(i) {
+			intf += dbmToMw(t.PowerDBm - PathLossDB(Distance(ue, t.Pos)))
+		}
+	}
+	return 10 * math.Log10(sig/intf)
+}
+
+func dbmToMw(dbm float64) float64 { return math.Pow(10, dbm/10) }
+
+// cqiSINRThresholdsDB maps SINR to CQI: entry i is the minimum SINR (dB)
+// to report CQI i+1. Derived from the usual AWGN link-level thresholds
+// (~10% BLER operating points, ≈1.5-2 dB per CQI step).
+var cqiSINRThresholdsDB = [lte.MaxCQI]float64{
+	-6.7, -4.7, -2.3, 0.2, 2.4, 4.3, 5.9, 8.1,
+	10.3, 11.7, 14.1, 16.3, 18.7, 21.0, 22.7,
+}
+
+// CQIFromSINRdB quantizes an SINR into the reported CQI.
+func CQIFromSINRdB(sinr float64) lte.CQI {
+	cqi := lte.CQI(0)
+	for i, thr := range cqiSINRThresholdsDB {
+		if sinr >= thr {
+			cqi = lte.CQI(i + 1)
+		}
+	}
+	return cqi
+}
+
+// InterferenceSwitched is the channel of a UE whose quality depends on
+// whether a dominant interferer transmits in the subframe — the small-cell
+// victim UE of the eICIC use case. The Interfered callback is wired to the
+// macro cell's per-subframe transmission state by the simulator.
+type InterferenceSwitched struct {
+	// Clear is the CQI reported when the interferer is silent.
+	Clear lte.CQI
+	// Hit is the CQI reported while the interferer transmits.
+	Hit lte.CQI
+	// Interfered reports whether the interferer is active at sf.
+	Interfered func(sf lte.Subframe) bool
+}
+
+// CQI implements Model.
+func (c *InterferenceSwitched) CQI(sf lte.Subframe) lte.CQI {
+	if c.Interfered != nil && c.Interfered(sf) {
+		return c.Hit.Clamp()
+	}
+	return c.Clear.Clamp()
+}

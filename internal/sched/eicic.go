@@ -1,0 +1,72 @@
+package sched
+
+import "flexran/internal/lte"
+
+// This file holds the composite schedulers of the eICIC use case
+// (paper §6.1): agent-side VSFs whose behaviour depends on whether the
+// current subframe is an almost-blank subframe (ABS).
+
+// SubframePredicate reports a property of a subframe (e.g. "is ABS").
+type SubframePredicate func(sf lte.Subframe) bool
+
+// ABSPattern returns the paper's experiment pattern: the first n subframes
+// of every radio frame are almost-blank.
+func ABSPattern(n int) SubframePredicate {
+	return func(sf lte.Subframe) bool { return int(sf.Index()) < n }
+}
+
+// ABSGate runs the inner scheduler only in subframes matching the
+// predicate: the small-cell VSF of the eICIC experiment (schedule victims
+// during ABS, stay silent otherwise).
+type ABSGate struct {
+	name   string
+	During SubframePredicate
+	Inner  Scheduler
+}
+
+// NewABSGate builds a gate scheduler.
+func NewABSGate(name string, during SubframePredicate, inner Scheduler) *ABSGate {
+	return &ABSGate{name: name, During: during, Inner: inner}
+}
+
+// Name implements Scheduler.
+func (g *ABSGate) Name() string { return g.name }
+
+// Schedule implements Scheduler.
+func (g *ABSGate) Schedule(in Input) []Alloc {
+	if !g.During(in.SF) {
+		return nil
+	}
+	return g.Inner.Schedule(in)
+}
+
+// ABSSwitch runs Normal outside ABS subframes and DuringABS inside them:
+// the macro-cell VSF of the eICIC experiment. With DuringABS set to a
+// RemoteStub, the macro transmits in an ABS only when the centralized
+// coordinator has granted it that subframe — the "optimized eICIC"
+// mechanism; with DuringABS nil the macro is strictly muted (plain eICIC).
+type ABSSwitch struct {
+	name      string
+	ABS       SubframePredicate
+	Normal    Scheduler
+	DuringABS Scheduler
+}
+
+// NewABSSwitch builds a switch scheduler.
+func NewABSSwitch(name string, abs SubframePredicate, normal, duringABS Scheduler) *ABSSwitch {
+	return &ABSSwitch{name: name, ABS: abs, Normal: normal, DuringABS: duringABS}
+}
+
+// Name implements Scheduler.
+func (s *ABSSwitch) Name() string { return s.name }
+
+// Schedule implements Scheduler.
+func (s *ABSSwitch) Schedule(in Input) []Alloc {
+	if s.ABS(in.SF) {
+		if s.DuringABS == nil {
+			return nil
+		}
+		return s.DuringABS.Schedule(in)
+	}
+	return s.Normal.Schedule(in)
+}

@@ -1,0 +1,263 @@
+// Package sched implements the MAC scheduling algorithms used throughout
+// the reproduction: the local VSF schedulers at the agent (round-robin,
+// proportional fair), the centralized schedulers of the master's
+// applications, and the RAN-sharing schedulers of the Fig. 12 use case
+// (per-operator slicing with fair and group-based policies).
+//
+// Schedulers are pure with respect to the data plane: they map an Input
+// snapshot (backlogged UEs with channel state) to a list of allocations.
+// Some keep internal fairness state (rotation pointers), which is
+// explicitly documented per type.
+package sched
+
+import (
+	"sort"
+
+	"flexran/internal/lte"
+)
+
+// UEInfo is the per-UE scheduler input.
+type UEInfo struct {
+	RNTI lte.RNTI
+	// CQI is the latest reported wideband CQI (possibly stale when the
+	// scheduler runs remotely; the data plane checks deliverability).
+	CQI lte.CQI
+	// QueueBytes is the pending RLC transmission queue (DL) or buffer
+	// status report (UL).
+	QueueBytes int
+	// AvgRateKbps is the long-term served rate, maintained by the MAC;
+	// the proportional-fair metric divides by it.
+	AvgRateKbps float64
+	// LastSched is the last subframe this UE was allocated.
+	LastSched lte.Subframe
+	// Group labels the UE's slice/tier for quota-based schedulers
+	// (operator index for RAN sharing, priority tier for group-based).
+	Group int
+}
+
+// Input is one scheduling invocation: a subframe, a PRB budget and the
+// candidate UEs.
+type Input struct {
+	SF       lte.Subframe
+	Dir      lte.Direction
+	TotalPRB int
+	UEs      []UEInfo
+}
+
+// Alloc is one UE's scheduled allocation.
+type Alloc struct {
+	RNTI    lte.RNTI
+	RBStart int
+	RBCount int
+	MCS     lte.MCS
+}
+
+// Scheduler maps an input snapshot to allocations. Implementations must
+// never allocate more than Input.TotalPRB resource blocks in total and
+// must keep allocations disjoint.
+type Scheduler interface {
+	// Name identifies the scheduler (used as VSF cache keys and in
+	// policy documents).
+	Name() string
+	Schedule(in Input) []Alloc
+}
+
+// bytesPerPRB returns the per-PRB transport capacity for a UE, 0 when the
+// UE cannot be served (CQI 0).
+func bytesPerPRB(dir lte.Direction, c lte.CQI) int {
+	return lte.TBSBytes(dir, c, 1)
+}
+
+// FillByOrder allocates PRBs to UEs in the given priority order (indices
+// into in.UEs). Each UE receives just enough PRBs to drain its queue this
+// TTI, and the remainder flows to the next UE — a work-conserving greedy
+// fill used by every priority-ordered scheduler in this package.
+func FillByOrder(in Input, order []int) []Alloc {
+	var out []Alloc
+	rbStart := 0
+	left := in.TotalPRB
+	for _, idx := range order {
+		if left == 0 {
+			break
+		}
+		ue := in.UEs[idx]
+		per := bytesPerPRB(in.Dir, ue.CQI)
+		if ue.QueueBytes <= 0 || per == 0 {
+			continue
+		}
+		need := (ue.QueueBytes + per - 1) / per
+		n := need
+		if n > left {
+			n = left
+		}
+		out = append(out, Alloc{
+			RNTI:    ue.RNTI,
+			RBStart: rbStart,
+			RBCount: n,
+			MCS:     lte.MCSForCQI(ue.CQI),
+		})
+		rbStart += n
+		left -= n
+	}
+	return out
+}
+
+// backlogged returns the indices of servable UEs (non-empty queue, CQI>0),
+// sorted by RNTI for determinism.
+func backlogged(in Input) []int {
+	var idx []int
+	for i, ue := range in.UEs {
+		if ue.QueueBytes > 0 && ue.CQI > 0 {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return in.UEs[idx[a]].RNTI < in.UEs[idx[b]].RNTI
+	})
+	return idx
+}
+
+// RoundRobin is the fair equal-share scheduler: every backlogged UE gets
+// an equal PRB share each TTI, with the integer remainder rotating across
+// TTIs so long-run shares equalize. This is the "fair scheduling policy"
+// of the Fig. 12b MNO.
+type RoundRobin struct {
+	rot int // rotation offset for remainder distribution
+}
+
+// NewRoundRobin returns a fair equal-share scheduler.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Scheduler.
+func (*RoundRobin) Name() string { return "rr" }
+
+// Schedule implements Scheduler.
+func (s *RoundRobin) Schedule(in Input) []Alloc {
+	idx := backlogged(in)
+	if len(idx) == 0 {
+		return nil
+	}
+	share := in.TotalPRB / len(idx)
+	extra := in.TotalPRB % len(idx)
+	var out []Alloc
+	rbStart := 0
+	spare := 0 // PRBs returned by UEs that need less than their share
+	for pos := range idx {
+		// Rotate so the +1 remainder moves across UEs over time.
+		i := idx[(pos+s.rot)%len(idx)]
+		ue := in.UEs[i]
+		quota := share
+		if pos < extra {
+			quota++
+		}
+		per := bytesPerPRB(in.Dir, ue.CQI)
+		need := (ue.QueueBytes + per - 1) / per
+		n := quota + spare
+		if n > need {
+			spare = n - need
+			n = need
+		} else {
+			spare = 0
+		}
+		if n == 0 {
+			continue
+		}
+		out = append(out, Alloc{
+			RNTI:    ue.RNTI,
+			RBStart: rbStart,
+			RBCount: n,
+			MCS:     lte.MCSForCQI(ue.CQI),
+		})
+		rbStart += n
+	}
+	s.rot++
+	return out
+}
+
+// ProportionalFair ranks UEs by instantaneous-rate over average-rate, the
+// classic PF metric, then greedily fills. The average rate is supplied by
+// the MAC in UEInfo.AvgRateKbps.
+type ProportionalFair struct{}
+
+// NewProportionalFair returns a PF scheduler.
+func NewProportionalFair() *ProportionalFair { return &ProportionalFair{} }
+
+// Name implements Scheduler.
+func (*ProportionalFair) Name() string { return "pf" }
+
+// Schedule implements Scheduler.
+func (s *ProportionalFair) Schedule(in Input) []Alloc {
+	idx := backlogged(in)
+	sort.SliceStable(idx, func(a, b int) bool {
+		return pfMetric(in, in.UEs[idx[a]]) > pfMetric(in, in.UEs[idx[b]])
+	})
+	return FillByOrder(in, idx)
+}
+
+func pfMetric(in Input, ue UEInfo) float64 {
+	inst := float64(lte.TBSBits(in.Dir, ue.CQI, in.TotalPRB)) // bits/TTI
+	avg := ue.AvgRateKbps
+	if avg < 1 {
+		avg = 1 // unserved UEs get maximal priority
+	}
+	return inst / avg
+}
+
+// MaxCQI always serves the best channel first (maximum-throughput,
+// fairness-free; the baseline that motivates PF).
+type MaxCQI struct{}
+
+// NewMaxCQI returns a max-CQI scheduler.
+func NewMaxCQI() *MaxCQI { return &MaxCQI{} }
+
+// Name implements Scheduler.
+func (*MaxCQI) Name() string { return "maxcqi" }
+
+// Schedule implements Scheduler.
+func (s *MaxCQI) Schedule(in Input) []Alloc {
+	idx := backlogged(in)
+	sort.SliceStable(idx, func(a, b int) bool {
+		return in.UEs[idx[a]].CQI > in.UEs[idx[b]].CQI
+	})
+	return FillByOrder(in, idx)
+}
+
+// MetricFunc scores one UE; higher runs first. UEs scoring negative are
+// not scheduled at all.
+type MetricFunc func(in Input, ue UEInfo) float64
+
+// Metric is the generic priority scheduler: it orders backlogged UEs by a
+// caller-supplied metric and greedily fills. The agent uses it to execute
+// vsfdsl programs pushed by the master (VSF updation), closing the paper's
+// code-push loop.
+type Metric struct {
+	name string
+	fn   MetricFunc
+}
+
+// NewMetric builds a metric scheduler.
+func NewMetric(name string, fn MetricFunc) *Metric {
+	return &Metric{name: name, fn: fn}
+}
+
+// Name implements Scheduler.
+func (m *Metric) Name() string { return m.name }
+
+// Schedule implements Scheduler.
+func (m *Metric) Schedule(in Input) []Alloc {
+	idx := backlogged(in)
+	scores := make(map[int]float64, len(idx))
+	for _, i := range idx {
+		scores[i] = m.fn(in, in.UEs[i])
+	}
+	kept := idx[:0]
+	for _, i := range idx {
+		if scores[i] >= 0 {
+			kept = append(kept, i)
+		}
+	}
+	sort.SliceStable(kept, func(a, b int) bool {
+		return scores[kept[a]] > scores[kept[b]]
+	})
+	return FillByOrder(in, kept)
+}

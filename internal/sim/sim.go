@@ -1,0 +1,274 @@
+// Package sim is the scenario harness: it assembles EPC, eNodeBs, FlexRAN
+// agents, the master controller and per-UE traffic into one deterministic
+// virtual-time simulation stepped subframe by subframe. Every experiment
+// in internal/experiments and every runnable example builds on it.
+//
+// One Step() advances the world by one TTI in a fixed order: downlink
+// traffic injection (EPC), uplink traffic injection (UEs), delivery of
+// agent-to-master control messages that have arrived, one master task-
+// manager cycle, delivery of master-to-agent messages, then one data-plane
+// subframe per eNodeB. The ordering mirrors the real system's pipeline and
+// keeps results reproducible.
+package sim
+
+import (
+	"fmt"
+
+	"flexran/internal/agent"
+	"flexran/internal/controller"
+	"flexran/internal/enb"
+	"flexran/internal/epc"
+	"flexran/internal/lte"
+	"flexran/internal/metrics"
+	"flexran/internal/protocol"
+	"flexran/internal/radio"
+	"flexran/internal/transport"
+	"flexran/internal/ue"
+)
+
+// UESpec declares one UE of a scenario.
+type UESpec struct {
+	IMSI    uint64
+	Cell    lte.CellID
+	Channel radio.Model
+	Group   int
+	// DL is the downlink traffic source (injected through the EPC);
+	// UL the uplink source. Either may be nil.
+	DL ue.Generator
+	UL ue.Generator
+}
+
+// ENBSpec declares one eNodeB of a scenario.
+type ENBSpec struct {
+	ID    lte.ENBID
+	Cells []protocol.CellConfig
+	Seed  int64
+	// Agent attaches a FlexRAN agent and connects it to the master.
+	Agent     bool
+	AgentOpts agent.Options
+	// ToMaster/ToAgent impair the control channel of this eNodeB.
+	ToMaster transport.Netem
+	ToAgent  transport.Netem
+	// UEs are added at simulation start.
+	UEs []UESpec
+	// AttachTimeoutTTI overrides the eNodeB attach deadline.
+	AttachTimeoutTTI int
+}
+
+// Config declares a scenario.
+type Config struct {
+	// Master enables a master controller with these options; nil runs
+	// the eNodeBs standalone (the "vanilla" mode of Fig. 6).
+	Master *controller.Options
+}
+
+// Node is the runtime of one eNodeB within the simulation.
+type Node struct {
+	ENB   *enb.ENB
+	Agent *agent.Agent // nil when the spec had Agent: false
+
+	aEp     *transport.SimEndpoint // agent side of the control channel
+	mEp     *transport.SimEndpoint // master side
+	deliver func(*protocol.Message)
+
+	RNTIs []lte.RNTI // by UESpec order
+	specs []UESpec
+}
+
+// AgentMeter returns the agent-to-master signaling meter (Fig. 7a).
+func (n *Node) AgentMeter() *metrics.Meter {
+	if n.aEp == nil {
+		return metrics.NewMeter()
+	}
+	return n.aEp.Meter()
+}
+
+// MasterMeter returns the master-to-agent signaling meter (Fig. 7b).
+func (n *Node) MasterMeter() *metrics.Meter {
+	if n.mEp == nil {
+		return metrics.NewMeter()
+	}
+	return n.mEp.Meter()
+}
+
+// SetNetem changes the control-channel impairment at runtime.
+func (n *Node) SetNetem(toMaster, toAgent transport.Netem) {
+	if n.aEp != nil {
+		n.aEp.SetNetem(toMaster)
+	}
+	if n.mEp != nil {
+		n.mEp.SetNetem(toAgent)
+	}
+}
+
+// Sim is a running scenario.
+type Sim struct {
+	Master *controller.Master // nil without a master
+	EPC    *epc.EPC
+	Nodes  []*Node
+
+	sf lte.Subframe
+}
+
+// New builds a scenario: eNodeBs, agents, control channels, EPC bearers
+// and UEs (whose attach procedures start at subframe 0).
+func New(cfg Config, enbs ...ENBSpec) (*Sim, error) {
+	s := &Sim{EPC: epc.New()}
+	if cfg.Master != nil {
+		s.Master = controller.NewMaster(*cfg.Master)
+	}
+	for _, spec := range enbs {
+		e := enb.New(enb.Config{
+			ID:               spec.ID,
+			Cells:            spec.Cells,
+			Seed:             spec.Seed,
+			AttachTimeoutTTI: spec.AttachTimeoutTTI,
+		})
+		n := &Node{ENB: e, specs: spec.UEs}
+		if spec.Agent {
+			n.Agent = agent.New(e, spec.AgentOpts)
+			if s.Master != nil {
+				n.aEp, n.mEp = transport.NewSimPair(spec.ToMaster, spec.ToAgent)
+				n.deliver = s.Master.HandleAgent(n.mEp.Send)
+				n.Agent.Connect(n.aEp.Send)
+			}
+		}
+		s.EPC.Register(e)
+		for _, u := range spec.UEs {
+			rnti, err := e.AddUE(enb.UEParams{
+				IMSI: u.IMSI, Cell: u.Cell, Channel: u.Channel, Group: u.Group,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("sim: adding UE %d: %w", u.IMSI, err)
+			}
+			if _, err := s.EPC.Attach(u.IMSI, spec.ID, rnti); err != nil {
+				return nil, fmt.Errorf("sim: bearer for UE %d: %w", u.IMSI, err)
+			}
+			n.RNTIs = append(n.RNTIs, rnti)
+		}
+		s.Nodes = append(s.Nodes, n)
+	}
+	return s, nil
+}
+
+// MustNew is New that panics on scenario construction errors (examples and
+// benchmarks with static configurations).
+func MustNew(cfg Config, enbs ...ENBSpec) *Sim {
+	s, err := New(cfg, enbs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Now returns the current subframe.
+func (s *Sim) Now() lte.Subframe { return s.sf }
+
+// Step advances the world by one TTI.
+func (s *Sim) Step() {
+	sf := s.sf
+
+	// 1. Traffic injection.
+	for _, n := range s.Nodes {
+		for i, spec := range n.specs {
+			if spec.DL != nil {
+				if b := spec.DL.BytesAt(sf); b > 0 {
+					s.EPC.Downlink(spec.IMSI, b) //nolint:errcheck // bearer exists by construction
+				}
+			}
+			if spec.UL != nil {
+				if b := spec.UL.BytesAt(sf); b > 0 {
+					n.ENB.ULEnqueue(n.RNTIs[i], b)
+				}
+			}
+		}
+	}
+
+	// 2. Control plane: agent->master deliveries, master cycle,
+	// master->agent deliveries.
+	if s.Master != nil {
+		for _, n := range s.Nodes {
+			if n.mEp == nil {
+				continue
+			}
+			msgs, err := n.mEp.AdvanceTo(sf)
+			if err != nil {
+				panic(fmt.Sprintf("sim: corrupt control message: %v", err))
+			}
+			for _, m := range msgs {
+				n.deliver(m)
+			}
+		}
+		s.Master.Tick()
+		for _, n := range s.Nodes {
+			if n.aEp == nil {
+				continue
+			}
+			msgs, err := n.aEp.AdvanceTo(sf)
+			if err != nil {
+				panic(fmt.Sprintf("sim: corrupt control message: %v", err))
+			}
+			for _, m := range msgs {
+				n.Agent.Deliver(m)
+			}
+		}
+	}
+
+	// 3. Data plane.
+	for _, n := range s.Nodes {
+		n.ENB.Step()
+	}
+	s.sf++
+}
+
+// Run advances the simulation by a number of TTIs.
+func (s *Sim) Run(ttis int) {
+	for i := 0; i < ttis; i++ {
+		s.Step()
+	}
+}
+
+// RunSeconds advances by simulated seconds.
+func (s *Sim) RunSeconds(sec float64) { s.Run(int(sec * lte.TTIsPerSecond)) }
+
+// WaitAttached runs until every UE has completed attachment or the TTI
+// budget is exhausted, reporting success.
+func (s *Sim) WaitAttached(maxTTIs int) bool {
+	for i := 0; i < maxTTIs; i++ {
+		if s.allAttached() {
+			return true
+		}
+		s.Step()
+	}
+	return s.allAttached()
+}
+
+func (s *Sim) allAttached() bool {
+	for _, n := range s.Nodes {
+		for _, rnti := range n.RNTIs {
+			if !n.ENB.Connected(rnti) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Report returns the UE report for eNodeB index i, UE index j.
+func (s *Sim) Report(i, j int) enb.UEReport {
+	n := s.Nodes[i]
+	r, _ := n.ENB.UEReport(n.RNTIs[j])
+	return r
+}
+
+// DeliveredDL sums downlink goodput bytes across all UEs of a node.
+func (s *Sim) DeliveredDL(i int) uint64 {
+	var sum uint64
+	n := s.Nodes[i]
+	for _, rnti := range n.RNTIs {
+		if r, ok := n.ENB.UEReport(rnti); ok {
+			sum += r.DLDelivered
+		}
+	}
+	return sum
+}

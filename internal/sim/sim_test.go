@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"testing"
+
+	"flexran/internal/controller"
+	"flexran/internal/lte"
+	"flexran/internal/protocol"
+	"flexran/internal/radio"
+	"flexran/internal/transport"
+	"flexran/internal/ue"
+)
+
+func opts() *controller.Options {
+	o := controller.DefaultOptions()
+	return &o
+}
+
+func TestScenarioBuildAndAttach(t *testing.T) {
+	s, err := New(Config{Master: opts()}, ENBSpec{
+		ID: 1, Agent: true, Seed: 1,
+		UEs: []UESpec{
+			{IMSI: 100, Channel: radio.Fixed(15), DL: ue.NewCBR(1000)},
+			{IMSI: 101, Channel: radio.Fixed(10), DL: ue.NewCBR(1000)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.WaitAttached(500) {
+		t.Fatal("UEs did not attach")
+	}
+	if s.Master.RIB().UECount(1) != 2 {
+		t.Errorf("RIB UEs = %d", s.Master.RIB().UECount(1))
+	}
+}
+
+func TestTrafficFlowsEndToEnd(t *testing.T) {
+	s := MustNew(Config{Master: opts()}, ENBSpec{
+		ID: 1, Agent: true, Seed: 1,
+		UEs: []UESpec{{IMSI: 100, Channel: radio.Fixed(15), DL: ue.NewCBR(4000), UL: ue.NewCBR(500)}},
+	})
+	if !s.WaitAttached(500) {
+		t.Fatal("attach failed")
+	}
+	s.RunSeconds(2)
+	r := s.Report(0, 0)
+	dl := float64(r.DLDelivered) * 8 / 1e6 / 2
+	if dl < 3.5 || dl > 4.3 {
+		t.Errorf("CBR 4 Mb/s delivered %.2f Mb/s", dl)
+	}
+	if r.ULDelivered == 0 {
+		t.Error("no uplink delivered")
+	}
+	b, _ := s.EPC.Bearer(100)
+	if b.DLAccepted == 0 {
+		t.Error("EPC accounting empty")
+	}
+}
+
+func TestVanillaModeWithoutMaster(t *testing.T) {
+	s := MustNew(Config{}, ENBSpec{
+		ID: 1, Agent: false, Seed: 1,
+		UEs: []UESpec{{IMSI: 100, Channel: radio.Fixed(15), DL: ue.NewFullBuffer()}},
+	})
+	if !s.WaitAttached(500) {
+		t.Fatal("attach failed")
+	}
+	s.RunSeconds(1)
+	r := s.Report(0, 0)
+	if r.DLDelivered == 0 {
+		t.Error("vanilla eNodeB delivered nothing")
+	}
+	if s.Master != nil {
+		t.Error("master created without config")
+	}
+}
+
+func TestAgentWithoutMasterStillSchedules(t *testing.T) {
+	// Agent-enabled but no master: local VSFs keep the cell running
+	// (distributed mode of operation).
+	s := MustNew(Config{}, ENBSpec{
+		ID: 1, Agent: true, Seed: 1,
+		UEs: []UESpec{{IMSI: 100, Channel: radio.Fixed(15), DL: ue.NewFullBuffer()}},
+	})
+	if !s.WaitAttached(500) {
+		t.Fatal("attach failed")
+	}
+	s.RunSeconds(1)
+	if s.Report(0, 0).DLDelivered == 0 {
+		t.Error("agent-local scheduling delivered nothing")
+	}
+}
+
+func TestSignalingMetersPopulated(t *testing.T) {
+	s := MustNew(Config{Master: opts()}, ENBSpec{
+		ID: 1, Agent: true, Seed: 1,
+		UEs: []UESpec{{IMSI: 100, Channel: radio.Fixed(15), DL: ue.NewCBR(2000)}},
+	})
+	s.WaitAttached(500)
+	s.RunSeconds(1)
+	am := s.Nodes[0].AgentMeter()
+	if am.Bytes(protocol.CatStats) == 0 {
+		t.Error("no stats bytes metered")
+	}
+	if am.Bytes(protocol.CatSync) == 0 {
+		t.Error("no sync bytes metered")
+	}
+	mm := s.Nodes[0].MasterMeter()
+	if mm.TotalBytes() == 0 {
+		t.Error("no master-to-agent bytes metered")
+	}
+}
+
+func TestMultipleENBs(t *testing.T) {
+	s := MustNew(Config{Master: opts()},
+		ENBSpec{ID: 1, Agent: true, Seed: 1, UEs: []UESpec{{IMSI: 100, Channel: radio.Fixed(12), DL: ue.NewCBR(1000)}}},
+		ENBSpec{ID: 2, Agent: true, Seed: 2, UEs: []UESpec{{IMSI: 200, Channel: radio.Fixed(12), DL: ue.NewCBR(1000)}}},
+		ENBSpec{ID: 3, Agent: true, Seed: 3, UEs: []UESpec{{IMSI: 300, Channel: radio.Fixed(12), DL: ue.NewCBR(1000)}}},
+	)
+	if !s.WaitAttached(500) {
+		t.Fatal("attach failed")
+	}
+	s.RunSeconds(1)
+	agents := s.Master.RIB().Agents()
+	if len(agents) != 3 {
+		t.Fatalf("agents = %v", agents)
+	}
+	for i := 0; i < 3; i++ {
+		if s.DeliveredDL(i) == 0 {
+			t.Errorf("eNodeB %d delivered nothing", i+1)
+		}
+	}
+}
+
+func TestNetemOnScenario(t *testing.T) {
+	s := MustNew(Config{Master: opts()}, ENBSpec{
+		ID: 1, Agent: true, Seed: 1,
+		ToMaster: transport.Netem{OneWayTTI: 10},
+		ToAgent:  transport.Netem{OneWayTTI: 10},
+		UEs:      []UESpec{{IMSI: 100, Channel: radio.Fixed(15)}},
+	})
+	s.Run(100)
+	sf, ok := s.Master.RIB().AgentSF(1)
+	if !ok {
+		t.Fatal("agent never seen (messages lost?)")
+	}
+	lag := int(s.Now()) - int(sf)
+	if lag < 9 {
+		t.Errorf("lag = %d, want >= one-way delay", lag)
+	}
+}
+
+func TestDuplicateIMSIRejected(t *testing.T) {
+	_, err := New(Config{Master: opts()}, ENBSpec{
+		ID: 1, Agent: true,
+		UEs: []UESpec{
+			{IMSI: 100, Channel: radio.Fixed(15)},
+			{IMSI: 100, Channel: radio.Fixed(15)},
+		},
+	})
+	if err == nil {
+		t.Error("duplicate IMSI accepted")
+	}
+}
+
+func TestDeterministicScenario(t *testing.T) {
+	run := func() uint64 {
+		s := MustNew(Config{Master: opts()}, ENBSpec{
+			ID: 1, Agent: true, Seed: 7,
+			UEs: []UESpec{{IMSI: 100, Channel: radio.NewGaussMarkov(9, 0.98, 2, 11), DL: ue.NewFullBuffer()}},
+		})
+		s.Run(3000)
+		return s.DeliveredDL(0)
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestSubframeAdvances(t *testing.T) {
+	s := MustNew(Config{}, ENBSpec{ID: 1})
+	s.Run(42)
+	if s.Now() != lte.Subframe(42) {
+		t.Errorf("Now = %v", s.Now())
+	}
+}

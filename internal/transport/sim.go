@@ -1,0 +1,149 @@
+package transport
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"flexran/internal/lte"
+	"flexran/internal/metrics"
+	"flexran/internal/protocol"
+)
+
+// Netem models the control-channel impairment between master and agent,
+// replacing the Linux netem qdisc used in the paper's Fig. 9 experiment.
+// Delays are one-way and expressed in TTIs (1 TTI = 1 ms), so an RTT of
+// 30 ms is {OneWayTTI: 15} on both directions.
+type Netem struct {
+	// OneWayTTI is the fixed one-way delay in subframes.
+	OneWayTTI int
+	// JitterTTI adds uniform random jitter in [0, JitterTTI].
+	JitterTTI int
+	// LossProb drops a message with this probability (0 disables loss).
+	LossProb float64
+	// Seed makes jitter/loss deterministic; 0 uses a fixed default.
+	Seed int64
+}
+
+// rng builds the deterministic random source for one endpoint.
+func (n Netem) rng() *rand.Rand {
+	seed := n.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+// delay samples the one-way delay in TTIs.
+func (n Netem) delay(r *rand.Rand) lte.Subframe {
+	d := n.OneWayTTI
+	if n.JitterTTI > 0 {
+		d += r.Intn(n.JitterTTI + 1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return lte.Subframe(d)
+}
+
+// inflight is one serialized message in transit.
+type inflight struct {
+	deliverAt lte.Subframe
+	seq       uint64 // tie-break: FIFO among equal delivery times
+	payload   []byte
+}
+
+type inflightHeap []inflight
+
+func (h inflightHeap) Len() int { return len(h) }
+func (h inflightHeap) Less(i, j int) bool {
+	if h[i].deliverAt != h[j].deliverAt {
+		return h[i].deliverAt < h[j].deliverAt
+	}
+	return h[i].seq < h[j].seq
+}
+func (h inflightHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *inflightHeap) Push(x interface{}) { *h = append(*h, x.(inflight)) }
+func (h *inflightHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// SimEndpoint is one side of a simulated control channel. It is driven by
+// the single-threaded simulation loop: Send enqueues toward the peer with
+// the configured delay, and AdvanceTo(sf) returns the messages that have
+// arrived by subframe sf. Messages are genuinely serialized on Send and
+// decoded on delivery, so byte metering and wire-compatibility match the
+// TCP path exactly.
+type SimEndpoint struct {
+	peer  *SimEndpoint
+	netem Netem
+	rnd   *rand.Rand
+	meter *metrics.Meter
+
+	now     lte.Subframe
+	seq     uint64
+	pending inflightHeap // messages addressed TO this endpoint
+}
+
+// NewSimPair creates two connected endpoints. aToB impairs messages sent
+// by a; bToA impairs messages sent by b.
+func NewSimPair(aToB, bToA Netem) (a, b *SimEndpoint) {
+	a = &SimEndpoint{netem: aToB, rnd: aToB.rng(), meter: metrics.NewMeter()}
+	b = &SimEndpoint{netem: bToA, rnd: bToA.rng(), meter: metrics.NewMeter()}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// Send serializes m and schedules its delivery at the peer.
+func (e *SimEndpoint) Send(m *protocol.Message) error {
+	b := protocol.Encode(m)
+	e.meter.Record(m.Payload.Kind().Category(), len(b)+FrameOverhead)
+	if e.netem.LossProb > 0 && e.rnd.Float64() < e.netem.LossProb {
+		return nil // dropped in flight
+	}
+	e.seq++
+	heap.Push(&e.peer.pending, inflight{
+		deliverAt: e.now + e.netem.delay(e.rnd),
+		seq:       e.seq,
+		payload:   b,
+	})
+	return nil
+}
+
+// AdvanceTo moves this endpoint's clock to sf and returns every message
+// that has arrived (in delivery order). The clock must not move backwards.
+func (e *SimEndpoint) AdvanceTo(sf lte.Subframe) ([]*protocol.Message, error) {
+	if sf > e.now {
+		e.now = sf
+	}
+	var out []*protocol.Message
+	for len(e.pending) > 0 && e.pending[0].deliverAt <= e.now {
+		it := heap.Pop(&e.pending).(inflight)
+		m, err := protocol.Decode(it.payload)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Now returns the endpoint's current subframe.
+func (e *SimEndpoint) Now() lte.Subframe { return e.now }
+
+// Pending reports how many messages are still in flight toward this
+// endpoint.
+func (e *SimEndpoint) Pending() int { return len(e.pending) }
+
+// Meter exposes sent-byte counts by protocol category.
+func (e *SimEndpoint) Meter() *metrics.Meter { return e.meter }
+
+// SetNetem replaces the impairment applied to future sends from this
+// endpoint (the simulated equivalent of re-running `tc qdisc change`).
+func (e *SimEndpoint) SetNetem(n Netem) {
+	e.netem = n
+	e.rnd = n.rng()
+}

@@ -1,0 +1,149 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"flexran/internal/metrics"
+	"flexran/internal/protocol"
+)
+
+// Conn is a TCP control channel carrying FlexRAN protocol messages. Sends
+// are safe for concurrent use; received messages are delivered on the Recv
+// channel by an internal reader goroutine.
+type Conn struct {
+	nc    net.Conn
+	meter *metrics.Meter
+
+	sendMu sync.Mutex
+
+	recv chan *protocol.Message
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	readErr   error
+	readMu    sync.Mutex
+}
+
+// NewConn wraps an established net.Conn (either side). recvBuf is the
+// capacity of the receive channel; per-TTI control traffic needs headroom
+// so a slow consumer does not stall TCP reads.
+func NewConn(nc net.Conn, recvBuf int) *Conn {
+	c := &Conn{
+		nc:     nc,
+		meter:  metrics.NewMeter(),
+		recv:   make(chan *protocol.Message, recvBuf),
+		closed: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// Dial connects to a FlexRAN master or agent at addr.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewConn(nc, 1024), nil
+}
+
+// Send serializes and writes one message.
+func (c *Conn) Send(m *protocol.Message) error {
+	b := protocol.Encode(m)
+	c.meter.Record(m.Payload.Kind().Category(), len(b)+FrameOverhead)
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	return WriteFrame(c.nc, b)
+}
+
+// Recv returns the channel of incoming messages. It is closed when the
+// connection ends; Err reports the terminal error, if any.
+func (c *Conn) Recv() <-chan *protocol.Message { return c.recv }
+
+// Err returns the error that terminated the read loop (nil for clean EOF
+// or local close).
+func (c *Conn) Err() error {
+	c.readMu.Lock()
+	defer c.readMu.Unlock()
+	return c.readErr
+}
+
+// Meter exposes the byte counts of sent messages, keyed by protocol
+// category.
+func (c *Conn) Meter() *metrics.Meter { return c.meter }
+
+// Close terminates the connection; the Recv channel is closed after the
+// reader exits.
+func (c *Conn) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		err = c.nc.Close()
+	})
+	return err
+}
+
+// RemoteAddr reports the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+func (c *Conn) readLoop() {
+	defer close(c.recv)
+	var buf []byte
+	for {
+		payload, err := ReadFrame(c.nc, buf)
+		if err != nil {
+			select {
+			case <-c.closed: // local close: not an error
+			default:
+				c.readMu.Lock()
+				c.readErr = err
+				c.readMu.Unlock()
+			}
+			return
+		}
+		buf = payload[:0]
+		m, err := protocol.Decode(payload)
+		if err != nil {
+			c.readMu.Lock()
+			c.readErr = fmt.Errorf("transport: decoding frame: %w", err)
+			c.readMu.Unlock()
+			return
+		}
+		select {
+		case c.recv <- m:
+		case <-c.closed:
+			return
+		}
+	}
+}
+
+// Listener accepts FlexRAN control connections.
+type Listener struct {
+	nl net.Listener
+}
+
+// Listen binds a TCP listener at addr (e.g. ":2210", the FlexRAN default).
+func Listen(addr string) (*Listener, error) {
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &Listener{nl: nl}, nil
+}
+
+// Accept waits for the next agent connection.
+func (l *Listener) Accept() (*Conn, error) {
+	nc, err := l.nl.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(nc, 1024), nil
+}
+
+// Addr reports the bound address.
+func (l *Listener) Addr() net.Addr { return l.nl.Addr() }
+
+// Close stops the listener.
+func (l *Listener) Close() error { return l.nl.Close() }

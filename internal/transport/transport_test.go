@@ -1,0 +1,329 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"flexran/internal/lte"
+	"flexran/internal/protocol"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{
+		{},
+		{1},
+		bytes.Repeat([]byte{0xab}, 100000),
+	}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var scratch []byte
+	for i, want := range payloads {
+		got, err := ReadFrame(&buf, scratch)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame %d: %d bytes, want %d", i, len(got), len(want))
+		}
+		scratch = got[:0]
+	}
+	if _, err := ReadFrame(&buf, nil); err != io.EOF {
+		t.Errorf("expected EOF after frames, got %v", err)
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	if err := WriteFrame(io.Discard, make([]byte, MaxFrameSize+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized write = %v", err)
+	}
+	// A poisoned header must be rejected without allocating the payload.
+	hdr := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadFrame(bytes.NewReader(hdr), nil); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized read = %v", err)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for i := 1; i < len(full); i++ {
+		if _, err := ReadFrame(bytes.NewReader(full[:i]), nil); err == nil {
+			t.Errorf("prefix of %d bytes should error", i)
+		}
+	}
+}
+
+func echo(seq uint64, sf lte.Subframe) *protocol.Message {
+	return protocol.New(1, sf, &protocol.Echo{Seq: seq, SenderSF: sf})
+}
+
+func TestSimPairImmediateDelivery(t *testing.T) {
+	a, b := NewSimPair(Netem{}, Netem{})
+	if err := a.Send(echo(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.AdvanceTo(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d messages, want 1", len(got))
+	}
+	if got[0].Payload.(*protocol.Echo).Seq != 1 {
+		t.Error("payload mismatch")
+	}
+}
+
+func TestSimPairDelay(t *testing.T) {
+	a, b := NewSimPair(Netem{OneWayTTI: 5}, Netem{OneWayTTI: 3})
+	a.AdvanceTo(10)
+	b.AdvanceTo(10)
+	if err := a.Send(echo(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	// Not delivered before subframe 15.
+	for sf := lte.Subframe(11); sf < 15; sf++ {
+		got, _ := b.AdvanceTo(sf)
+		if len(got) != 0 {
+			t.Fatalf("delivered at %d, want 15", sf)
+		}
+	}
+	got, _ := b.AdvanceTo(15)
+	if len(got) != 1 {
+		t.Fatalf("got %d at sf 15", len(got))
+	}
+	// Reverse direction uses its own delay.
+	if err := b.Send(echo(2, 15)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = a.AdvanceTo(17)
+	if len(got) != 0 {
+		t.Fatal("early delivery on reverse path")
+	}
+	got, _ = a.AdvanceTo(18)
+	if len(got) != 1 {
+		t.Fatal("missing delivery on reverse path")
+	}
+}
+
+func TestSimPairFIFOWithinSameDelivery(t *testing.T) {
+	a, b := NewSimPair(Netem{}, Netem{})
+	for i := uint64(1); i <= 10; i++ {
+		if err := a.Send(echo(i, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _ := b.AdvanceTo(0)
+	if len(got) != 10 {
+		t.Fatalf("got %d", len(got))
+	}
+	for i, m := range got {
+		if m.Payload.(*protocol.Echo).Seq != uint64(i+1) {
+			t.Fatalf("out of order at %d: %d", i, m.Payload.(*protocol.Echo).Seq)
+		}
+	}
+}
+
+func TestSimPairJitterDeterministic(t *testing.T) {
+	run := func() []lte.Subframe {
+		a, b := NewSimPair(Netem{OneWayTTI: 2, JitterTTI: 4, Seed: 7}, Netem{})
+		var deliveries []lte.Subframe
+		for i := uint64(0); i < 20; i++ {
+			a.AdvanceTo(lte.Subframe(i * 10))
+			a.Send(echo(i, 0))
+		}
+		for sf := lte.Subframe(0); sf < 300; sf++ {
+			got, _ := b.AdvanceTo(sf)
+			for range got {
+				deliveries = append(deliveries, sf)
+			}
+		}
+		return deliveries
+	}
+	d1, d2 := run(), run()
+	if len(d1) != 20 || len(d2) != 20 {
+		t.Fatalf("lost messages: %d, %d", len(d1), len(d2))
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("non-deterministic jitter at %d", i)
+		}
+	}
+}
+
+func TestSimPairLoss(t *testing.T) {
+	a, b := NewSimPair(Netem{LossProb: 1.0}, Netem{})
+	for i := uint64(0); i < 10; i++ {
+		a.Send(echo(i, 0))
+	}
+	got, _ := b.AdvanceTo(100)
+	if len(got) != 0 {
+		t.Errorf("loss=1.0 delivered %d messages", len(got))
+	}
+	if b.Pending() != 0 {
+		t.Error("lost messages should not stay pending")
+	}
+}
+
+func TestSimMeterCountsByCategory(t *testing.T) {
+	a, b := NewSimPair(Netem{}, Netem{})
+	a.Send(echo(1, 0))
+	a.Send(protocol.New(1, 0, &protocol.StatsReply{ID: 1, SF: 0}))
+	a.Send(protocol.New(1, 0, &protocol.SubframeTrigger{SF: 0}))
+	_ = b
+	m := a.Meter()
+	if m.Bytes(protocol.CatManagement) == 0 ||
+		m.Bytes(protocol.CatStats) == 0 ||
+		m.Bytes(protocol.CatSync) == 0 {
+		t.Errorf("meter snapshot incomplete: %v", m.Snapshot())
+	}
+	if m.Messages(protocol.CatStats) != 1 {
+		t.Errorf("stats messages = %d", m.Messages(protocol.CatStats))
+	}
+}
+
+func TestSetNetem(t *testing.T) {
+	a, b := NewSimPair(Netem{}, Netem{})
+	a.Send(echo(1, 0))
+	if got, _ := b.AdvanceTo(0); len(got) != 1 {
+		t.Fatal("baseline delivery failed")
+	}
+	a.SetNetem(Netem{OneWayTTI: 10})
+	a.AdvanceTo(5)
+	a.Send(echo(2, 5))
+	if got, _ := b.AdvanceTo(14); len(got) != 0 {
+		t.Fatal("new delay not applied")
+	}
+	if got, _ := b.AdvanceTo(15); len(got) != 1 {
+		t.Fatal("delayed message missing")
+	}
+}
+
+func TestTCPConnRoundTrip(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	accepted := make(chan *Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := <-accepted
+	defer server.Close()
+
+	// client -> server
+	want := &protocol.StatsReply{ID: 3, SF: 55, UEs: []protocol.UEStats{{RNTI: 0x46, CQI: 9}}}
+	if err := client.Send(protocol.New(2, 55, want)); err != nil {
+		t.Fatal(err)
+	}
+	got := <-server.Recv()
+	if got.ENB != 2 || got.Payload.(*protocol.StatsReply).UEs[0].CQI != 9 {
+		t.Errorf("server received %+v", got)
+	}
+
+	// server -> client
+	if err := server.Send(protocol.New(2, 56, &protocol.DLSchedule{Cell: 0, TargetSF: 60})); err != nil {
+		t.Fatal(err)
+	}
+	reply := <-client.Recv()
+	if reply.Payload.Kind() != protocol.KindDLSchedule {
+		t.Errorf("client received %v", reply.Payload.Kind())
+	}
+
+	// Metering on both sides.
+	if client.Meter().Bytes(protocol.CatStats) == 0 {
+		t.Error("client meter empty")
+	}
+	if server.Meter().Bytes(protocol.CatCommands) == 0 {
+		t.Error("server meter empty")
+	}
+}
+
+func TestTCPConnCloseEndsRecv(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan *Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-accepted
+
+	client.Close()
+	if _, ok := <-server.Recv(); ok {
+		t.Error("server Recv should close after peer disconnect")
+	}
+	server.Close()
+	if err := client.Err(); err != nil {
+		t.Errorf("local close should not set Err, got %v", err)
+	}
+}
+
+func TestTCPConnManyMessages(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan *Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := <-accepted
+	defer server.Close()
+
+	const n = 2000
+	go func() {
+		for i := uint64(0); i < n; i++ {
+			if err := client.Send(echo(i, lte.Subframe(i))); err != nil {
+				return
+			}
+		}
+	}()
+	for i := uint64(0); i < n; i++ {
+		m, ok := <-server.Recv()
+		if !ok {
+			t.Fatalf("stream ended at %d", i)
+		}
+		if m.Payload.(*protocol.Echo).Seq != i {
+			t.Fatalf("out of order at %d: %d", i, m.Payload.(*protocol.Echo).Seq)
+		}
+	}
+}

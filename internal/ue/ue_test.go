@@ -1,0 +1,145 @@
+package ue
+
+import (
+	"math"
+	"testing"
+
+	"flexran/internal/lte"
+)
+
+func total(g Generator, from, to lte.Subframe) int {
+	sum := 0
+	for sf := from; sf < to; sf++ {
+		sum += g.BytesAt(sf)
+	}
+	return sum
+}
+
+func TestCBRRate(t *testing.T) {
+	g := NewCBR(1000) // 1 Mb/s
+	got := total(g, 0, 1000)
+	want := 125000 // bytes per second at 1 Mb/s
+	if got != want {
+		t.Errorf("CBR delivered %d bytes/s, want %d", got, want)
+	}
+}
+
+func TestCBRFractionalAccumulation(t *testing.T) {
+	g := NewCBR(1) // 1 kb/s -> 0.125 bytes per TTI
+	got := total(g, 0, 8000)
+	if got != 1000 {
+		t.Errorf("1 kb/s over 8 s = %d bytes, want 1000", got)
+	}
+}
+
+func TestCBRWindow(t *testing.T) {
+	g := &CBR{RateKbps: 800, Start: 100, Stop: 200}
+	if g.BytesAt(50) != 0 {
+		t.Error("traffic before start")
+	}
+	in := total(g, 100, 200)
+	if in != 10000 {
+		t.Errorf("window bytes = %d, want 10000", in)
+	}
+	if g.BytesAt(250) != 0 {
+		t.Error("traffic after stop")
+	}
+}
+
+func TestFullBuffer(t *testing.T) {
+	g := NewFullBuffer()
+	if g.BytesAt(0) == 0 || g.BytesAt(1) == 0 {
+		t.Error("full buffer must always offer bytes")
+	}
+}
+
+func TestOnOffDutyCycle(t *testing.T) {
+	g := &OnOff{RateKbps: 1000, OnTTI: 100, OffTTI: 100}
+	on := total(g, 0, 100)
+	off := total(g, 100, 200)
+	if off != 0 {
+		t.Errorf("off phase produced %d bytes", off)
+	}
+	if on < 12000 || on > 13000 {
+		t.Errorf("on phase produced %d bytes, want ~12500", on)
+	}
+	degenerate := &OnOff{RateKbps: 1000}
+	if degenerate.BytesAt(0) != 0 {
+		t.Error("zero cycle should produce nothing")
+	}
+}
+
+func TestPoissonMeanRate(t *testing.T) {
+	g := &Poisson{MeanKbps: 2000, Seed: 3}
+	got := total(g, 0, 20000) // 20 s
+	want := 2000.0 / 8 * 20000
+	if math.Abs(float64(got)-want)/want > 0.1 {
+		t.Errorf("poisson mean = %d bytes, want ~%.0f", got, want)
+	}
+}
+
+func TestPoissonDeterministic(t *testing.T) {
+	a := &Poisson{MeanKbps: 500, Seed: 9}
+	b := &Poisson{MeanKbps: 500, Seed: 9}
+	for sf := lte.Subframe(0); sf < 2000; sf++ {
+		if a.BytesAt(sf) != b.BytesAt(sf) {
+			t.Fatalf("diverged at %v", sf)
+		}
+	}
+}
+
+func TestTCPConvergesBelowAvailable(t *testing.T) {
+	flow := NewTCP()
+	mean := flow.MeanGoodput(10, 20000)
+	if mean > 10 {
+		t.Errorf("goodput %v exceeds available", mean)
+	}
+	if mean < 8.5 || mean > 9.8 {
+		t.Errorf("steady goodput = %v, want ~0.9x of 10", mean)
+	}
+}
+
+func TestTCPReactsToBandwidthDrop(t *testing.T) {
+	flow := NewTCP()
+	flow.MeanGoodput(15, 5000)
+	// Available drops sharply: goodput must follow within a few RTTs.
+	got := flow.MeanGoodput(2, 2000)
+	if got > 2 {
+		t.Errorf("goodput %v above new available 2", got)
+	}
+	if got < 1.5 {
+		t.Errorf("goodput %v too far below available 2", got)
+	}
+}
+
+func TestMaxTCPThroughputTable2(t *testing.T) {
+	// The Table 2 calibration points (paper: 1.63, 2.2, 3.3, 15 Mb/s).
+	cases := []struct {
+		cqi  lte.CQI
+		want float64
+		tol  float64
+	}{
+		{2, 1.63, 0.25},
+		{3, 2.2, 0.3},
+		{4, 3.3, 0.4},
+		{10, 15.0, 1.2},
+	}
+	for _, c := range cases {
+		got := MaxTCPThroughput(c.cqi)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("MaxTCPThroughput(%d) = %.2f, want %.2f +- %.2f",
+				c.cqi, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestTCPThroughputMonotonicInCQI(t *testing.T) {
+	prev := 0.0
+	for c := lte.CQI(1); c <= lte.MaxCQI; c++ {
+		got := MaxTCPThroughput(c)
+		if got <= prev {
+			t.Errorf("TCP throughput not increasing at CQI %d: %v <= %v", c, got, prev)
+		}
+		prev = got
+	}
+}

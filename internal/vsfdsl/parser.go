@@ -1,0 +1,233 @@
+package vsfdsl
+
+import "fmt"
+
+// AST node kinds.
+type node interface{ astNode() }
+
+type numNode struct{ v float64 }
+
+type varNode struct{ name string }
+
+type unaryNode struct {
+	op string // "-" or "!"
+	x  node
+}
+
+type binaryNode struct {
+	op   string
+	l, r node
+}
+
+type ternaryNode struct {
+	cond, then, els node
+}
+
+type callNode struct {
+	fn   string
+	args []node
+}
+
+func (numNode) astNode()     {}
+func (varNode) astNode()     {}
+func (unaryNode) astNode()   {}
+func (binaryNode) astNode()  {}
+func (ternaryNode) astNode() {}
+func (callNode) astNode()    {}
+
+// parser is a recursive-descent parser with the usual precedence ladder:
+// ternary < || < && < comparison < additive < multiplicative < unary.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atOp(op string) bool {
+	t := p.peek()
+	return t.kind == tokOp && t.text == op
+}
+
+func parse(src string) (node, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	n, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("vsfdsl: unexpected %s at %d", t, t.pos)
+	}
+	return n, nil
+}
+
+func (p *parser) parseExpr() (node, error) { return p.parseTernary() }
+
+func (p *parser) parseTernary() (node, error) {
+	cond, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atOp("?") {
+		return cond, nil
+	}
+	p.next()
+	then, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atOp(":") {
+		t := p.peek()
+		return nil, fmt.Errorf("vsfdsl: expected ':' in ternary, got %s at %d", t, t.pos)
+	}
+	p.next()
+	els, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return ternaryNode{cond, then, els}, nil
+}
+
+func (p *parser) parseOr() (node, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("||") {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = binaryNode{"||", l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (node, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("&&") {
+		p.next()
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = binaryNode{"&&", l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseCmp() (node, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"<=", ">=", "==", "!=", "<", ">"} {
+		if p.atOp(op) {
+			p.next()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return binaryNode{op, l, r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (node, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("+") || p.atOp("-") {
+		op := p.next().text
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = binaryNode{op, l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (node, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("*") || p.atOp("/") || p.atOp("%") {
+		op := p.next().text
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = binaryNode{op, l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (node, error) {
+	if p.atOp("-") || p.atOp("!") {
+		op := p.next().text
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryNode{op, x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (node, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		return numNode{t.num}, nil
+	case tokIdent:
+		if p.peek().kind == tokLParen {
+			p.next()
+			var args []node
+			if p.peek().kind != tokRParen {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.peek().kind != tokComma {
+						break
+					}
+					p.next()
+				}
+			}
+			if p.peek().kind != tokRParen {
+				u := p.peek()
+				return nil, fmt.Errorf("vsfdsl: expected ')' after arguments, got %s at %d", u, u.pos)
+			}
+			p.next()
+			return callNode{fn: t.text, args: args}, nil
+		}
+		return varNode{t.text}, nil
+	case tokLParen:
+		n, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokRParen {
+			u := p.peek()
+			return nil, fmt.Errorf("vsfdsl: expected ')', got %s at %d", u, u.pos)
+		}
+		p.next()
+		return n, nil
+	default:
+		return nil, fmt.Errorf("vsfdsl: unexpected %s at %d", t, t.pos)
+	}
+}

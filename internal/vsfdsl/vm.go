@@ -1,0 +1,106 @@
+package vsfdsl
+
+import (
+	"fmt"
+	"math"
+)
+
+// Eval executes the program against the given environment values, which
+// must be in the same slot order as Vars(). It allocates a fresh operand
+// stack; use EvalStack on hot paths.
+func (p *Program) Eval(env []float64) (float64, error) {
+	return p.EvalStack(env, make([]float64, p.maxStack))
+}
+
+// EvalStack executes the program using the caller-provided operand stack,
+// which must have capacity >= MaxStack(). Because programs are verified at
+// load time, execution performs no per-instruction bounds or type checks
+// and cannot loop: every jump is strictly forward.
+func (p *Program) EvalStack(env, stack []float64) (float64, error) {
+	if len(env) != len(p.vars) {
+		return 0, fmt.Errorf("vsfdsl: environment has %d values, program binds %d",
+			len(env), len(p.vars))
+	}
+	if cap(stack) < p.maxStack {
+		return 0, fmt.Errorf("vsfdsl: stack capacity %d < required %d",
+			cap(stack), p.maxStack)
+	}
+	stack = stack[:cap(stack)]
+	sp := 0 // next free slot
+	pc := 0
+	for pc < len(p.code) {
+		in := p.code[pc]
+		pc++
+		switch in.op {
+		case opConst:
+			stack[sp] = p.consts[in.arg]
+			sp++
+		case opLoad:
+			stack[sp] = env[in.arg]
+			sp++
+		case opAdd:
+			sp--
+			stack[sp-1] += stack[sp]
+		case opSub:
+			sp--
+			stack[sp-1] -= stack[sp]
+		case opMul:
+			sp--
+			stack[sp-1] *= stack[sp]
+		case opDiv:
+			sp--
+			stack[sp-1] /= stack[sp] // IEEE semantics: x/0 = ±Inf, 0/0 = NaN
+		case opMod:
+			sp--
+			stack[sp-1] = math.Mod(stack[sp-1], stack[sp])
+		case opNeg:
+			stack[sp-1] = -stack[sp-1]
+		case opNot:
+			stack[sp-1] = b2f(stack[sp-1] == 0)
+		case opLt:
+			sp--
+			stack[sp-1] = b2f(stack[sp-1] < stack[sp])
+		case opGt:
+			sp--
+			stack[sp-1] = b2f(stack[sp-1] > stack[sp])
+		case opLe:
+			sp--
+			stack[sp-1] = b2f(stack[sp-1] <= stack[sp])
+		case opGe:
+			sp--
+			stack[sp-1] = b2f(stack[sp-1] >= stack[sp])
+		case opEq:
+			sp--
+			stack[sp-1] = b2f(stack[sp-1] == stack[sp])
+		case opNe:
+			sp--
+			stack[sp-1] = b2f(stack[sp-1] != stack[sp])
+		case opAnd:
+			sp--
+			stack[sp-1] = b2f(stack[sp-1] != 0 && stack[sp] != 0)
+		case opOr:
+			sp--
+			stack[sp-1] = b2f(stack[sp-1] != 0 || stack[sp] != 0)
+		case opJump:
+			pc = int(in.arg)
+		case opJumpIfZ:
+			sp--
+			if stack[sp] == 0 {
+				pc = int(in.arg)
+			}
+		case opCall:
+			b := &builtins[in.arg]
+			sp -= b.arity
+			stack[sp] = b.fn(stack[sp : sp+b.arity])
+			sp++
+		}
+	}
+	return stack[0], nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

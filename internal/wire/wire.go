@@ -1,0 +1,314 @@
+// Package wire implements the compact binary serialization used by the
+// FlexRAN protocol. The original system serializes its control messages
+// with Google Protocol Buffers; this package is a from-scratch, stdlib-only
+// equivalent using the same wire-level ideas: base-128 varints, zigzag
+// encoding for signed integers, and tagged fields with explicit wire types
+// so unknown fields can be skipped (forward compatibility, which the paper
+// calls out as a requirement for protocol evolvability).
+//
+// Wire format: each field is a varint key (fieldNumber<<3 | wireType)
+// followed by the payload. Supported wire types are Varint, Fixed64 and
+// Bytes (length-delimited), matching protobuf types 0, 1 and 2.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Type is the wire type of an encoded field.
+type Type uint8
+
+// Wire types (numerically compatible with protobuf).
+const (
+	TVarint  Type = 0
+	TFixed64 Type = 1
+	TBytes   Type = 2
+)
+
+// Errors returned by the decoder.
+var (
+	ErrTruncated = errors.New("wire: truncated message")
+	ErrOverflow  = errors.New("wire: varint overflows 64 bits")
+	ErrWireType  = errors.New("wire: unexpected wire type")
+)
+
+// MaxFieldNumber is the largest supported field number.
+const MaxFieldNumber = 1 << 28
+
+// AppendUvarint appends v in base-128 varint encoding.
+func AppendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// Zigzag encodes a signed integer so small magnitudes stay small.
+func Zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// Unzigzag reverses Zigzag.
+func Unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Marshaler is implemented by protocol messages that can encode themselves.
+type Marshaler interface {
+	MarshalWire(e *Encoder)
+}
+
+// Unmarshaler is implemented by protocol messages that can decode
+// themselves from a field stream.
+type Unmarshaler interface {
+	UnmarshalWire(d *Decoder) error
+}
+
+// Encoder builds an encoded message by appending tagged fields.
+// The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder whose buffer has the given capacity hint.
+func NewEncoder(sizeHint int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, sizeHint)}
+}
+
+// Bytes returns the encoded message. The returned slice aliases the
+// encoder's buffer and is valid until the next append.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the current encoded size in bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset clears the encoder for reuse, retaining the allocation.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+func (e *Encoder) key(field int, t Type) {
+	e.buf = AppendUvarint(e.buf, uint64(field)<<3|uint64(t))
+}
+
+// Uint encodes an unsigned integer field as a varint.
+func (e *Encoder) Uint(field int, v uint64) {
+	e.key(field, TVarint)
+	e.buf = AppendUvarint(e.buf, v)
+}
+
+// Int encodes a signed integer field with zigzag varint encoding.
+func (e *Encoder) Int(field int, v int64) {
+	e.key(field, TVarint)
+	e.buf = AppendUvarint(e.buf, Zigzag(v))
+}
+
+// Bool encodes a boolean field (as varint 0/1).
+func (e *Encoder) Bool(field int, v bool) {
+	var u uint64
+	if v {
+		u = 1
+	}
+	e.Uint(field, u)
+}
+
+// Float encodes a float64 field as fixed64 (IEEE 754 bits, little endian).
+func (e *Encoder) Float(field int, v float64) {
+	e.key(field, TFixed64)
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+// Bytes64 encodes raw bytes as a length-delimited field.
+func (e *Encoder) BytesField(field int, b []byte) {
+	e.key(field, TBytes)
+	e.buf = AppendUvarint(e.buf, uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// String encodes a string as a length-delimited field.
+func (e *Encoder) String(field int, s string) {
+	e.key(field, TBytes)
+	e.buf = AppendUvarint(e.buf, uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Message encodes a nested message as a length-delimited field.
+func (e *Encoder) Message(field int, m Marshaler) {
+	var sub Encoder
+	m.MarshalWire(&sub)
+	e.BytesField(field, sub.buf)
+}
+
+// UintSlice encodes a packed repeated varint field.
+func (e *Encoder) UintSlice(field int, vs []uint64) {
+	var sub []byte
+	for _, v := range vs {
+		sub = AppendUvarint(sub, v)
+	}
+	e.BytesField(field, sub)
+}
+
+// Decoder reads tagged fields from an encoded message.
+type Decoder struct {
+	buf []byte
+	pos int
+
+	field int
+	typ   Type
+}
+
+// NewDecoder returns a decoder over b. The decoder does not copy b.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Next advances to the next field, returning false at end of message.
+// After a true return, Field and WireType describe the pending field, which
+// must be consumed by exactly one Read* or Skip call.
+func (d *Decoder) Next() (bool, error) {
+	if d.pos >= len(d.buf) {
+		return false, nil
+	}
+	key, err := d.uvarint()
+	if err != nil {
+		return false, err
+	}
+	d.field = int(key >> 3)
+	d.typ = Type(key & 7)
+	if d.field <= 0 || d.field > MaxFieldNumber {
+		return false, fmt.Errorf("wire: invalid field number %d", d.field)
+	}
+	switch d.typ {
+	case TVarint, TFixed64, TBytes:
+		return true, nil
+	default:
+		return false, fmt.Errorf("%w: %d", ErrWireType, d.typ)
+	}
+}
+
+// Field returns the field number of the pending field.
+func (d *Decoder) Field() int { return d.field }
+
+// WireType returns the wire type of the pending field.
+func (d *Decoder) WireType() Type { return d.typ }
+
+func (d *Decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		if n == 0 {
+			return 0, ErrTruncated
+		}
+		return 0, ErrOverflow
+	}
+	d.pos += n
+	return v, nil
+}
+
+// ReadUint consumes the pending varint field.
+func (d *Decoder) ReadUint() (uint64, error) {
+	if d.typ != TVarint {
+		return 0, ErrWireType
+	}
+	return d.uvarint()
+}
+
+// ReadInt consumes the pending zigzag varint field.
+func (d *Decoder) ReadInt() (int64, error) {
+	u, err := d.ReadUint()
+	return Unzigzag(u), err
+}
+
+// ReadBool consumes the pending varint field as a boolean.
+func (d *Decoder) ReadBool() (bool, error) {
+	u, err := d.ReadUint()
+	return u != 0, err
+}
+
+// ReadFloat consumes the pending fixed64 field as a float64.
+func (d *Decoder) ReadFloat() (float64, error) {
+	if d.typ != TFixed64 {
+		return 0, ErrWireType
+	}
+	if d.pos+8 > len(d.buf) {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.pos:])
+	d.pos += 8
+	return math.Float64frombits(v), nil
+}
+
+// ReadBytes consumes the pending length-delimited field. The returned slice
+// aliases the decoder's buffer.
+func (d *Decoder) ReadBytes() ([]byte, error) {
+	if d.typ != TBytes {
+		return nil, ErrWireType
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		return nil, ErrTruncated
+	}
+	b := d.buf[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return b, nil
+}
+
+// ReadString consumes the pending length-delimited field as a string.
+func (d *Decoder) ReadString() (string, error) {
+	b, err := d.ReadBytes()
+	return string(b), err
+}
+
+// ReadMessage consumes the pending length-delimited field and decodes it
+// into m.
+func (d *Decoder) ReadMessage(m Unmarshaler) error {
+	b, err := d.ReadBytes()
+	if err != nil {
+		return err
+	}
+	return m.UnmarshalWire(NewDecoder(b))
+}
+
+// ReadUintSlice consumes a packed repeated varint field.
+func (d *Decoder) ReadUintSlice() ([]uint64, error) {
+	b, err := d.ReadBytes()
+	if err != nil {
+		return nil, err
+	}
+	sub := NewDecoder(b)
+	var out []uint64
+	for sub.pos < len(sub.buf) {
+		v, err := sub.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Skip consumes the pending field without interpreting it. This is how
+// receivers tolerate protocol extensions they do not know about.
+func (d *Decoder) Skip() error {
+	switch d.typ {
+	case TVarint:
+		_, err := d.uvarint()
+		return err
+	case TFixed64:
+		if d.pos+8 > len(d.buf) {
+			return ErrTruncated
+		}
+		d.pos += 8
+		return nil
+	case TBytes:
+		_, err := d.ReadBytes()
+		return err
+	}
+	return ErrWireType
+}
+
+// Marshal encodes a message into a fresh byte slice.
+func Marshal(m Marshaler) []byte {
+	var e Encoder
+	m.MarshalWire(&e)
+	return e.Bytes()
+}
+
+// Unmarshal decodes b into m.
+func Unmarshal(b []byte, m Unmarshaler) error {
+	return m.UnmarshalWire(NewDecoder(b))
+}

@@ -1,0 +1,106 @@
+package flexran
+
+import (
+	"fmt"
+	"time"
+
+	"flexran/internal/controller"
+	"flexran/internal/transport"
+)
+
+// This file is the wall-clock deployment mode: the master and agents run
+// as separate processes connected over TCP (the paper's testbed setup,
+// used by cmd/flexran-master and cmd/flexran-enb). The virtual-time mode
+// in internal/sim shares all control-plane code with these loops.
+
+// DefaultMasterAddr is the default FlexRAN control port.
+const DefaultMasterAddr = ":2210"
+
+// ServeMaster runs a master controller over TCP: an accept loop feeding
+// agent connections into the master, plus the task-manager tick loop at
+// one cycle per TTI (1 ms). It blocks until stop is closed or the
+// listener fails.
+func ServeMaster(m *Master, addr string, stop <-chan struct{}) error {
+	l, err := transport.Listen(addr)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+
+	go func() {
+		<-stop
+		l.Close()
+	}()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			deliver := m.HandleAgent(conn.Send)
+			go func() {
+				for msg := range conn.Recv() {
+					deliver(msg)
+				}
+				conn.Close()
+			}()
+		}
+	}()
+
+	ticker := time.NewTicker(time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return nil
+		case <-ticker.C:
+			m.Tick()
+		}
+	}
+}
+
+// RunAgentLoop connects an agent-enabled eNodeB to a master over TCP and
+// runs the data plane in real time: one subframe per millisecond, with
+// inbound control messages dispatched between subframes (the agent and
+// eNodeB are single-threaded by design; the loop provides the
+// serialization). It blocks until stop is closed or the connection fails.
+func RunAgentLoop(a *Agent, masterAddr string, stop <-chan struct{}) error {
+	conn, err := transport.Dial(masterAddr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	a.Connect(conn.Send)
+
+	ticker := time.NewTicker(time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return nil
+		case msg, ok := <-conn.Recv():
+			if !ok {
+				if err := conn.Err(); err != nil {
+					return fmt.Errorf("flexran: control channel: %w", err)
+				}
+				return nil
+			}
+			a.Deliver(msg)
+		case <-ticker.C:
+			a.ENB().Step()
+		}
+	}
+}
+
+// MasterSummary renders a one-line status of the master's RIB, for
+// monitoring output in the cmd binaries.
+func MasterSummary(m *controller.Master) string {
+	rib := m.RIB()
+	agents := rib.Agents()
+	total := 0
+	for _, id := range agents {
+		total += rib.UECount(id)
+	}
+	return fmt.Sprintf("cycle=%d agents=%d ues=%d rib=%d records",
+		m.Cycle(), len(agents), total, rib.Size())
+}
