@@ -13,6 +13,7 @@ package flexran_test
 //	go test -bench=. -benchmem .
 
 import (
+	"fmt"
 	"testing"
 
 	"flexran"
@@ -269,5 +270,46 @@ func BenchmarkSimTTI(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Step()
+	}
+}
+
+// newScaleSim builds the 64-eNodeB scale scenario used by the parallel
+// engine benchmark: 64 agents with per-TTI reporting, 8 backlogged UEs
+// each (512 UEs total), stepped by a worker pool of the given size.
+func newScaleSim(workers int) *flexran.Sim {
+	opts := flexran.DefaultMasterOptions()
+	var enbs []flexran.ENBSpec
+	for e := 0; e < 64; e++ {
+		spec := flexran.ENBSpec{
+			ID: flexran.ENBID(e + 1), Agent: true, Seed: int64(e + 1),
+		}
+		for u := 0; u < 8; u++ {
+			spec.UEs = append(spec.UEs, flexran.UESpec{
+				IMSI:    uint64(e*100 + u + 1),
+				Channel: flexran.FixedChannel(flexran.CQI(6 + (e+u)%9)),
+				DL:      flexran.NewCBR(500),
+			})
+		}
+		enbs = append(enbs, spec)
+	}
+	s := flexran.MustNewSim(flexran.SimConfig{Master: &opts, Workers: workers}, enbs...)
+	s.WaitAttached(2000)
+	return s
+}
+
+// BenchmarkSimTTIParallel sweeps the sharded TTI engine's worker-pool
+// size over the 64-eNodeB scenario. workers=1 is the serial engine
+// baseline; the speedup at higher counts is the Fig. 8-style scaling
+// claim of the sharded engine (expect ~linear up to the core count —
+// runs on a single-core machine show ~1x throughout).
+func BenchmarkSimTTIParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s := newScaleSim(workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Step()
+			}
+		})
 	}
 }

@@ -30,6 +30,11 @@
 //	s.WaitAttached(1000)
 //	s.RunSeconds(2)
 //
+// Large scenarios scale across cores: SimConfig.Workers sizes the sharded
+// TTI engine's worker pool (0 defaults to GOMAXPROCS), which partitions
+// every phase of a TTI across eNodeBs with results bit-for-bit identical
+// to the serial engine. See examples/scale for a 64-eNodeB deployment.
+//
 // For wall-clock deployments over TCP, see ServeMaster and RunAgentLoop.
 // The experiments regenerating every table and figure of the paper live in
 // internal/experiments and are runnable via cmd/flexran-exp.
@@ -114,7 +119,8 @@ type (
 type (
 	// Sim is a running virtual-time scenario.
 	Sim = sim.Sim
-	// SimConfig configures a scenario.
+	// SimConfig configures a scenario, including the sharded TTI
+	// engine's worker-pool size (SimConfig.Workers).
 	SimConfig = sim.Config
 	// ENBSpec declares one eNodeB of a scenario.
 	ENBSpec = sim.ENBSpec

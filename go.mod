@@ -1,0 +1,3 @@
+module flexran
+
+go 1.24

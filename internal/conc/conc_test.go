@@ -1,0 +1,31 @@
+package conc
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 100} {
+		const n = 57
+		var seen [n]atomic.Int32
+		ForEach(workers, n, func(i int) { seen[i].Add(1) })
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	ForEach(4, 0, func(int) { t.Fatal("fn called for n=0") })
+}
+
+func TestForEachIsBarrier(t *testing.T) {
+	var done atomic.Int32
+	ForEach(8, 200, func(int) { done.Add(1) })
+	if done.Load() != 200 {
+		t.Fatalf("ForEach returned before all work finished: %d/200", done.Load())
+	}
+}

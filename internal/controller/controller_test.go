@@ -387,3 +387,58 @@ func TestDisconnectAgent(t *testing.T) {
 		t.Error("send after disconnect accepted")
 	}
 }
+
+func TestSessionCloseDropsLateTraffic(t *testing.T) {
+	m := controller.NewMaster(controller.DefaultOptions())
+	sess := m.HandleAgentSession(func(*protocol.Message) error { return nil })
+	sess.Deliver(protocol.New(7, 0, &protocol.Hello{Version: protocol.ProtocolVersion}))
+	m.Tick()
+	if !m.RIB().Connected(7) {
+		t.Fatal("agent not connected after hello")
+	}
+	sess.Close()
+	if m.RIB().Connected(7) {
+		t.Fatal("still connected after close")
+	}
+	// Traffic delivered after the close must be dropped (the session may
+	// already be pruned from the drain list), not stranded or applied.
+	sess.Deliver(protocol.New(7, 1, &protocol.SubframeTrigger{SF: 99}))
+	m.Tick()
+	m.Tick()
+	if sf, _ := m.RIB().AgentSF(7); sf == 99 {
+		t.Error("post-close message reached the RIB")
+	}
+}
+
+func TestSessionCloseBeforeHelloApplied(t *testing.T) {
+	// A connection that dies with its hello still queued must not leave
+	// a ghost connected agent in the RIB.
+	m := controller.NewMaster(controller.DefaultOptions())
+	sess := m.HandleAgentSession(func(*protocol.Message) error { return nil })
+	sess.Deliver(protocol.New(8, 0, &protocol.Hello{Version: protocol.ProtocolVersion}))
+	sess.Close()
+	m.Tick()
+	if m.RIB().Connected(8) {
+		t.Error("ghost connected agent after close-before-apply")
+	}
+}
+
+func TestStaleCloseDoesNotDisconnectReconnectedAgent(t *testing.T) {
+	m := controller.NewMaster(controller.DefaultOptions())
+	old := m.HandleAgentSession(func(*protocol.Message) error { return nil })
+	old.Deliver(protocol.New(9, 0, &protocol.Hello{Version: protocol.ProtocolVersion}))
+	m.Tick()
+	// The agent reconnects on a new transport and rebinds the ENB...
+	fresh := m.HandleAgentSession(func(*protocol.Message) error { return nil })
+	fresh.Deliver(protocol.New(9, 1, &protocol.Hello{Version: protocol.ProtocolVersion}))
+	m.Tick()
+	if !m.RIB().Connected(9) {
+		t.Fatal("reconnected agent not connected")
+	}
+	// ...then the stale connection's reader finally exits. Its close
+	// must not mark the live agent down.
+	old.Close()
+	if !m.RIB().Connected(9) {
+		t.Error("stale close disconnected the live reconnected agent")
+	}
+}

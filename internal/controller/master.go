@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"flexran/internal/conc"
 	"flexran/internal/lte"
 	"flexran/internal/metrics"
 	"flexran/internal/protocol"
@@ -26,6 +27,13 @@ type Options struct {
 	SyncPeriodTTI int
 	// TrustKey signs pushed VSFs.
 	TrustKey string
+	// Workers bounds the parallelism of the RIB-updater slot: ingest
+	// batches from up to Workers agent sessions are absorbed concurrently
+	// (messages of one session stay ordered, and sessions for different
+	// eNodeBs touch different RIB shards). 0 or 1 keeps the updater
+	// serial. Results are identical for any value — see the sharded-RIB
+	// notes in rib.go.
+	Workers int
 }
 
 // DefaultOptions mirror the paper's demanding evaluation setup: per-TTI
@@ -75,13 +83,60 @@ type appEntry struct {
 	order    int // registration order breaks priority ties
 }
 
+// session is the master-side state of one agent transport. Inbound
+// messages are absorbed into the per-session queue (one cheap lock per
+// batch, never contended across eNodeBs) and drained by the RIB Updater
+// on the next Tick, preserving per-session ordering.
 type session struct {
-	enb  lte.ENBID
 	send func(*protocol.Message) error
+
+	qmu    sync.Mutex // guards queue and closed
+	queue  []*protocol.Message
+	closed bool
+
+	// enb is guarded by Master.mu; lastReport is only touched from the
+	// task-manager cycle (at most one updater per session).
+	enb        lte.ENBID
+	lastReport lte.Subframe
 }
 
-type inbound struct {
-	msg *protocol.Message
+// enqueue appends a batch to the session's ingest queue. Batches
+// arriving after the session closed are dropped: a closed session may
+// already be pruned from the master's drain list, and appending to a
+// queue nothing drains would leak without bound.
+func (s *session) enqueue(msgs []*protocol.Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	s.qmu.Lock()
+	if !s.closed {
+		s.queue = append(s.queue, msgs...)
+	}
+	s.qmu.Unlock()
+}
+
+// drain takes the queued batch.
+func (s *session) drain() []*protocol.Message {
+	s.qmu.Lock()
+	out := s.queue
+	s.queue = nil
+	s.qmu.Unlock()
+	return out
+}
+
+// isClosed reports whether the session has been closed.
+func (s *session) isClosed() bool {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return s.closed
+}
+
+// tickSink collects the side effects of applying one session's batch, so
+// parallel updaters stay isolated; Tick merges sinks in session order,
+// which keeps event and ack dispatch deterministic.
+type tickSink struct {
+	events []AgentEvent
+	acks   []protocol.ControlAck
 }
 
 // Master is the FlexRAN master controller.
@@ -90,19 +145,13 @@ type Master struct {
 	rib  *RIB
 
 	mu       sync.Mutex
-	sessions map[lte.ENBID]*session
+	sessions map[lte.ENBID]*session // send routing, by bound agent id
+	ingest   []*session             // every attached session, in attach order
 	apps     []appEntry
 	nextApp  int
-	inbox    []inbound
-	events   []AgentEvent
 	acks     []protocol.ControlAck
 
 	cycle lte.Subframe
-	// lastReport tracks the master cycle of each agent's latest stats
-	// report, driving subscription maintenance: a lossy control channel
-	// can swallow the one-shot welcome subscription, so the master
-	// re-issues it when an agent goes quiet.
-	lastReport map[lte.ENBID]lte.Subframe
 
 	// Task-manager accounting (Fig. 8): per-cycle CPU time spent in the
 	// RIB updater ("core components") and in applications.
@@ -119,10 +168,9 @@ func NewMaster(opts Options) *Master {
 		opts.TrustKey = defaultTrustKey
 	}
 	return &Master{
-		opts:       opts,
-		rib:        NewRIB(),
-		sessions:   map[lte.ENBID]*session{},
-		lastReport: map[lte.ENBID]lte.Subframe{},
+		opts:     opts,
+		rib:      NewRIB(),
+		sessions: map[lte.ENBID]*session{},
 	}
 }
 
@@ -169,28 +217,73 @@ func (m *Master) Apps() []string {
 	return out
 }
 
-// HandleAgent attaches one agent transport. send transmits master-to-agent
-// messages; the returned function is how the transport driver delivers
-// agent-to-master messages (they are queued and applied by the RIB Updater
-// during the next Tick, preserving the single-writer design).
-func (m *Master) HandleAgent(send func(*protocol.Message) error) func(*protocol.Message) {
+// AgentSession is the master-side handle of one attached agent transport.
+type AgentSession struct {
+	m *Master
+	s *session
+}
+
+// Deliver queues a batch of agent-to-master messages for the next Tick.
+// One lock round-trip covers the whole batch, and batches from different
+// sessions are absorbed concurrently.
+func (as *AgentSession) Deliver(msgs ...*protocol.Message) {
+	as.s.enqueue(msgs)
+}
+
+// Close marks the session closed: its remaining queue is still applied on
+// the next Tick (matching delivery-then-disconnect semantics), after
+// which the master drops the session.
+func (as *AgentSession) Close() {
+	as.m.closeSession(as.s)
+}
+
+// HandleAgentSession attaches one agent transport. send transmits
+// master-to-agent messages; the returned handle is how the transport
+// driver delivers agent-to-master messages (they are queued per session
+// and applied by the RIB Updater during the next Tick).
+func (m *Master) HandleAgentSession(send func(*protocol.Message) error) *AgentSession {
 	s := &session{send: send}
-	return func(msg *protocol.Message) {
-		m.mu.Lock()
-		if s.enb == 0 && msg.Payload.Kind() == protocol.KindHello {
-			s.enb = msg.ENB
-			m.sessions[msg.ENB] = s
-		}
-		m.inbox = append(m.inbox, inbound{msg: msg})
-		m.mu.Unlock()
+	m.mu.Lock()
+	m.ingest = append(m.ingest, s)
+	m.mu.Unlock()
+	return &AgentSession{m: m, s: s}
+}
+
+// HandleAgent is the single-message convenience form of
+// HandleAgentSession, kept for drivers that deliver one message at a time.
+func (m *Master) HandleAgent(send func(*protocol.Message) error) func(*protocol.Message) {
+	as := m.HandleAgentSession(send)
+	return func(msg *protocol.Message) { as.Deliver(msg) }
+}
+
+func (m *Master) closeSession(s *session) {
+	s.qmu.Lock()
+	s.closed = true
+	s.qmu.Unlock()
+	m.mu.Lock()
+	enb := s.enb
+	// Only the session that still owns the ENB binding may mark the
+	// agent disconnected: a reconnected agent's newer session must not
+	// be flagged down by the stale connection's belated close.
+	owner := enb != 0 && m.sessions[enb] == s
+	if owner {
+		delete(m.sessions, enb)
+	}
+	m.mu.Unlock()
+	if owner {
+		m.rib.applyDisconnect(enb)
 	}
 }
 
-// DisconnectAgent marks an agent session closed.
+// DisconnectAgent marks an agent session closed by eNodeB id.
 func (m *Master) DisconnectAgent(enb lte.ENBID) {
 	m.mu.Lock()
-	delete(m.sessions, enb)
+	s := m.sessions[enb]
 	m.mu.Unlock()
+	if s != nil {
+		m.closeSession(s)
+		return
+	}
 	m.rib.applyDisconnect(enb)
 }
 
@@ -205,34 +298,49 @@ func (m *Master) Send(enb lte.ENBID, p protocol.Payload) error {
 	return s.send(protocol.New(enb, m.cycle, p))
 }
 
-// Tick runs one task-manager cycle: the RIB Updater slot (drain inbound
-// messages into the RIB — the only writer), then the application slot
-// (priority-ordered OnTick calls and event dispatch). In the deployment
-// mode each cycle is pinned to one TTI; in simulation the caller invokes
-// Tick once per simulated subframe.
+// Tick runs one task-manager cycle: the RIB Updater slot (drain the
+// per-session ingest queues into the RIB — at most one updater per
+// agent), then the application slot (priority-ordered OnTick calls and
+// event dispatch). With Options.Workers > 1 the updater slot fans the
+// session batches out across a worker pool; per-session ordering and the
+// session-ordered merge of events/acks keep the observable behaviour
+// identical to the serial updater. In the deployment mode each cycle is
+// pinned to one TTI; in simulation the caller invokes Tick once per
+// simulated subframe.
 func (m *Master) Tick() {
 	m.mu.Lock()
-	inbox := m.inbox
-	m.inbox = nil
+	sessions := append([]*session(nil), m.ingest...)
 	apps := append([]appEntry(nil), m.apps...)
 	m.mu.Unlock()
 
 	// --- RIB Updater slot ---
 	t0 := time.Now()
-	for _, in := range inbox {
-		m.applyInbound(in.msg)
+	batches := make([][]*protocol.Message, len(sessions))
+	for i, s := range sessions {
+		batches[i] = s.drain()
+	}
+	sinks := make([]tickSink, len(sessions))
+	conc.ForEach(m.opts.Workers, len(sessions), func(i int) {
+		m.applyBatch(sessions[i], batches[i], &sinks[i])
+	})
+	var events []AgentEvent
+	var acks []protocol.ControlAck
+	for i := range sinks {
+		events = append(events, sinks[i].events...)
+		acks = append(acks, sinks[i].acks...)
+	}
+	if len(acks) > 0 {
+		m.mu.Lock()
+		m.acks = append(m.acks, acks...)
+		m.mu.Unlock()
 	}
 	if m.opts.StatsPeriodTTI > 0 && m.cycle%maintenanceEvery == maintenanceEvery-1 {
-		m.maintainSubscriptions()
+		m.maintainSubscriptions(sessions)
 	}
+	m.pruneClosed(sessions)
 	core := time.Since(t0)
 
 	// --- Application slot ---
-	m.mu.Lock()
-	events := m.events
-	m.events = nil
-	m.mu.Unlock()
-
 	t1 := time.Now()
 	ctx := &Context{master: m, Now: m.cycle}
 	for _, e := range apps {
@@ -254,35 +362,55 @@ func (m *Master) Tick() {
 	m.mu.Unlock()
 }
 
+// applyBatch runs the RIB Updater for one session's drained batch. Every
+// message of a session addresses the same agent (its RIB shard), so
+// concurrent applyBatch calls for different sessions do not contend.
+func (m *Master) applyBatch(s *session, msgs []*protocol.Message, sink *tickSink) {
+	for _, msg := range msgs {
+		m.applyInbound(s, msg, sink)
+	}
+}
+
 // applyInbound is the RIB Updater: the single component allowed to mutate
 // the RIB (paper Fig. 5).
-func (m *Master) applyInbound(msg *protocol.Message) {
+func (m *Master) applyInbound(s *session, msg *protocol.Message, sink *tickSink) {
 	switch p := msg.Payload.(type) {
 	case *protocol.Hello:
+		m.mu.Lock()
+		closed := s.isClosed()
+		if !closed && s.enb == 0 {
+			s.enb = msg.ENB
+			m.sessions[msg.ENB] = s
+		}
+		m.mu.Unlock()
+		if closed {
+			return
+		}
 		m.rib.applyHello(msg.ENB, p.Config)
 		m.welcome(msg.ENB)
+		// Close may have raced the shard publish above (it runs its
+		// applyDisconnect against a shard that does not exist yet);
+		// retract the liveness if the session closed meanwhile, so the
+		// RIB never reports a ghost connected agent.
+		if s.isClosed() {
+			m.rib.applyDisconnect(msg.ENB)
+		}
 	case *protocol.ENBConfigReply:
 		m.rib.applyHello(msg.ENB, p.Config)
 	case *protocol.SubframeTrigger:
 		m.rib.applySF(msg.ENB, p.SF)
 	case *protocol.StatsReply:
 		m.rib.applyStats(msg.ENB, p)
-		m.mu.Lock()
-		m.lastReport[msg.ENB] = m.cycle
-		m.mu.Unlock()
+		s.lastReport = m.cycle
 	case *protocol.UEEvent:
 		m.rib.applyUEEvent(msg.ENB, p)
-		m.mu.Lock()
-		m.events = append(m.events, AgentEvent{
+		sink.events = append(sink.events, AgentEvent{
 			ENB: msg.ENB, SF: msg.SF, Type: p.Type, RNTI: p.RNTI, Cell: p.Cell,
 		})
-		m.mu.Unlock()
 	case *protocol.EchoReply:
 		m.rib.applySF(msg.ENB, p.SenderSF)
 	case *protocol.ControlAck:
-		m.mu.Lock()
-		m.acks = append(m.acks, *p)
-		m.mu.Unlock()
+		sink.acks = append(sink.acks, *p)
 	}
 }
 
@@ -310,25 +438,55 @@ func (m *Master) welcome(enb lte.ENBID) {
 
 // maintainSubscriptions re-issues the default subscriptions toward agents
 // whose reporting went quiet (lost subscription or restarted agent).
-func (m *Master) maintainSubscriptions() {
-	m.mu.Lock()
-	var stale []lte.ENBID
-	for enb := range m.sessions {
-		if m.cycle-m.lastReport[enb] > staleAfter {
-			stale = append(stale, enb)
+func (m *Master) maintainSubscriptions(sessions []*session) {
+	for _, s := range sessions {
+		m.mu.Lock()
+		enb := s.enb
+		m.mu.Unlock()
+		if enb == 0 || s.isClosed() || m.cycle-s.lastReport <= staleAfter {
+			continue
 		}
-	}
-	cycle := m.cycle
-	m.mu.Unlock()
-	for _, enb := range stale {
 		if !m.rib.Connected(enb) {
 			continue
 		}
 		m.welcome(enb)
-		m.mu.Lock()
-		m.lastReport[enb] = cycle // back off until the next window
-		m.mu.Unlock()
+		s.lastReport = m.cycle // back off until the next window
 	}
+}
+
+// pruneClosed drops closed sessions that were drained this tick and have
+// received nothing since: a batch delivered between the drain and the
+// close must still be applied (next tick) before the session goes away.
+func (m *Master) pruneClosed(drained []*session) {
+	anyClosed := false
+	for _, s := range drained {
+		if s.isClosed() {
+			anyClosed = true
+			break
+		}
+	}
+	if !anyClosed {
+		return
+	}
+	was := make(map[*session]bool, len(drained))
+	for _, s := range drained {
+		was[s] = true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	live := m.ingest[:0]
+	for _, s := range m.ingest {
+		if was[s] {
+			s.qmu.Lock()
+			gone := s.closed && len(s.queue) == 0
+			s.qmu.Unlock()
+			if gone {
+				continue
+			}
+		}
+		live = append(live, s)
+	}
+	m.ingest = live
 }
 
 // Acks drains the control acknowledgements received so far.

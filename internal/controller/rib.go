@@ -1,13 +1,14 @@
 // Package controller implements the FlexRAN master controller (paper
 // §4.3.3): the RAN Information Base (a forest of agents, cells and UEs),
-// the single-writer RIB Updater, the Task Manager running applications in
-// TTI cycles, the Event Notification Service and the northbound API that
-// RAN control/management applications program against.
+// the single-writer-per-agent RIB Updater, the Task Manager running
+// applications in TTI cycles, the Event Notification Service and the
+// northbound API that RAN control/management applications program against.
 package controller
 
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"flexran/internal/lte"
 	"flexran/internal/protocol"
@@ -27,82 +28,119 @@ type CellRecord struct {
 	UEs    map[lte.RNTI]*UERecord
 }
 
-// AgentRecord is the root of one tree in the RIB forest.
-type AgentRecord struct {
-	Config protocol.ENBConfig
-	// LastSF is the latest agent subframe observed (from subframe
-	// triggers or report stamps): the master's view of agent time,
-	// outdated by half the control-channel RTT (paper §5.3).
-	LastSF     lte.Subframe
-	LastReport lte.Subframe
-	Connected  bool
-	Cells      map[lte.CellID]*CellRecord
+// agentShard is one shard of the RIB: the complete record of one agent.
+// Sharding by ENBID works because every inbound message mutates exactly
+// one agent's subtree, so updaters for different eNodeBs never contend.
+// Hot scalar fields (agent time, liveness, UE count) are atomics so the
+// corresponding read paths take no lock at all.
+type agentShard struct {
+	mu     sync.RWMutex // guards config and the cells subtree
+	config protocol.ENBConfig
+	cells  map[lte.CellID]*CellRecord
+
+	lastSF    atomic.Uint64 // lte.Subframe of the agent's latest observed time
+	connected atomic.Bool
+	ueCount   atomic.Int64
 }
 
-// RIB is the RAN Information Base. Mutation is reserved to the RIB
-// Updater (the master's Tick); applications read concurrently. The paper's
-// single-writer/multi-reader discipline is enforced with an RWMutex so the
-// wall-clock deployment mode is also safe.
+// ribTopology is the copy-on-write agent directory. The shard set only
+// changes on Hello (rare), so it is republished wholesale and readers
+// resolve ENBID to shard without locking.
+type ribTopology struct {
+	shards map[lte.ENBID]*agentShard
+	ids    []lte.ENBID // sorted
+}
+
+// RIB is the RAN Information Base, sharded by ENBID. Mutation is reserved
+// to the RIB Updater (the master's Tick) with at most one updater per
+// agent at a time; applications read concurrently. Per-shard locks keep
+// the paper's single-writer/multi-reader discipline while letting reports
+// from different eNodeBs be absorbed in parallel.
 type RIB struct {
-	mu     sync.RWMutex
-	agents map[lte.ENBID]*AgentRecord
+	topoMu sync.Mutex // serializes topology (shard set) changes
+	topo   atomic.Pointer[ribTopology]
 }
 
 // NewRIB returns an empty information base.
 func NewRIB() *RIB {
-	return &RIB{agents: map[lte.ENBID]*AgentRecord{}}
+	r := &RIB{}
+	r.topo.Store(&ribTopology{shards: map[lte.ENBID]*agentShard{}})
+	return r
+}
+
+func (r *RIB) shard(enb lte.ENBID) *agentShard {
+	return r.topo.Load().shards[enb]
 }
 
 // --- writer side (RIB Updater only) ---
 
 func (r *RIB) applyHello(enb lte.ENBID, cfg protocol.ENBConfig) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	rec := &AgentRecord{
-		Config:    cfg,
-		Connected: true,
-		Cells:     map[lte.CellID]*CellRecord{},
+	sh := &agentShard{
+		config: cfg,
+		cells:  map[lte.CellID]*CellRecord{},
 	}
 	for _, cc := range cfg.Cells {
-		rec.Cells[cc.Cell] = &CellRecord{Config: cc, UEs: map[lte.RNTI]*UERecord{}}
+		sh.cells[cc.Cell] = &CellRecord{Config: cc, UEs: map[lte.RNTI]*UERecord{}}
 	}
-	r.agents[enb] = rec
+	sh.connected.Store(true)
+
+	r.topoMu.Lock()
+	defer r.topoMu.Unlock()
+	old := r.topo.Load()
+	next := &ribTopology{shards: make(map[lte.ENBID]*agentShard, len(old.shards)+1)}
+	for id, s := range old.shards {
+		next.shards[id] = s
+	}
+	next.shards[enb] = sh // a re-Hello replaces the whole subtree
+	next.ids = make([]lte.ENBID, 0, len(next.shards))
+	for id := range next.shards {
+		next.ids = append(next.ids, id)
+	}
+	sort.Slice(next.ids, func(i, j int) bool { return next.ids[i] < next.ids[j] })
+	r.topo.Store(next)
 }
 
 func (r *RIB) applyDisconnect(enb lte.ENBID) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if a := r.agents[enb]; a != nil {
-		a.Connected = false
+	if sh := r.shard(enb); sh != nil {
+		sh.connected.Store(false)
+	}
+}
+
+// advanceSF lifts the shard's agent-time watermark to sf (monotonic).
+func (sh *agentShard) advanceSF(sf lte.Subframe) {
+	for {
+		old := sh.lastSF.Load()
+		if uint64(sf) <= old {
+			return
+		}
+		if sh.lastSF.CompareAndSwap(old, uint64(sf)) {
+			return
+		}
 	}
 }
 
 func (r *RIB) applySF(enb lte.ENBID, sf lte.Subframe) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if a := r.agents[enb]; a != nil && sf > a.LastSF {
-		a.LastSF = sf
+	if sh := r.shard(enb); sh != nil {
+		sh.advanceSF(sf)
 	}
 }
 
 func (r *RIB) applyStats(enb lte.ENBID, rep *protocol.StatsReply) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	a := r.agents[enb]
-	if a == nil {
+	sh := r.shard(enb)
+	if sh == nil {
 		return
 	}
-	if rep.SF > a.LastSF {
-		a.LastSF = rep.SF
-	}
-	a.LastReport = rep.SF
+	sh.advanceSF(rep.SF)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	for _, cs := range rep.Cells {
-		if c := a.Cells[cs.Cell]; c != nil {
+		if c := sh.cells[cs.Cell]; c != nil {
 			c.Stats = cs
 		}
 	}
+	added := 0
 	for _, us := range rep.UEs {
-		c := a.Cells[us.Cell]
+		c := sh.cells[us.Cell]
 		if c == nil {
 			continue
 		}
@@ -110,20 +148,24 @@ func (r *RIB) applyStats(enb lte.ENBID, rep *protocol.StatsReply) {
 		if u == nil {
 			u = &UERecord{Config: protocol.UEConfig{RNTI: us.RNTI, Cell: us.Cell}}
 			c.UEs[us.RNTI] = u
+			added++
 		}
 		u.Stats = us
 		u.UpdatedSF = rep.SF
 	}
+	if added != 0 {
+		sh.ueCount.Add(int64(added))
+	}
 }
 
 func (r *RIB) applyUEEvent(enb lte.ENBID, ev *protocol.UEEvent) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	a := r.agents[enb]
-	if a == nil {
+	sh := r.shard(enb)
+	if sh == nil {
 		return
 	}
-	c := a.Cells[ev.Cell]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c := sh.cells[ev.Cell]
 	if c == nil {
 		return
 	}
@@ -133,65 +175,63 @@ func (r *RIB) applyUEEvent(enb lte.ENBID, ev *protocol.UEEvent) {
 			c.UEs[ev.RNTI] = &UERecord{
 				Config: protocol.UEConfig{RNTI: ev.RNTI, Cell: ev.Cell},
 			}
+			sh.ueCount.Add(1)
 		}
 	case protocol.UEEventDetach:
-		delete(c.UEs, ev.RNTI)
+		if _, ok := c.UEs[ev.RNTI]; ok {
+			delete(c.UEs, ev.RNTI)
+			sh.ueCount.Add(-1)
+		}
 	}
 }
 
 // --- reader side (applications) ---
 
-// Agents lists the known agents, ordered by id.
+// Agents lists the known agents, ordered by id. The read is lock-free: it
+// copies the presorted directory of the current topology snapshot.
 func (r *RIB) Agents() []lte.ENBID {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]lte.ENBID, 0, len(r.agents))
-	for id := range r.agents {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	ids := r.topo.Load().ids
+	out := make([]lte.ENBID, len(ids))
+	copy(out, ids)
 	return out
 }
 
-// Connected reports whether an agent session is live.
+// Connected reports whether an agent session is live (lock-free).
 func (r *RIB) Connected(enb lte.ENBID) bool {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	a := r.agents[enb]
-	return a != nil && a.Connected
+	sh := r.shard(enb)
+	return sh != nil && sh.connected.Load()
 }
 
-// AgentSF returns the master's view of an agent's current subframe.
+// AgentSF returns the master's view of an agent's current subframe
+// (lock-free).
 func (r *RIB) AgentSF(enb lte.ENBID) (lte.Subframe, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	a := r.agents[enb]
-	if a == nil {
+	sh := r.shard(enb)
+	if sh == nil {
 		return 0, false
 	}
-	return a.LastSF, true
+	return lte.Subframe(sh.lastSF.Load()), true
 }
 
 // AgentConfig returns an agent's eNodeB configuration.
 func (r *RIB) AgentConfig(enb lte.ENBID) (protocol.ENBConfig, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	a := r.agents[enb]
-	if a == nil {
+	sh := r.shard(enb)
+	if sh == nil {
 		return protocol.ENBConfig{}, false
 	}
-	return a.Config, true
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.config, true
 }
 
 // CellStats returns the latest cell statistics.
 func (r *RIB) CellStats(enb lte.ENBID, cellID lte.CellID) (protocol.CellStats, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	a := r.agents[enb]
-	if a == nil {
+	sh := r.shard(enb)
+	if sh == nil {
 		return protocol.CellStats{}, false
 	}
-	c := a.Cells[cellID]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	c := sh.cells[cellID]
 	if c == nil {
 		return protocol.CellStats{}, false
 	}
@@ -200,13 +240,13 @@ func (r *RIB) CellStats(enb lte.ENBID, cellID lte.CellID) (protocol.CellStats, b
 
 // UEStats returns the latest stats of one UE.
 func (r *RIB) UEStats(enb lte.ENBID, rnti lte.RNTI) (protocol.UEStats, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	a := r.agents[enb]
-	if a == nil {
+	sh := r.shard(enb)
+	if sh == nil {
 		return protocol.UEStats{}, false
 	}
-	for _, c := range a.Cells {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for _, c := range sh.cells {
 		if u, ok := c.UEs[rnti]; ok {
 			return u.Stats, true
 		}
@@ -217,14 +257,14 @@ func (r *RIB) UEStats(enb lte.ENBID, rnti lte.RNTI) (protocol.UEStats, bool) {
 // UEsOf returns the latest stats of every UE under an agent, ordered by
 // RNTI (the snapshot a centralized scheduler works from).
 func (r *RIB) UEsOf(enb lte.ENBID) []protocol.UEStats {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	a := r.agents[enb]
-	if a == nil {
+	sh := r.shard(enb)
+	if sh == nil {
 		return nil
 	}
-	var out []protocol.UEStats
-	for _, c := range a.Cells {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	out := make([]protocol.UEStats, 0, sh.ueCount.Load())
+	for _, c := range sh.cells {
 		for _, u := range c.UEs {
 			out = append(out, u.Stats)
 		}
@@ -233,33 +273,26 @@ func (r *RIB) UEsOf(enb lte.ENBID) []protocol.UEStats {
 	return out
 }
 
-// UECount returns the number of UEs known under an agent.
+// UECount returns the number of UEs known under an agent (lock-free).
 func (r *RIB) UECount(enb lte.ENBID) int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	a := r.agents[enb]
-	if a == nil {
+	sh := r.shard(enb)
+	if sh == nil {
 		return 0
 	}
-	n := 0
-	for _, c := range a.Cells {
-		n += len(c.UEs)
-	}
-	return n
+	return int(sh.ueCount.Load())
 }
 
 // Size approximates the RIB's record count (agents + cells + UEs), used by
 // the Fig. 8 memory accounting.
 func (r *RIB) Size() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	topo := r.topo.Load()
 	n := 0
-	for _, a := range r.agents {
+	for _, sh := range topo.shards {
+		sh.mu.RLock()
 		n++
-		for _, c := range a.Cells {
-			n++
-			n += len(c.UEs)
-		}
+		n += len(sh.cells)
+		n += int(sh.ueCount.Load())
+		sh.mu.RUnlock()
 	}
 	return n
 }

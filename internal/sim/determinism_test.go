@@ -1,0 +1,200 @@
+package sim_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"flexran/internal/controller"
+	"flexran/internal/lte"
+	"flexran/internal/protocol"
+	"flexran/internal/radio"
+	"flexran/internal/sim"
+	"flexran/internal/transport"
+	"flexran/internal/ue"
+)
+
+// detScenario builds a deliberately messy multi-eNodeB scenario: mixed
+// channel models (including seeded fading), mixed traffic (CBR, full
+// buffer, uplink), and impaired control channels with jitter and loss, so
+// any engine-ordering divergence has plenty of state to surface in.
+func detScenario(workers int) *sim.Sim {
+	opts := controller.DefaultOptions()
+	var enbs []sim.ENBSpec
+	for e := 0; e < 8; e++ {
+		spec := sim.ENBSpec{
+			ID:    lte.ENBID(e + 1),
+			Seed:  int64(e + 1),
+			Agent: true,
+			ToMaster: transport.Netem{
+				OneWayTTI: e % 3, JitterTTI: e % 2, LossProb: 0.01, Seed: int64(e + 100),
+			},
+			ToAgent: transport.Netem{
+				OneWayTTI: e % 2, Seed: int64(e + 200),
+			},
+		}
+		for u := 0; u < 4; u++ {
+			imsi := uint64(e*100 + u + 1)
+			us := sim.UESpec{IMSI: imsi, Group: u % 2}
+			switch u % 3 {
+			case 0:
+				us.Channel = radio.Fixed(lte.CQI(5 + e%10))
+				us.DL = ue.NewFullBuffer()
+			case 1:
+				us.Channel = radio.NewGaussMarkov(9, 0.9, 2, int64(imsi))
+				us.DL = ue.NewCBR(800)
+				us.UL = ue.NewCBR(200)
+			default:
+				us.Channel = radio.NewSquareWave(4, 12, 50, 0)
+				us.UL = ue.NewFullBuffer()
+			}
+			spec.UEs = append(spec.UEs, us)
+		}
+		enbs = append(enbs, spec)
+	}
+	return sim.MustNew(sim.Config{Master: &opts, Workers: workers}, enbs...)
+}
+
+// worldSnapshot flattens everything observable about a finished run.
+type worldSnapshot struct {
+	SF        lte.Subframe
+	Cycle     lte.Subframe
+	Reports   map[string]interface{}
+	RIBAgents []lte.ENBID
+	RIBUEs    map[lte.ENBID][]protocol.UEStats
+	RIBCells  map[lte.ENBID]protocol.CellStats
+	RIBSF     map[lte.ENBID]lte.Subframe
+	RIBCount  map[lte.ENBID]int
+	RIBSize   int
+	Bearers   map[uint64][2]uint64
+	Meters    map[lte.ENBID][2]int64
+}
+
+func snapshot(s *sim.Sim) worldSnapshot {
+	w := worldSnapshot{
+		SF:       s.Now(),
+		Cycle:    s.Master.Cycle(),
+		Reports:  map[string]interface{}{},
+		RIBUEs:   map[lte.ENBID][]protocol.UEStats{},
+		RIBCells: map[lte.ENBID]protocol.CellStats{},
+		RIBSF:    map[lte.ENBID]lte.Subframe{},
+		RIBCount: map[lte.ENBID]int{},
+		Bearers:  map[uint64][2]uint64{},
+		Meters:   map[lte.ENBID][2]int64{},
+	}
+	for i, n := range s.Nodes {
+		for j := range n.RNTIs {
+			w.Reports[fmt.Sprintf("%d/%d", i, j)] = s.Report(i, j)
+		}
+		id := n.ENB.ID()
+		w.Meters[id] = [2]int64{n.AgentMeter().TotalBytes(), n.MasterMeter().TotalBytes()}
+	}
+	rib := s.Master.RIB()
+	w.RIBAgents = rib.Agents()
+	w.RIBSize = rib.Size()
+	for _, id := range w.RIBAgents {
+		w.RIBUEs[id] = rib.UEsOf(id)
+		if cs, ok := rib.CellStats(id, 0); ok {
+			w.RIBCells[id] = cs
+		}
+		if sf, ok := rib.AgentSF(id); ok {
+			w.RIBSF[id] = sf
+		}
+		w.RIBCount[id] = rib.UECount(id)
+	}
+	for _, b := range s.EPC.Bearers() {
+		w.Bearers[b.IMSI] = [2]uint64{b.DLOffered, b.DLAccepted}
+	}
+	return w
+}
+
+// TestDeterminism is the sharded-engine regression gate: the same
+// scenario stepped with a serial engine and with parallel engines of
+// several pool sizes must leave bit-for-bit identical per-UE metrics,
+// RIB contents, bearer accounting and signaling byte counts.
+func TestDeterminism(t *testing.T) {
+	const ttis = 1200
+	ref := detScenario(1)
+	ref.Run(ttis)
+	want := snapshot(ref)
+
+	if len(want.RIBAgents) != 8 {
+		t.Fatalf("reference run: RIB has %d agents, want 8", len(want.RIBAgents))
+	}
+	var delivered uint64
+	for i := range ref.Nodes {
+		delivered += ref.DeliveredDL(i)
+	}
+	if delivered == 0 {
+		t.Fatal("reference run delivered no downlink traffic")
+	}
+
+	for _, workers := range []int{2, 4, 8} {
+		s := detScenario(workers)
+		s.Run(ttis)
+		got := snapshot(s)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Workers=%d diverged from serial engine", workers)
+			if !reflect.DeepEqual(got.Reports, want.Reports) {
+				for k, wr := range want.Reports {
+					if !reflect.DeepEqual(got.Reports[k], wr) {
+						t.Errorf("  UE %s: got %+v want %+v", k, got.Reports[k], wr)
+						break
+					}
+				}
+			}
+			if !reflect.DeepEqual(got.RIBUEs, want.RIBUEs) {
+				t.Errorf("  RIB UE stats diverged")
+			}
+			if got.RIBSize != want.RIBSize {
+				t.Errorf("  RIB size: got %d want %d", got.RIBSize, want.RIBSize)
+			}
+			if !reflect.DeepEqual(got.Bearers, want.Bearers) {
+				t.Errorf("  bearer accounting diverged")
+			}
+			if !reflect.DeepEqual(got.Meters, want.Meters) {
+				t.Errorf("  signaling meters diverged")
+			}
+		}
+	}
+}
+
+// TestDeterminismMidRunInspection steps serial and parallel engines in
+// lockstep and compares live state every 100 TTIs, catching divergences
+// that a final-state comparison could mask.
+func TestDeterminismMidRunInspection(t *testing.T) {
+	a, b := detScenario(1), detScenario(4)
+	for step := 0; step < 600; step++ {
+		a.Step()
+		b.Step()
+		if step%100 != 99 {
+			continue
+		}
+		for i := range a.Nodes {
+			for j := range a.Nodes[i].RNTIs {
+				ra, rb := a.Report(i, j), b.Report(i, j)
+				if ra != rb {
+					t.Fatalf("TTI %d eNB %d UE %d: serial %+v parallel %+v",
+						step, i, j, ra, rb)
+				}
+			}
+		}
+		if as, bs := a.Master.RIB().Size(), b.Master.RIB().Size(); as != bs {
+			t.Fatalf("TTI %d: RIB size serial %d parallel %d", step, as, bs)
+		}
+	}
+}
+
+// TestWorkersDefault checks the pool-size plumbing.
+func TestWorkersDefault(t *testing.T) {
+	opts := controller.DefaultOptions()
+	s := sim.MustNew(sim.Config{Master: &opts, Workers: 3},
+		sim.ENBSpec{ID: 1, Agent: true})
+	if s.Workers() != 3 {
+		t.Errorf("Workers() = %d, want 3", s.Workers())
+	}
+	s = sim.MustNew(sim.Config{Master: &opts})
+	if s.Workers() < 1 {
+		t.Errorf("default Workers() = %d, want >= 1", s.Workers())
+	}
+}

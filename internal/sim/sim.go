@@ -9,12 +9,21 @@
 // manager cycle, delivery of master-to-agent messages, then one data-plane
 // subframe per eNodeB. The ordering mirrors the real system's pipeline and
 // keeps results reproducible.
+//
+// The engine is sharded: eNodeBs are partitioned across a worker pool
+// (Config.Workers) and each phase of the TTI runs in parallel across the
+// shards with a barrier before the next phase. All mutable state touched
+// inside a phase is owned by exactly one eNodeB (its node, agent, control
+// endpoints and per-session master ingest queue), so results are
+// bit-for-bit identical to the serial engine — see TestDeterminism.
 package sim
 
 import (
 	"fmt"
+	"runtime"
 
 	"flexran/internal/agent"
+	"flexran/internal/conc"
 	"flexran/internal/controller"
 	"flexran/internal/enb"
 	"flexran/internal/epc"
@@ -60,6 +69,14 @@ type Config struct {
 	// Master enables a master controller with these options; nil runs
 	// the eNodeBs standalone (the "vanilla" mode of Fig. 6).
 	Master *controller.Options
+	// Workers sets the size of the TTI engine's worker pool: each phase
+	// of a Step is partitioned across this many goroutines by eNodeB,
+	// with barrier synchronization between phases. 0 defaults to
+	// GOMAXPROCS; 1 runs the engine serially. Results are identical for
+	// every value (the determinism guarantee the regression tests
+	// enforce). Unless Master.Workers is set explicitly, the master's
+	// RIB-updater slot inherits the same pool size.
+	Workers int
 }
 
 // Node is the runtime of one eNodeB within the simulation.
@@ -69,10 +86,23 @@ type Node struct {
 
 	aEp     *transport.SimEndpoint // agent side of the control channel
 	mEp     *transport.SimEndpoint // master side
-	deliver func(*protocol.Message)
+	session *controller.AgentSession
 
 	RNTIs []lte.RNTI // by UESpec order
 	specs []UESpec
+
+	// spill holds downlink injections whose bearer points at a foreign
+	// eNodeB (possible after a handover); they are replayed serially
+	// after the injection phase so no two workers touch one eNodeB.
+	spill []spillDL
+	// phaseErr records a control-channel decode failure inside a
+	// parallel phase, surfaced as a panic at the barrier.
+	phaseErr error
+}
+
+type spillDL struct {
+	imsi  uint64
+	bytes int
 }
 
 // AgentMeter returns the agent-to-master signaling meter (Fig. 7a).
@@ -107,15 +137,27 @@ type Sim struct {
 	EPC    *epc.EPC
 	Nodes  []*Node
 
-	sf lte.Subframe
+	sf      lte.Subframe
+	workers int
 }
 
 // New builds a scenario: eNodeBs, agents, control channels, EPC bearers
 // and UEs (whose attach procedures start at subframe 0).
 func New(cfg Config, enbs ...ENBSpec) (*Sim, error) {
-	s := &Sim{EPC: epc.New()}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Sim{EPC: epc.New(), workers: workers}
 	if cfg.Master != nil {
-		s.Master = controller.NewMaster(*cfg.Master)
+		mo := *cfg.Master
+		if mo.Workers == 0 {
+			mo.Workers = workers
+		}
+		s.Master = controller.NewMaster(mo)
 	}
 	for _, spec := range enbs {
 		e := enb.New(enb.Config{
@@ -129,7 +171,7 @@ func New(cfg Config, enbs ...ENBSpec) (*Sim, error) {
 			n.Agent = agent.New(e, spec.AgentOpts)
 			if s.Master != nil {
 				n.aEp, n.mEp = transport.NewSimPair(spec.ToMaster, spec.ToAgent)
-				n.deliver = s.Master.HandleAgent(n.mEp.Send)
+				n.session = s.Master.HandleAgentSession(n.mEp.Send)
 				n.Agent.Connect(n.aEp.Send)
 			}
 		}
@@ -164,60 +206,110 @@ func MustNew(cfg Config, enbs ...ENBSpec) *Sim {
 // Now returns the current subframe.
 func (s *Sim) Now() lte.Subframe { return s.sf }
 
-// Step advances the world by one TTI.
+// Workers reports the engine's worker-pool size.
+func (s *Sim) Workers() int { return s.workers }
+
+// forEachNode runs fn once per node. With more than one worker the nodes
+// are claimed off a shared counter by a pool of goroutines; the call
+// returns only when every node is done (the phase barrier).
+func (s *Sim) forEachNode(fn func(n *Node)) {
+	conc.ForEach(s.workers, len(s.Nodes), func(i int) { fn(s.Nodes[i]) })
+}
+
+// barrierErr surfaces the first phase error recorded by a worker.
+func (s *Sim) barrierErr(phase string) {
+	for _, n := range s.Nodes {
+		if err := n.phaseErr; err != nil {
+			n.phaseErr = nil
+			panic(fmt.Sprintf("sim: corrupt control message (%s, eNB %d): %v",
+				phase, n.ENB.ID(), err))
+		}
+	}
+}
+
+// injectTraffic is phase 1 for one node: per-UE downlink bytes through the
+// EPC and uplink bytes into the eNodeB.
+func (s *Sim) injectTraffic(n *Node, sf lte.Subframe) {
+	id := n.ENB.ID()
+	for i, spec := range n.specs {
+		if spec.DL != nil {
+			if b := spec.DL.BytesAt(sf); b > 0 {
+				// The bearer normally terminates at this node's own
+				// eNodeB; after a handover it may point at a foreign
+				// one, whose queues another worker owns — defer those
+				// to the serial mop-up after the barrier.
+				if br, ok := s.EPC.Bearer(spec.IMSI); ok && br.ENB != id {
+					n.spill = append(n.spill, spillDL{imsi: spec.IMSI, bytes: b})
+				} else {
+					s.EPC.Downlink(spec.IMSI, b) //nolint:errcheck // bearer exists by construction
+				}
+			}
+		}
+		if spec.UL != nil {
+			if b := spec.UL.BytesAt(sf); b > 0 {
+				n.ENB.ULEnqueue(n.RNTIs[i], b)
+			}
+		}
+	}
+}
+
+// drainSpill replays deferred cross-eNodeB downlink injections, in node
+// and UE order.
+func (s *Sim) drainSpill() {
+	for _, n := range s.Nodes {
+		for _, d := range n.spill {
+			s.EPC.Downlink(d.imsi, d.bytes) //nolint:errcheck // bearer checked during injection
+		}
+		n.spill = n.spill[:0]
+	}
+}
+
+// Step advances the world by one TTI: the phases below run in the fixed
+// documented order, each parallel across eNodeBs with a barrier before
+// the next.
 func (s *Sim) Step() {
 	sf := s.sf
 
 	// 1. Traffic injection.
-	for _, n := range s.Nodes {
-		for i, spec := range n.specs {
-			if spec.DL != nil {
-				if b := spec.DL.BytesAt(sf); b > 0 {
-					s.EPC.Downlink(spec.IMSI, b) //nolint:errcheck // bearer exists by construction
-				}
-			}
-			if spec.UL != nil {
-				if b := spec.UL.BytesAt(sf); b > 0 {
-					n.ENB.ULEnqueue(n.RNTIs[i], b)
-				}
-			}
-		}
-	}
+	s.forEachNode(func(n *Node) { s.injectTraffic(n, sf) })
+	s.drainSpill()
 
 	// 2. Control plane: agent->master deliveries, master cycle,
 	// master->agent deliveries.
 	if s.Master != nil {
-		for _, n := range s.Nodes {
-			if n.mEp == nil {
-				continue
+		s.forEachNode(func(n *Node) {
+			if n.session == nil {
+				return
 			}
 			msgs, err := n.mEp.AdvanceTo(sf)
 			if err != nil {
-				panic(fmt.Sprintf("sim: corrupt control message: %v", err))
+				n.phaseErr = err
+				return
 			}
-			for _, m := range msgs {
-				n.deliver(m)
-			}
-		}
+			n.session.Deliver(msgs...)
+		})
+		s.barrierErr("agent->master")
+		// The master cycle itself is one phase on one goroutine; its
+		// RIB-updater slot fans out internally (controller.Options.Workers).
 		s.Master.Tick()
-		for _, n := range s.Nodes {
+		s.forEachNode(func(n *Node) {
 			if n.aEp == nil {
-				continue
+				return
 			}
 			msgs, err := n.aEp.AdvanceTo(sf)
 			if err != nil {
-				panic(fmt.Sprintf("sim: corrupt control message: %v", err))
+				n.phaseErr = err
+				return
 			}
 			for _, m := range msgs {
 				n.Agent.Deliver(m)
 			}
-		}
+		})
+		s.barrierErr("master->agent")
 	}
 
 	// 3. Data plane.
-	for _, n := range s.Nodes {
-		n.ENB.Step()
-	}
+	s.forEachNode(func(n *Node) { n.ENB.Step() })
 	s.sf++
 }
 

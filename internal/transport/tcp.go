@@ -62,6 +62,41 @@ func (c *Conn) Send(m *protocol.Message) error {
 // connection ends; Err reports the terminal error, if any.
 func (c *Conn) Recv() <-chan *protocol.Message { return c.recv }
 
+// DrainRecv greedily appends every message already buffered on recv to
+// *batch without blocking. It reports false once recv is closed (what
+// was appended before the close is still valid).
+func DrainRecv(recv <-chan *protocol.Message, batch *[]*protocol.Message) bool {
+	for {
+		select {
+		case m, ok := <-recv:
+			if !ok {
+				return false
+			}
+			*batch = append(*batch, m)
+		default:
+			return true
+		}
+	}
+}
+
+// RecvBatch blocks for one inbound message, then greedily drains every
+// further message the connection has already buffered, appending all of
+// them to *batch (the caller resets the slice between calls). One batch
+// handed to the master's per-session ingest queue costs one lock
+// round-trip regardless of how many per-TTI reports it carries. It
+// reports false when the connection is closed and nothing was appended;
+// a batch cut short by the close is still delivered, and the next call
+// returns false.
+func (c *Conn) RecvBatch(batch *[]*protocol.Message) bool {
+	msg, ok := <-c.recv
+	if !ok {
+		return false
+	}
+	*batch = append(*batch, msg)
+	DrainRecv(c.recv, batch)
+	return true
+}
+
 // Err returns the error that terminated the read loop (nil for clean EOF
 // or local close).
 func (c *Conn) Err() error {

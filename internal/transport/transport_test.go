@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"testing"
+	"time"
 
 	"flexran/internal/lte"
 	"flexran/internal/protocol"
@@ -325,5 +326,67 @@ func TestTCPConnManyMessages(t *testing.T) {
 		if m.Payload.(*protocol.Echo).Seq != i {
 			t.Fatalf("out of order at %d: %d", i, m.Payload.(*protocol.Echo).Seq)
 		}
+	}
+}
+
+func TestTCPConnRecvBatch(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan *Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-accepted
+	defer server.Close()
+
+	const n = 500
+	for i := uint64(0); i < n; i++ {
+		if err := client.Send(echo(i, lte.Subframe(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give the reader goroutine time to buffer the whole burst, so the
+	// batching assertion below is not at the mercy of scheduling.
+	time.Sleep(200 * time.Millisecond)
+
+	// Batches must drain everything buffered, preserve order, and need
+	// far fewer calls than messages once the reader has buffered a burst.
+	var got []uint64
+	batch := make([]*protocol.Message, 0, 64)
+	calls := 0
+	for len(got) < n {
+		batch = batch[:0]
+		if !server.RecvBatch(&batch) {
+			t.Fatalf("connection closed after %d messages", len(got))
+		}
+		calls++
+		for _, m := range batch {
+			got = append(got, m.Payload.(*protocol.Echo).Seq)
+		}
+	}
+	for i, seq := range got {
+		if seq != uint64(i) {
+			t.Fatalf("out of order at %d: %d", i, seq)
+		}
+	}
+	if calls >= n {
+		t.Errorf("RecvBatch made %d calls for %d messages (no batching)", calls, n)
+	}
+
+	// After the peer closes, a final call reports the end of the stream.
+	client.Close()
+	batch = batch[:0]
+	for server.RecvBatch(&batch) {
+		batch = batch[:0]
 	}
 }

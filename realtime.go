@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"flexran/internal/controller"
+	"flexran/internal/protocol"
 	"flexran/internal/transport"
 )
 
@@ -18,8 +19,11 @@ const DefaultMasterAddr = ":2210"
 
 // ServeMaster runs a master controller over TCP: an accept loop feeding
 // agent connections into the master, plus the task-manager tick loop at
-// one cycle per TTI (1 ms). It blocks until stop is closed or the
-// listener fails.
+// one cycle per TTI (1 ms). Inbound traffic is absorbed in batches — each
+// reader drains everything its connection has buffered and hands the
+// whole batch to the per-session ingest queue in one operation, so
+// per-TTI reports from many agents contend on no shared lock. It blocks
+// until stop is closed or the listener fails.
 func ServeMaster(m *Master, addr string, stop <-chan struct{}) error {
 	l, err := transport.Listen(addr)
 	if err != nil {
@@ -37,11 +41,17 @@ func ServeMaster(m *Master, addr string, stop <-chan struct{}) error {
 			if err != nil {
 				return // listener closed
 			}
-			deliver := m.HandleAgent(conn.Send)
+			sess := m.HandleAgentSession(conn.Send)
 			go func() {
-				for msg := range conn.Recv() {
-					deliver(msg)
+				batch := make([]*protocol.Message, 0, 64)
+				for {
+					batch = batch[:0]
+					if !conn.RecvBatch(&batch) {
+						break
+					}
+					sess.Deliver(batch...)
 				}
+				sess.Close()
 				conn.Close()
 			}()
 		}
@@ -63,7 +73,10 @@ func ServeMaster(m *Master, addr string, stop <-chan struct{}) error {
 // runs the data plane in real time: one subframe per millisecond, with
 // inbound control messages dispatched between subframes (the agent and
 // eNodeB are single-threaded by design; the loop provides the
-// serialization). It blocks until stop is closed or the connection fails.
+// serialization). Control messages are drained in batches: everything the
+// connection has buffered is applied before the next subframe, mirroring
+// the simulated engine's delivery phase. It blocks until stop is closed
+// or the connection fails.
 func RunAgentLoop(a *Agent, masterAddr string, stop <-chan struct{}) error {
 	conn, err := transport.Dial(masterAddr)
 	if err != nil {
@@ -72,21 +85,43 @@ func RunAgentLoop(a *Agent, masterAddr string, stop <-chan struct{}) error {
 	defer conn.Close()
 	a.Connect(conn.Send)
 
+	closedErr := func() error {
+		if err := conn.Err(); err != nil {
+			return fmt.Errorf("flexran: control channel: %w", err)
+		}
+		return nil
+	}
+
 	ticker := time.NewTicker(time.Millisecond)
 	defer ticker.Stop()
+	batch := make([]*protocol.Message, 0, 16)
 	for {
 		select {
 		case <-stop:
 			return nil
 		case msg, ok := <-conn.Recv():
 			if !ok {
-				if err := conn.Err(); err != nil {
-					return fmt.Errorf("flexran: control channel: %w", err)
-				}
-				return nil
+				return closedErr()
 			}
-			a.Deliver(msg)
+			batch = append(batch[:0], msg)
+			open := transport.DrainRecv(conn.Recv(), &batch)
+			for _, m := range batch {
+				a.Deliver(m)
+			}
+			if !open {
+				return closedErr()
+			}
 		case <-ticker.C:
+			// Apply whatever control arrived during the last subframe
+			// before stepping, so commands take effect on their TTI.
+			batch = batch[:0]
+			open := transport.DrainRecv(conn.Recv(), &batch)
+			for _, m := range batch {
+				a.Deliver(m)
+			}
+			if !open {
+				return closedErr()
+			}
 			a.ENB().Step()
 		}
 	}
