@@ -297,6 +297,40 @@ func newScaleSim(workers int) *flexran.Sim {
 	return s
 }
 
+// BenchmarkHandoverScenario measures a mobility-heavy TTI: two cells,
+// eight walkers ping-ponging across the border with geometry-derived CQI,
+// A3 evaluation at the agents and the MobilityManager executing handovers
+// — the full control loop per subframe, migrations included.
+func BenchmarkHandoverScenario(b *testing.B) {
+	rmap := flexran.NewRadioMap(
+		flexran.RadioSite{ENB: 1, Cell: 0, Tx: flexran.Transmitter{Pos: flexran.Point{X: 0}, PowerDBm: 43}},
+		flexran.RadioSite{ENB: 2, Cell: 0, Tx: flexran.Transmitter{Pos: flexran.Point{X: 1000}, PowerDBm: 43}},
+	)
+	spec1 := flexran.ENBSpec{ID: 1, Agent: true, Seed: 1}
+	for u := 0; u < 8; u++ {
+		spec1.UEs = append(spec1.UEs, flexran.UESpec{
+			IMSI: uint64(100 + u),
+			Channel: flexran.NewGeoChannel(rmap, &flexran.WaypointMobility{
+				Path:     []flexran.Point{{X: 200}, {X: 800}},
+				SpeedMps: float64(80 + 20*u),
+				PingPong: true,
+			}, 1),
+			DL: flexran.NewCBR(400),
+		})
+	}
+	opts := flexran.DefaultMasterOptions()
+	s := flexran.MustNewSim(flexran.SimConfig{Master: &opts},
+		spec1, flexran.ENBSpec{ID: 2, Agent: true, Seed: 2})
+	s.Master.Register(flexran.NewMobilityManager(), 5)
+	s.WaitAttached(2000)
+	base := len(s.Handovers()) // exclude any warmup-phase migrations
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+	b.ReportMetric(float64(len(s.Handovers())-base)/float64(b.N)*1000, "handovers/ksf")
+}
+
 // BenchmarkSimTTIParallel sweeps the sharded TTI engine's worker-pool
 // size over the 64-eNodeB scenario. workers=1 is the serial engine
 // baseline; the speedup at higher counts is the Fig. 8-style scaling

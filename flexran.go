@@ -42,6 +42,7 @@ package flexran
 
 import (
 	"flexran/internal/agent"
+	"flexran/internal/apps"
 	"flexran/internal/controller"
 	"flexran/internal/dash"
 	"flexran/internal/enb"
@@ -126,6 +127,40 @@ type (
 	ENBSpec = sim.ENBSpec
 	// UESpec declares one UE of a scenario.
 	UESpec = sim.UESpec
+	// HandoverRecord is one executed UE migration of a scenario.
+	HandoverRecord = sim.HandoverRecord
+)
+
+// Mobility types: geometry, motion models and the handover control loop.
+type (
+	// Point is a position in meters.
+	Point = radio.Point
+	// Transmitter is a downlink source (a cell site's RF side).
+	Transmitter = radio.Transmitter
+	// RadioSite binds a transmitter to an eNodeB/cell.
+	RadioSite = radio.Site
+	// RadioMap is the shared site directory of a scenario.
+	RadioMap = radio.Map
+	// Mobility produces a UE position per subframe.
+	Mobility = radio.Mobility
+	// StaticMobility is a motionless position.
+	StaticMobility = radio.Static
+	// WaypointMobility walks a polyline at constant speed.
+	WaypointMobility = radio.Waypoint
+	// RandomWaypointMobility wanders a rectangle, deterministic per seed.
+	RandomWaypointMobility = radio.RandomWaypoint
+	// GeoChannel derives CQI and neighbour measurements from position.
+	GeoChannel = radio.GeoChannel
+	// MobilityManager is the master-side handover decision application.
+	MobilityManager = apps.MobilityManager
+	// HandoverDecision is one command issued by the MobilityManager.
+	HandoverDecision = apps.HandoverDecision
+	// TargetPolicy picks handover targets for the MobilityManager.
+	TargetPolicy = apps.TargetPolicy
+	// StrongestNeighbor hands over to the best-measured neighbour.
+	StrongestNeighbor = apps.StrongestNeighbor
+	// LoadBalanced discounts neighbour strength by target-cell load.
+	LoadBalanced = apps.LoadBalanced
 )
 
 // VSF delegation types.
@@ -178,6 +213,21 @@ func SquareWaveChannel(a, b CQI, halfPeriod, total Subframe) ChannelModel {
 func FadingChannel(mean, rho, sigma float64, seed int64) ChannelModel {
 	return radio.NewGaussMarkov(mean, rho, sigma, seed)
 }
+
+// Mobility and handover.
+
+// NewRadioMap builds the shared cell-site directory of a scenario.
+func NewRadioMap(sites ...RadioSite) *RadioMap { return radio.NewMap(sites...) }
+
+// NewGeoChannel builds a position-derived channel: the UE's CQI and
+// neighbour measurements follow its mobility model across the radio map.
+func NewGeoChannel(m *RadioMap, mob Mobility, serving ENBID) *GeoChannel {
+	return radio.NewGeoChannel(m, mob, serving)
+}
+
+// NewMobilityManager builds the centralized handover application; register
+// it on a Master to close the A3 control loop.
+func NewMobilityManager() *MobilityManager { return apps.NewMobilityManager() }
 
 // Traffic generators.
 

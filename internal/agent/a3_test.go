@@ -1,0 +1,148 @@
+package agent
+
+import (
+	"testing"
+
+	"flexran/internal/protocol"
+	"flexran/internal/radio"
+)
+
+// borderlineChannel places a UE where the neighbour cell beats the serving
+// cell by ~5 dB: above the default 3 dB hysteresis, below a stricter one.
+// Sites 1 km apart; at x=576 the distance ratio gives 37.6*log10(576/424)
+// ≈ 5.0 dB of RSRP margin toward eNB 2.
+func borderlineChannel() *radio.GeoChannel {
+	m := radio.NewMap(
+		radio.Site{ENB: 5, Cell: 0, Tx: radio.Transmitter{Pos: radio.Point{X: 0}, PowerDBm: 43}},
+		radio.Site{ENB: 2, Cell: 0, Tx: radio.Transmitter{Pos: radio.Point{X: 1000}, PowerDBm: 43}},
+	)
+	return radio.NewGeoChannel(m, radio.Static(radio.Point{X: 576}), 5)
+}
+
+// run steps the eNodeB well past attach + time-to-trigger so any armed A3
+// episode has had every chance to fire (but stays inside the 240 TTI
+// report-repeat interval).
+func runA3Window(h *harness) {
+	for i := 0; i < 150; i++ {
+		h.enb.Step()
+	}
+}
+
+// The regression the RRC module knobs exist for: with the default 3 dB
+// hysteresis the borderline margin raises a MeasReport; reconfiguring a
+// larger hysteresis through the policy path suppresses it. Before this
+// subsystem the hysteresis/TTT parameters were dead configuration.
+func TestA3HysteresisSuppressesBorderlineHandover(t *testing.T) {
+	// Default hysteresis (3 dB): the 5 dB margin fires.
+	h := newHarness(t, Options{})
+	h.addConnectedUE(borderlineChannel())
+	runA3Window(h)
+	if n := h.countOf(protocol.KindMeasReport); n != 1 {
+		t.Fatalf("default hysteresis: %d MeasReports, want exactly 1 (one per episode)", n)
+	}
+	rep := h.lastOf(protocol.KindMeasReport).Payload.(*protocol.MeasReport)
+	if len(rep.Neighbors) != 1 || rep.Neighbors[0].ENB != 2 {
+		t.Fatalf("report neighbours = %+v, want eNB 2", rep.Neighbors)
+	}
+	if margin := rep.Neighbors[0].RSRPdBm - rep.ServingRSRPdBm; margin < 4 || margin > 6 {
+		t.Errorf("reported margin = %d dB, want ~5", margin)
+	}
+	if rep.IMSI != 1 {
+		t.Errorf("report IMSI = %d, want 1", rep.IMSI)
+	}
+
+	// Stricter hysteresis (8 dB) pushed via policy reconfiguration: the
+	// same borderline margin must stay silent.
+	h2 := newHarness(t, Options{})
+	if err := h2.agent.Reconfigure("rrc:\n  handover_hysteresis_db: 8\n"); err != nil {
+		t.Fatal(err)
+	}
+	h2.addConnectedUE(borderlineChannel())
+	runA3Window(h2)
+	if n := h2.countOf(protocol.KindMeasReport); n != 0 {
+		t.Errorf("8 dB hysteresis: %d MeasReports for a 5 dB margin, want none", n)
+	}
+}
+
+// Time-to-trigger gates the report: the entering condition must hold for
+// the configured TTIs before anything leaves the agent.
+func TestA3TimeToTriggerDelaysReport(t *testing.T) {
+	h := newHarness(t, Options{})
+	if err := h.agent.Reconfigure("rrc:\n  time_to_trigger_tti: 100\n"); err != nil {
+		t.Fatal(err)
+	}
+	h.addConnectedUE(borderlineChannel())
+	// After attach the condition starts holding at the next measurement
+	// sweep; within the first 90 TTIs no report may fire.
+	for i := 0; i < 90; i++ {
+		h.enb.Step()
+	}
+	if n := h.countOf(protocol.KindMeasReport); n != 0 {
+		t.Fatalf("report fired %d times before TTT elapsed", n)
+	}
+	for i := 0; i < 200; i++ {
+		h.enb.Step()
+	}
+	if n := h.countOf(protocol.KindMeasReport); n != 1 {
+		t.Errorf("after TTT: %d reports, want 1", n)
+	}
+}
+
+// While the A3 condition persists unresolved (no handover arrives), the
+// agent repeats the report at the RRC report interval — the retry that
+// keeps a lost HandoverCommand from stranding the UE for the episode.
+func TestA3ReportRepeatsWhileConditionHolds(t *testing.T) {
+	h := newHarness(t, Options{})
+	h.addConnectedUE(borderlineChannel())
+	for i := 0; i < 600; i++ {
+		h.enb.Step()
+	}
+	// First report ~TTT after attach, repeats every 240 TTIs: >= 3 in
+	// 600 TTIs, far fewer than the 60 measurement sweeps.
+	if n := h.countOf(protocol.KindMeasReport); n < 3 || n > 5 {
+		t.Errorf("%d MeasReports over 600 TTIs, want 3-5 (240 TTI repeat)", n)
+	}
+
+	// report_interval_tti 0 disables repeats: one report per episode.
+	h2 := newHarness(t, Options{})
+	if err := h2.agent.Reconfigure("rrc:\n  report_interval_tti: 0\n"); err != nil {
+		t.Fatal(err)
+	}
+	h2.addConnectedUE(borderlineChannel())
+	for i := 0; i < 600; i++ {
+		h2.enb.Step()
+	}
+	if n := h2.countOf(protocol.KindMeasReport); n != 1 {
+		t.Errorf("repeats disabled: %d MeasReports, want 1", n)
+	}
+}
+
+// A UE without a measurement-capable channel produces no reports.
+func TestA3RequiresMeasurableChannel(t *testing.T) {
+	h := newHarness(t, Options{})
+	h.addConnectedUE(radio.Fixed(3)) // weak, but no neighbour knowledge
+	runA3Window(h)
+	if n := h.countOf(protocol.KindMeasReport); n != 0 {
+		t.Errorf("MeasReports without a NeighborMeasurer channel: %d", n)
+	}
+}
+
+// A rejected HandoverCommand (no executor installed) must produce a
+// negative ControlAck rather than silence.
+func TestHandoverCommandWithoutExecutorNacks(t *testing.T) {
+	h := newHarness(t, Options{})
+	rnti := h.addConnectedUE(radio.Fixed(10))
+	acksBefore := h.countOf(protocol.KindControlAck)
+	h.agent.Deliver(protocol.New(5, 0, &protocol.HandoverCommand{
+		RNTI: rnti, IMSI: 1, TargetENB: 2,
+	}))
+	acks := 0
+	for _, m := range h.sent[0:] {
+		if a, ok := m.Payload.(*protocol.ControlAck); ok && !a.OK {
+			acks++
+		}
+	}
+	if acks == 0 || h.countOf(protocol.KindControlAck) == acksBefore {
+		t.Error("no negative ack for an unexecutable handover command")
+	}
+}

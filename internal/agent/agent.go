@@ -14,11 +14,13 @@ package agent
 import (
 	"fmt"
 	"hash/fnv"
+	"math"
 	"sync"
 
 	"flexran/internal/enb"
 	"flexran/internal/lte"
 	"flexran/internal/protocol"
+	"flexran/internal/radio"
 	"flexran/internal/sched"
 	"flexran/internal/yamlite"
 )
@@ -31,6 +33,29 @@ type Options struct {
 	// TrustKey overrides the deployment trust key.
 	TrustKey string
 }
+
+// maxReportNeighbors caps the neighbour list carried in one MeasReport
+// (the strongest cells; 3GPP reports are similarly bounded).
+const maxReportNeighbors = 8
+
+// a3State tracks one UE's A3 entering condition between measurements.
+type a3State struct {
+	// since is the subframe the condition started holding.
+	since lte.Subframe
+	// reported suppresses duplicate reports while the episode persists;
+	// it re-arms when the condition clears or the UE detaches.
+	reported bool
+	// lastReport schedules the periodic repeat (RRC report_interval_tti)
+	// while the condition keeps holding — the retry path when a handover
+	// command or completion was lost in transit.
+	lastReport lte.Subframe
+}
+
+// HandoverExecutor performs the data-plane side of a handover command:
+// moving the UE context from this agent's eNodeB to the target. The
+// environment hosting the agent installs it (the simulator defers the move
+// to a deterministic barrier); without one, handover commands are rejected.
+type HandoverExecutor func(cmd *protocol.HandoverCommand) error
 
 // statsSub is one registered statistics subscription.
 type statsSub struct {
@@ -55,6 +80,11 @@ type Agent struct {
 
 	subs map[uint32]*statsSub
 
+	// a3 tracks the per-UE A3 entering condition (RRC module mobility
+	// parameters applied to the eNodeB's measurement stream).
+	a3     map[lte.RNTI]*a3State
+	hoExec HandoverExecutor
+
 	// droppedSends counts messages lost because no transport is attached
 	// or the transport failed; surfaced for diagnostics.
 	droppedSends int
@@ -74,6 +104,7 @@ func New(e *enb.ENB, opts Options) *Agent {
 		mgmt: NewMgmtModule(),
 		rrc:  NewRRCModule(),
 		subs: map[uint32]*statsSub{},
+		a3:   map[lte.RNTI]*a3State{},
 	}
 	a.modules = map[string]Module{
 		a.mac.Name():  a.mac,
@@ -87,8 +118,9 @@ func New(e *enb.ENB, opts Options) *Agent {
 		ULSchedule: func(_ lte.CellID, in sched.Input) []sched.Alloc {
 			return a.mac.Schedule(OpULUESched, in)
 		},
-		OnUEEvent:  a.onUEEvent,
-		OnSubframe: a.onSubframe,
+		OnUEEvent:     a.onUEEvent,
+		OnSubframe:    a.onSubframe,
+		OnMeasurement: a.onMeasurement,
 	})
 	return a
 }
@@ -164,7 +196,95 @@ func (a *Agent) Deliver(m *protocol.Message) {
 		a.ack(a.installVSF(p))
 	case *protocol.PolicyReconf:
 		a.ack(a.Reconfigure(p.Doc))
+	case *protocol.HandoverCommand:
+		a.mu.Lock()
+		exec := a.hoExec
+		a.mu.Unlock()
+		if exec == nil {
+			a.ack(fmt.Errorf("agent: no handover executor attached"))
+			return
+		}
+		if err := exec(p); err != nil {
+			a.ack(err)
+		}
+		// Success is acknowledged by the target agent's HandoverComplete,
+		// not by a ControlAck from this side.
 	}
+}
+
+// SetHandoverExecutor installs the data-plane handover path. The simulator
+// installs an executor that defers the context move to the TTI barrier;
+// rejecting commands is the behaviour without one.
+func (a *Agent) SetHandoverExecutor(exec HandoverExecutor) {
+	a.mu.Lock()
+	a.hoExec = exec
+	a.mu.Unlock()
+}
+
+// NotifyHandoverComplete reports an admitted handover UE to the master
+// (called by the environment after enb.AdmitUE on the target eNodeB).
+func (a *Agent) NotifyHandoverComplete(rnti lte.RNTI, imsi uint64, cell lte.CellID, from lte.ENBID, fromRNTI lte.RNTI) {
+	a.emit(&protocol.HandoverComplete{
+		RNTI: rnti, IMSI: imsi, Cell: cell,
+		SourceENB: from, SourceRNTI: fromRNTI,
+	})
+}
+
+// onMeasurement runs the A3 evaluation for one UE's measurement sweep: the
+// RRC module's hysteresis and time-to-trigger (Table 1's "threshold of
+// signal quality for handover initiation") gate when a MeasReport leaves
+// the agent. One report is emitted per A3 episode.
+func (a *Agent) onMeasurement(rnti lte.RNTI, cell lte.CellID, serving radio.Meas, neighbors []radio.Meas) {
+	hys := a.rrc.Hysteresis()
+	ttt := a.rrc.TimeToTrigger()
+	entered := len(neighbors) > 0 && neighbors[0].RSRPdBm > serving.RSRPdBm+hys
+	a.mu.Lock()
+	if !entered {
+		delete(a.a3, rnti) // condition cleared: re-arm
+		a.mu.Unlock()
+		return
+	}
+	now := a.enb.Now()
+	st := a.a3[rnti]
+	if st == nil {
+		st = &a3State{since: now}
+		a.a3[rnti] = st
+	}
+	fire := int(now-st.since) >= ttt
+	if fire && st.reported {
+		// Already reported this episode: repeat only at the configured
+		// report interval (0 = never), so a lost command cannot strand
+		// the UE for the rest of the episode.
+		ri := a.rrc.ReportInterval()
+		fire = ri > 0 && int(now-st.lastReport) >= ri
+	}
+	if fire {
+		st.reported = true
+		st.lastReport = now
+	}
+	a.mu.Unlock()
+	if !fire {
+		return
+	}
+	rep := &protocol.MeasReport{
+		RNTI: rnti, Cell: cell,
+		ServingRSRPdBm: int32(math.Round(serving.RSRPdBm)),
+		ServingRSRQdB:  int32(math.Round(serving.RSRQdB)),
+	}
+	if r, ok := a.enb.UEReport(rnti); ok {
+		rep.IMSI = r.IMSI
+	}
+	if len(neighbors) > maxReportNeighbors {
+		neighbors = neighbors[:maxReportNeighbors]
+	}
+	for _, n := range neighbors {
+		rep.Neighbors = append(rep.Neighbors, protocol.NeighborMeas{
+			ENB: n.ENB, Cell: n.Cell,
+			RSRPdBm: int32(math.Round(n.RSRPdBm)),
+			RSRQdB:  int32(math.Round(n.RSRQdB)),
+		})
+	}
+	a.emit(rep)
 }
 
 func (a *Agent) ack(err error) {
@@ -307,13 +427,22 @@ func reportHash(rep *protocol.StatsReply) uint64 {
 func (a *Agent) ueConfigReply() *protocol.UEConfigReply {
 	rep := &protocol.UEConfigReply{}
 	for _, r := range a.enb.UEReports() {
-		rep.UEs = append(rep.UEs, protocol.UEConfig{RNTI: r.RNTI, Cell: r.Cell})
+		rep.UEs = append(rep.UEs, protocol.UEConfig{RNTI: r.RNTI, Cell: r.Cell, IMSI: r.IMSI})
 	}
 	return rep
 }
 
 func (a *Agent) onUEEvent(ev protocol.UEEventType, rnti lte.RNTI, cellID lte.CellID) {
-	if a.mgmt.ForwardEvents() {
+	if ev == protocol.UEEventDetach {
+		a.mu.Lock()
+		delete(a.a3, rnti) // the UE left this cell; drop its A3 episode
+		a.mu.Unlock()
+	}
+	// Detach events always reach the master: removing the UE from this
+	// agent's RIB shard is the source half of a handover migration, and
+	// suppressing it (forward_events: false) would leak ghost records.
+	// The knob gates only the chatty attach/RA/SR notifications.
+	if ev == protocol.UEEventDetach || a.mgmt.ForwardEvents() {
 		a.emit(&protocol.UEEvent{Type: ev, RNTI: rnti, Cell: cellID})
 	}
 }

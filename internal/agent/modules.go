@@ -101,11 +101,15 @@ type RRCModule struct {
 	hysteresisDB float64
 	// TimeToTriggerTTI is how long the A3 condition must hold.
 	timeToTriggerTTI int
+	// reportIntervalTTI is how long after a MeasReport the agent repeats
+	// it while the A3 condition keeps holding (the 3GPP reportInterval):
+	// the retry path when a command or completion was lost.
+	reportIntervalTTI int
 }
 
-// NewRRCModule returns 3GPP-ish defaults (3 dB, 40 ms).
+// NewRRCModule returns 3GPP-ish defaults (3 dB, 40 ms, 240 ms).
 func NewRRCModule() *RRCModule {
-	return &RRCModule{hysteresisDB: 3, timeToTriggerTTI: 40}
+	return &RRCModule{hysteresisDB: 3, timeToTriggerTTI: 40, reportIntervalTTI: 240}
 }
 
 // Name implements Module.
@@ -139,6 +143,12 @@ func (r *RRCModule) Reconfigure(doc *yamlite.Node) error {
 				return fmt.Errorf("agent: bad time_to_trigger %q", val.Str())
 			}
 			r.timeToTriggerTTI = int(n)
+		case "report_interval_tti":
+			n, err := val.Int()
+			if err != nil || n < 0 {
+				return fmt.Errorf("agent: bad report_interval %q", val.Str())
+			}
+			r.reportIntervalTTI = int(n)
 		default:
 			return fmt.Errorf("agent: rrc module has no knob %q", key)
 		}
@@ -158,4 +168,12 @@ func (r *RRCModule) TimeToTrigger() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.timeToTriggerTTI
+}
+
+// ReportInterval returns the A3 re-report interval in TTIs (0 disables
+// repeats: one report per episode).
+func (r *RRCModule) ReportInterval() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reportIntervalTTI
 }

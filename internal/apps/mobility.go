@@ -5,40 +5,50 @@ import (
 
 	"flexran/internal/controller"
 	"flexran/internal/lte"
+	"flexran/internal/protocol"
 )
 
 // MobilityManager implements the paper's §7.1 mobility-management use
-// case: a centralized handover decision maker that exploits the master's
-// network-wide view instead of per-cell signal strength alone. It watches
-// each UE's RSRP toward its serving agent and the candidate agents in the
-// RIB and raises a handover decision when the standard A3 condition
-// (candidate better than serving by a hysteresis, sustained for a
-// time-to-trigger) holds — the two knobs the RRC control module exposes
-// to policy reconfiguration.
-//
-// Like the paper (whose OAI substrate could not execute handovers in
-// emulation mode either), the application produces the *decisions*; the
-// EPC's Handover path switch and target-cell admission are exercised by
-// the epc package tests.
+// case: a centralized handover decision maker exploiting the master's
+// network-wide view. Serving agents run the A3 entering condition locally
+// (their RRC module's hysteresis and time-to-trigger, retunable via policy
+// reconfiguration) and raise MeasReports; the manager picks a target with
+// a pluggable policy — strongest neighbour by default, optionally
+// discounted by target-cell load (the paper's "load of cells" factor) —
+// and issues a HandoverCommand back to the serving agent. Completions
+// arrive from the target agent and retire the in-flight entry, so a UE is
+// never commanded twice concurrently.
 type MobilityManager struct {
-	// HysteresisDB and TimeToTriggerTTI mirror the RRC module defaults;
-	// the master can retune them per agent via policy reconfiguration.
-	HysteresisDB     float64
-	TimeToTriggerTTI int
+	// Policy picks the target cell for an A3 report; nil means
+	// StrongestNeighbor.
+	Policy TargetPolicy
+	// MinMarginDB is an additional master-side guard on top of the
+	// agent-side hysteresis: when set positive, commands toward measured
+	// targets with a smaller RSRP margin are withheld. 0 (the default)
+	// accepts every A3 report, and targets the policy picked outside the
+	// measured neighbour list are never gated.
+	MinMarginDB float64
+	// CommandTimeoutTTI expires an in-flight handover that never
+	// completed (lost command or failed admission), re-arming the UE.
+	CommandTimeoutTTI int
 
-	mu sync.Mutex
-	// a3Since tracks when the A3 condition started holding per UE.
-	a3Since map[ueKey]lte.Subframe
-	// decisions is the ordered log of handover decisions taken.
+	mu       sync.Mutex
+	inflight map[uint64]inflightHO
+	// decisions is the ordered log of commands issued.
 	decisions []HandoverDecision
-	// loadWeight biases decisions toward less-loaded target cells
-	// (0 disables; the paper's "load of cells" factor).
-	LoadWeight float64
+	completed int
+	expired   int
 }
 
-// HandoverDecision is one decision produced by the manager.
+type inflightHO struct {
+	target   lte.ENBID
+	issuedAt lte.Subframe
+}
+
+// HandoverDecision is one command issued by the manager.
 type HandoverDecision struct {
 	RNTI    lte.RNTI
+	IMSI    uint64
 	From    lte.ENBID
 	To      lte.ENBID
 	AtCycle lte.Subframe
@@ -46,107 +56,195 @@ type HandoverDecision struct {
 	MarginDB float64
 }
 
-// NewMobilityManager builds the app with 3GPP-ish defaults (3 dB, 40 ms).
+// NewMobilityManager builds the app with the strongest-neighbour policy.
 func NewMobilityManager() *MobilityManager {
 	return &MobilityManager{
-		HysteresisDB:     3,
-		TimeToTriggerTTI: 40,
-		a3Since:          map[ueKey]lte.Subframe{},
+		CommandTimeoutTTI: 200,
+		inflight:          map[uint64]inflightHO{},
 	}
 }
 
 // Name implements controller.App.
 func (*MobilityManager) Name() string { return "mobility-manager" }
 
-// OnTick implements controller.TickerApp: evaluate the A3 condition for
-// every UE against every other agent's cells.
-func (m *MobilityManager) OnTick(ctx *controller.Context, cycle lte.Subframe) {
-	rib := ctx.RIB()
-	agents := rib.Agents()
-	if len(agents) < 2 {
+// hoKey identifies a UE across cells: the IMSI when known, else the
+// serving eNodeB/RNTI pair packed into the same space.
+func hoKey(enb lte.ENBID, rnti lte.RNTI, imsi uint64) uint64 {
+	if imsi != 0 {
+		return imsi
+	}
+	return uint64(enb)<<32 | uint64(rnti)
+}
+
+// OnMeasReport implements controller.MobilityApp: one A3 report, at most
+// one handover command.
+func (m *MobilityManager) OnMeasReport(ctx *controller.Context, ev controller.MeasEvent) {
+	rep := ev.Report
+	if len(rep.Neighbors) == 0 {
+		return
+	}
+	key := hoKey(ev.ENB, rep.RNTI, rep.IMSI)
+	m.mu.Lock()
+	_, busy := m.inflight[key]
+	m.mu.Unlock()
+	if busy {
+		return
+	}
+	pol := m.Policy
+	if pol == nil {
+		pol = StrongestNeighbor{}
+	}
+	target, cell, ok := pol.Pick(ctx.RIB(), ev)
+	if !ok || target == ev.ENB || !ctx.RIB().Connected(target) {
+		return
+	}
+	// The margin is only known when the picked target appears in the
+	// report (custom policies may choose from wider RIB state); the gate
+	// applies to measured margins and only when configured positive, so
+	// the default accepts every A3 report — including load-balancing
+	// picks toward a weaker-signal cell.
+	margin, measured := targetRSRP(rep, target)
+	margin -= float64(rep.ServingRSRPdBm)
+	if !measured {
+		margin = 0
+	}
+	if m.MinMarginDB > 0 && measured && margin < m.MinMarginDB {
+		return
+	}
+	if err := ctx.CommandHandover(ev.ENB, rep.RNTI, rep.IMSI, target, cell); err != nil {
+		return // session gone; the next report retries
+	}
+	m.mu.Lock()
+	m.inflight[key] = inflightHO{target: target, issuedAt: ctx.Now}
+	m.decisions = append(m.decisions, HandoverDecision{
+		RNTI: rep.RNTI, IMSI: rep.IMSI, From: ev.ENB, To: target,
+		AtCycle: ctx.Now, MarginDB: margin,
+	})
+	m.mu.Unlock()
+}
+
+// OnHandoverComplete implements controller.MobilityApp.
+func (m *MobilityManager) OnHandoverComplete(_ *controller.Context, ev controller.HandoverEvent) {
+	hc := ev.Complete
+	key := hoKey(hc.SourceENB, hc.SourceRNTI, hc.IMSI)
+	m.mu.Lock()
+	if _, ok := m.inflight[key]; ok {
+		delete(m.inflight, key)
+		m.completed++
+	}
+	m.mu.Unlock()
+}
+
+// OnTick implements controller.TickerApp: expire in-flight commands that
+// never completed so their UEs become eligible again.
+func (m *MobilityManager) OnTick(_ *controller.Context, cycle lte.Subframe) {
+	if m.CommandTimeoutTTI <= 0 {
 		return
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, serving := range agents {
-		for _, u := range rib.UEsOf(serving) {
-			if u.CQI == 0 {
-				continue
-			}
-			best, margin := m.bestCandidate(rib, agents, serving, u.RSRPdBm)
-			key := ueKey{serving, u.RNTI}
-			if best == 0 || margin < m.HysteresisDB {
-				delete(m.a3Since, key)
-				continue
-			}
-			since, ok := m.a3Since[key]
-			if !ok {
-				m.a3Since[key] = cycle
-				continue
-			}
-			if int(cycle-since) >= m.TimeToTriggerTTI {
-				m.decisions = append(m.decisions, HandoverDecision{
-					RNTI: u.RNTI, From: serving, To: best,
-					AtCycle: cycle, MarginDB: margin,
-				})
-				delete(m.a3Since, key)
-			}
+	for k, ho := range m.inflight {
+		if int(cycle-ho.issuedAt) > m.CommandTimeoutTTI {
+			delete(m.inflight, k)
+			m.expired++
 		}
 	}
+	m.mu.Unlock()
 }
 
-// bestCandidate estimates the strongest neighbour for a UE. Without
-// per-neighbour measurement reports in the RIB (the paper's prototype did
-// not carry them either), the neighbour RSRP is approximated by the
-// median RSRP of the UEs the neighbour currently serves — its coverage
-// operating point — optionally discounted by cell load.
-func (m *MobilityManager) bestCandidate(rib *controller.RIB, agents []lte.ENBID, serving lte.ENBID, servingRSRP int32) (lte.ENBID, float64) {
-	var best lte.ENBID
-	bestMargin := -1e9
-	for _, cand := range agents {
-		if cand == serving || !rib.Connected(cand) {
-			continue
-		}
-		ues := rib.UEsOf(cand)
-		if len(ues) == 0 {
-			continue
-		}
-		var rsrps []int32
-		for _, u := range ues {
-			if u.CQI > 0 {
-				rsrps = append(rsrps, u.RSRPdBm)
-			}
-		}
-		if len(rsrps) == 0 {
-			continue
-		}
-		candRSRP := medianI32(rsrps)
-		margin := float64(candRSRP - servingRSRP)
-		if m.LoadWeight > 0 {
-			margin -= m.LoadWeight * float64(len(ues))
-		}
-		if margin > bestMargin {
-			best, bestMargin = cand, margin
+// targetRSRP returns the reported RSRP toward a specific neighbour, with
+// ok=false when the cell was not measured (policy picked outside the
+// report).
+func targetRSRP(rep *protocol.MeasReport, enb lte.ENBID) (float64, bool) {
+	for _, n := range rep.Neighbors {
+		if n.ENB == enb {
+			return float64(n.RSRPdBm), true
 		}
 	}
-	return best, bestMargin
+	return 0, false
 }
 
-func medianI32(v []int32) int32 {
-	// Insertion sort: the slices are tiny (UEs per cell).
-	for i := 1; i < len(v); i++ {
-		for j := i; j > 0 && v[j] < v[j-1]; j-- {
-			v[j], v[j-1] = v[j-1], v[j]
-		}
-	}
-	return v[len(v)/2]
-}
-
-// Decisions drains the decision log.
+// Decisions drains the command log.
 func (m *MobilityManager) Decisions() []HandoverDecision {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := m.decisions
 	m.decisions = nil
 	return out
+}
+
+// Completed reports how many commanded handovers finished.
+func (m *MobilityManager) Completed() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.completed
+}
+
+// InFlight reports how many commands await completion.
+func (m *MobilityManager) InFlight() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.inflight)
+}
+
+// Expired reports commands that timed out without completing.
+func (m *MobilityManager) Expired() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.expired
+}
+
+// ---------------------------------------------------------------------------
+// Target policies
+
+// TargetPolicy picks the handover target for an A3 measurement report.
+type TargetPolicy interface {
+	Name() string
+	// Pick returns the target eNodeB/cell, or ok=false to skip the report.
+	Pick(rib *controller.RIB, ev controller.MeasEvent) (lte.ENBID, lte.CellID, bool)
+}
+
+// StrongestNeighbor hands over to the best-measured neighbour cell (the
+// report is ordered strongest first by the agent).
+type StrongestNeighbor struct{}
+
+// Name implements TargetPolicy.
+func (StrongestNeighbor) Name() string { return "strongest-neighbor" }
+
+// Pick implements TargetPolicy.
+func (StrongestNeighbor) Pick(rib *controller.RIB, ev controller.MeasEvent) (lte.ENBID, lte.CellID, bool) {
+	for _, n := range ev.Report.Neighbors {
+		if rib.Connected(n.ENB) {
+			return n.ENB, n.Cell, true
+		}
+	}
+	return 0, 0, false
+}
+
+// LoadBalanced discounts each neighbour's RSRP by the target cell's UE
+// count (LoadWeight dB per attached UE, relative to the serving cell) —
+// the network-wide criterion a per-cell decision cannot apply.
+type LoadBalanced struct {
+	// LoadWeight is the penalty in dB per UE of load difference.
+	LoadWeight float64
+}
+
+// Name implements TargetPolicy.
+func (LoadBalanced) Name() string { return "load-balanced" }
+
+// Pick implements TargetPolicy.
+func (p LoadBalanced) Pick(rib *controller.RIB, ev controller.MeasEvent) (lte.ENBID, lte.CellID, bool) {
+	servingLoad := rib.UECount(ev.ENB)
+	var best lte.ENBID
+	var bestCell lte.CellID
+	bestScore := -1e18
+	for _, n := range ev.Report.Neighbors {
+		if !rib.Connected(n.ENB) {
+			continue
+		}
+		score := float64(n.RSRPdBm) - p.LoadWeight*float64(rib.UECount(n.ENB)-servingLoad)
+		if score > bestScore {
+			best, bestCell, bestScore = n.ENB, n.Cell, score
+		}
+	}
+	return best, bestCell, best != 0
 }

@@ -4,77 +4,123 @@ import (
 	"testing"
 
 	"flexran/internal/apps"
+	"flexran/internal/controller"
+	"flexran/internal/protocol"
 	"flexran/internal/radio"
 	"flexran/internal/sim"
+	"flexran/internal/ue"
 )
 
-// Two agents: the serving cell degrades (CQI 12 -> 3 at 1 s) while the
-// neighbour stays strong; the mobility manager must raise a handover
-// decision after the A3 condition holds for the time-to-trigger.
-func TestMobilityManagerTriggersOnDegradation(t *testing.T) {
-	s := sim.MustNew(sim.Config{Master: masterOpts()},
-		sim.ENBSpec{ID: 1, Agent: true, Seed: 1, UEs: []sim.UESpec{
-			{IMSI: 100, Channel: radio.Schedule{{At: 0, CQI: 12}, {At: 1000, CQI: 3}}},
-		}},
-		sim.ENBSpec{ID: 2, Agent: true, Seed: 2, UEs: []sim.UESpec{
-			{IMSI: 200, Channel: radio.Fixed(12)},
-		}},
+// twoCellWalk builds the canonical mobility scenario: two cells 1 km
+// apart, one UE walking from deep inside cell 1 to deep inside cell 2,
+// with its CQI and neighbour measurements derived from the shared radio
+// map. Returns the sim and the mobility manager (registered).
+func twoCellWalk(workers int, speedMps float64) (*sim.Sim, *apps.MobilityManager) {
+	rmap := radio.NewMap(
+		radio.Site{ENB: 1, Cell: 0, Tx: radio.Transmitter{Pos: radio.Point{X: 0}, PowerDBm: 43}},
+		radio.Site{ENB: 2, Cell: 0, Tx: radio.Transmitter{Pos: radio.Point{X: 1000}, PowerDBm: 43}},
+	)
+	walker := &radio.Waypoint{
+		Path:     []radio.Point{{X: 100}, {X: 900}},
+		SpeedMps: speedMps,
+	}
+	opts := controller.DefaultOptions()
+	s := sim.MustNew(sim.Config{Master: &opts, Workers: workers},
+		sim.ENBSpec{ID: 1, Agent: true, Seed: 1, UEs: []sim.UESpec{{
+			IMSI:    100,
+			Channel: radio.NewGeoChannel(rmap, walker, 1),
+			DL:      ue.NewCBR(600),
+		}}},
+		sim.ENBSpec{ID: 2, Agent: true, Seed: 2},
 	)
 	mm := apps.NewMobilityManager()
 	s.Master.Register(mm, 5)
+	return s, mm
+}
+
+// The headline path: a walking UE crosses the cell border, the serving
+// agent raises an A3 report, the manager commands the handover, the sim
+// migrates the UE, and the target agent confirms — with traffic flowing
+// throughout.
+func TestMobilityManagerExecutesHandover(t *testing.T) {
+	// 80 m/s compresses the 800 m walk into 10 simulated seconds.
+	s, mm := twoCellWalk(1, 80)
 	if !s.WaitAttached(500) {
 		t.Fatal("attach failed")
 	}
-	// Strong serving cell: no decisions.
-	s.RunSeconds(0.5)
-	if d := mm.Decisions(); len(d) != 0 {
-		t.Fatalf("premature handover decisions: %+v", d)
+	s.RunSeconds(10)
+
+	hos := s.Handovers()
+	if len(hos) == 0 {
+		t.Fatal("no handover executed for a UE that crossed the cell border")
 	}
-	// Serving degrades at 1 s; A3 + TTT must fire shortly after.
-	s.RunSeconds(1.0)
-	decisions := mm.Decisions()
-	if len(decisions) == 0 {
-		t.Fatal("no handover decision after serving-cell degradation")
+	if hos[0].IMSI != 100 || hos[0].From != 1 || hos[0].To != 2 {
+		t.Errorf("first handover = %+v, want IMSI 100 moving 1 -> 2", hos[0])
 	}
-	d := decisions[0]
-	if d.From != 1 || d.To != 2 {
-		t.Errorf("decision = %+v, want 1 -> 2", d)
+	if mm.Completed() == 0 {
+		t.Error("manager saw no HandoverComplete")
 	}
-	// RSRP model: -140 + 6*CQI, so CQI 12 vs 3 is a 54 dB margin.
-	if d.MarginDB < mm.HysteresisDB {
-		t.Errorf("margin %.1f below hysteresis", d.MarginDB)
+	if got := mm.InFlight(); got != 0 {
+		t.Errorf("%d handovers still in flight at end of run", got)
 	}
-	if int(d.AtCycle) < 1000+mm.TimeToTriggerTTI {
-		t.Errorf("decision at cycle %d, before TTT elapsed", d.AtCycle)
+	rep, enbID, ok := s.ReportByIMSI(100)
+	if !ok || enbID != 2 {
+		t.Fatalf("UE ended at eNB %d (ok=%v), want 2", enbID, ok)
+	}
+	if rep.State.String() != "connected" {
+		t.Errorf("UE state after handover = %v", rep.State)
+	}
+	if rep.DLDelivered == 0 {
+		t.Error("no downlink delivered across the walk")
+	}
+	// The RIB must reflect the migration: the UE lives under agent 2.
+	rib := s.Master.RIB()
+	if n := rib.UECount(1); n != 0 {
+		t.Errorf("RIB still holds %d UEs under the source agent", n)
+	}
+	if n := rib.UECount(2); n != 1 {
+		t.Errorf("RIB holds %d UEs under the target agent, want 1", n)
 	}
 }
 
-// A symmetric network must stay handover-free: margins never exceed the
-// hysteresis.
-func TestMobilityManagerStableWhenBalanced(t *testing.T) {
-	s := sim.MustNew(sim.Config{Master: masterOpts()},
-		sim.ENBSpec{ID: 1, Agent: true, Seed: 1, UEs: []sim.UESpec{
-			{IMSI: 100, Channel: radio.Fixed(11)},
-		}},
-		sim.ENBSpec{ID: 2, Agent: true, Seed: 2, UEs: []sim.UESpec{
-			{IMSI: 200, Channel: radio.Fixed(11)},
-		}},
+// A static UE deep inside its serving cell must never trigger a handover.
+func TestMobilityManagerStableWhenStatic(t *testing.T) {
+	rmap := radio.NewMap(
+		radio.Site{ENB: 1, Cell: 0, Tx: radio.Transmitter{Pos: radio.Point{X: 0}, PowerDBm: 43}},
+		radio.Site{ENB: 2, Cell: 0, Tx: radio.Transmitter{Pos: radio.Point{X: 1000}, PowerDBm: 43}},
+	)
+	opts := controller.DefaultOptions()
+	s := sim.MustNew(sim.Config{Master: &opts},
+		sim.ENBSpec{ID: 1, Agent: true, Seed: 1, UEs: []sim.UESpec{{
+			IMSI:    100,
+			Channel: radio.NewGeoChannel(rmap, radio.Static(radio.Point{X: 150}), 1),
+			DL:      ue.NewCBR(400),
+		}}},
+		sim.ENBSpec{ID: 2, Agent: true, Seed: 2},
 	)
 	mm := apps.NewMobilityManager()
 	s.Master.Register(mm, 5)
 	s.WaitAttached(500)
-	s.RunSeconds(1)
+	s.RunSeconds(2)
 	if d := mm.Decisions(); len(d) != 0 {
-		t.Errorf("spurious handovers in balanced network: %+v", d)
+		t.Errorf("spurious handover decisions for a static center-cell UE: %+v", d)
+	}
+	if len(s.Handovers()) != 0 {
+		t.Error("spurious handovers executed")
 	}
 }
 
-// With a single agent there is nowhere to go; the manager must be a no-op.
+// With a single agent there is nowhere to go: no decisions, no commands.
 func TestMobilityManagerSingleAgentNoOp(t *testing.T) {
-	s := sim.MustNew(sim.Config{Master: masterOpts()},
-		sim.ENBSpec{ID: 1, Agent: true, Seed: 1, UEs: []sim.UESpec{
-			{IMSI: 100, Channel: radio.Fixed(2)},
-		}},
+	rmap := radio.NewMap(
+		radio.Site{ENB: 1, Cell: 0, Tx: radio.Transmitter{Pos: radio.Point{X: 0}, PowerDBm: 43}},
+	)
+	opts := controller.DefaultOptions()
+	s := sim.MustNew(sim.Config{Master: &opts},
+		sim.ENBSpec{ID: 1, Agent: true, Seed: 1, UEs: []sim.UESpec{{
+			IMSI:    100,
+			Channel: radio.NewGeoChannel(rmap, radio.Static(radio.Point{X: 2000}), 1),
+		}}},
 	)
 	mm := apps.NewMobilityManager()
 	s.Master.Register(mm, 5)
@@ -82,5 +128,56 @@ func TestMobilityManagerSingleAgentNoOp(t *testing.T) {
 	s.RunSeconds(0.5)
 	if d := mm.Decisions(); len(d) != 0 {
 		t.Errorf("decisions without candidates: %+v", d)
+	}
+}
+
+// The load-balancing policy must divert a handover away from a loaded
+// target when the RSRP edge is small, while the default policy follows
+// signal strength alone.
+func TestTargetPolicies(t *testing.T) {
+	rmap := radio.NewMap(
+		radio.Site{ENB: 1, Cell: 0, Tx: radio.Transmitter{Pos: radio.Point{X: 0}, PowerDBm: 43}},
+		radio.Site{ENB: 2, Cell: 0, Tx: radio.Transmitter{Pos: radio.Point{X: 950}, PowerDBm: 43}},
+		radio.Site{ENB: 3, Cell: 0, Tx: radio.Transmitter{Pos: radio.Point{X: 1100}, PowerDBm: 43}},
+	)
+	// eNB 2 is closer (stronger) but carries four UEs; eNB 3 is empty.
+	loaded := func(i int) sim.UESpec {
+		return sim.UESpec{
+			IMSI:    uint64(200 + i),
+			Channel: radio.NewGeoChannel(rmap, radio.Static(radio.Point{X: 950}), 2),
+		}
+	}
+	opts := controller.DefaultOptions()
+	s := sim.MustNew(sim.Config{Master: &opts},
+		sim.ENBSpec{ID: 1, Agent: true, Seed: 1, UEs: []sim.UESpec{{
+			IMSI:    100,
+			Channel: radio.NewGeoChannel(rmap, radio.Static(radio.Point{X: 800}), 1),
+		}}},
+		sim.ENBSpec{ID: 2, Agent: true, Seed: 2, UEs: []sim.UESpec{
+			loaded(0), loaded(1), loaded(2), loaded(3),
+		}},
+		sim.ENBSpec{ID: 3, Agent: true, Seed: 3},
+	)
+	s.WaitAttached(500)
+	s.RunSeconds(0.5) // let stats populate the RIB
+	rib := s.Master.RIB()
+
+	ev := controller.MeasEvent{ENB: 1, Report: &protocol.MeasReport{
+		RNTI: 0x46, IMSI: 100, Cell: 0,
+		ServingRSRPdBm: -105,
+		Neighbors: []protocol.NeighborMeas{
+			{ENB: 2, Cell: 0, RSRPdBm: -90},
+			{ENB: 3, Cell: 0, RSRPdBm: -93},
+		},
+	}}
+	if enb, _, ok := (apps.StrongestNeighbor{}).Pick(rib, ev); !ok || enb != 2 {
+		t.Errorf("StrongestNeighbor picked %d (ok=%v), want 2", enb, ok)
+	}
+	if enb, _, ok := (apps.LoadBalanced{LoadWeight: 2}).Pick(rib, ev); !ok || enb != 3 {
+		t.Errorf("LoadBalanced picked %d (ok=%v), want 3 (4 UEs on eNB 2)", enb, ok)
+	}
+	// With a negligible weight the signal wins again.
+	if enb, _, ok := (apps.LoadBalanced{LoadWeight: 0.1}).Pick(rib, ev); !ok || enb != 2 {
+		t.Errorf("LoadBalanced(0.1) picked %d (ok=%v), want 2", enb, ok)
 	}
 }

@@ -77,6 +77,34 @@ type EventApp interface {
 	OnEvent(ctx *Context, ev AgentEvent)
 }
 
+// MeasEvent is an A3 measurement report dispatched to mobility apps.
+type MeasEvent struct {
+	// ENB is the serving (reporting) agent.
+	ENB lte.ENBID
+	// SF is the agent subframe stamped on the report.
+	SF lte.Subframe
+	// Report is the A3 report; apps must treat it as read-only.
+	Report *protocol.MeasReport
+}
+
+// HandoverEvent is a handover completion dispatched to mobility apps.
+type HandoverEvent struct {
+	// ENB is the target agent that admitted the UE.
+	ENB lte.ENBID
+	SF  lte.Subframe
+	// Complete is the notification; apps must treat it as read-only.
+	Complete *protocol.HandoverComplete
+}
+
+// MobilityApp receives the mobility control-loop inputs: A3 measurement
+// reports from serving agents and handover completions from target agents
+// (the third execution pattern next to TickerApp and EventApp).
+type MobilityApp interface {
+	App
+	OnMeasReport(ctx *Context, ev MeasEvent)
+	OnHandoverComplete(ctx *Context, ev HandoverEvent)
+}
+
 type appEntry struct {
 	app      App
 	priority int
@@ -136,6 +164,8 @@ func (s *session) isClosed() bool {
 // which keeps event and ack dispatch deterministic.
 type tickSink struct {
 	events []AgentEvent
+	meas   []MeasEvent
+	hos    []HandoverEvent
 	acks   []protocol.ControlAck
 }
 
@@ -324,9 +354,13 @@ func (m *Master) Tick() {
 		m.applyBatch(sessions[i], batches[i], &sinks[i])
 	})
 	var events []AgentEvent
+	var meas []MeasEvent
+	var hos []HandoverEvent
 	var acks []protocol.ControlAck
 	for i := range sinks {
 		events = append(events, sinks[i].events...)
+		meas = append(meas, sinks[i].meas...)
+		hos = append(hos, sinks[i].hos...)
 		acks = append(acks, sinks[i].acks...)
 	}
 	if len(acks) > 0 {
@@ -350,6 +384,16 @@ func (m *Master) Tick() {
 		if evApp, ok := e.app.(EventApp); ok {
 			for _, ev := range events {
 				evApp.OnEvent(ctx, ev)
+			}
+		}
+		if mobApp, ok := e.app.(MobilityApp); ok {
+			// Completions first, so a finished handover re-arms the app
+			// before this cycle's new reports are considered.
+			for _, ev := range hos {
+				mobApp.OnHandoverComplete(ctx, ev)
+			}
+			for _, ev := range meas {
+				mobApp.OnMeasReport(ctx, ev)
 			}
 		}
 	}
@@ -409,6 +453,12 @@ func (m *Master) applyInbound(s *session, msg *protocol.Message, sink *tickSink)
 		})
 	case *protocol.EchoReply:
 		m.rib.applySF(msg.ENB, p.SenderSF)
+	case *protocol.MeasReport:
+		m.rib.applyMeasReport(msg.ENB, msg.SF, p)
+		sink.meas = append(sink.meas, MeasEvent{ENB: msg.ENB, SF: msg.SF, Report: p})
+	case *protocol.HandoverComplete:
+		m.rib.applyHandoverComplete(msg.ENB, p)
+		sink.hos = append(sink.hos, HandoverEvent{ENB: msg.ENB, SF: msg.SF, Complete: p})
 	case *protocol.ControlAck:
 		sink.acks = append(sink.acks, *p)
 	}

@@ -43,6 +43,14 @@ func (c *Context) ScheduleDL(enb lte.ENBID, cellID lte.CellID, target lte.Subfra
 	return c.master.Send(enb, p)
 }
 
+// CommandHandover orders the serving agent to hand a UE over to a target
+// cell (the mobility-management command path of Table 1).
+func (c *Context) CommandHandover(serving lte.ENBID, rnti lte.RNTI, imsi uint64, target lte.ENBID, targetCell lte.CellID) error {
+	return c.master.Send(serving, &protocol.HandoverCommand{
+		RNTI: rnti, IMSI: imsi, TargetENB: target, TargetCell: targetCell,
+	})
+}
+
 // PushNativeVSF pushes a reference to the agent's built-in VSF store,
 // signed with the deployment trust key.
 func (c *Context) PushNativeVSF(enb lte.ENBID, module, vsf, name, ref string) error {

@@ -19,6 +19,10 @@ type UERecord struct {
 	Config    protocol.UEConfig
 	Stats     protocol.UEStats
 	UpdatedSF lte.Subframe // agent subframe of the latest stats
+	// Meas is the latest A3 measurement report (nil before the first);
+	// MeasSF stamps when it arrived.
+	Meas   *protocol.MeasReport
+	MeasSF lte.Subframe
 }
 
 // CellRecord is a cell node of the RIB.
@@ -158,6 +162,61 @@ func (r *RIB) applyStats(enb lte.ENBID, rep *protocol.StatsReply) {
 	}
 }
 
+// applyMeasReport attaches an A3 measurement report to the UE's record
+// (creating the record if the report outran the stats stream).
+func (r *RIB) applyMeasReport(enb lte.ENBID, sf lte.Subframe, rep *protocol.MeasReport) {
+	sh := r.shard(enb)
+	if sh == nil {
+		return
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c := sh.cells[rep.Cell]
+	if c == nil {
+		return
+	}
+	u := c.UEs[rep.RNTI]
+	if u == nil {
+		u = &UERecord{Config: protocol.UEConfig{RNTI: rep.RNTI, Cell: rep.Cell, IMSI: rep.IMSI}}
+		c.UEs[rep.RNTI] = u
+		sh.ueCount.Add(1)
+	}
+	if u.Config.IMSI == 0 {
+		u.Config.IMSI = rep.IMSI
+	}
+	u.Meas = rep
+	u.MeasSF = sf
+}
+
+// applyHandoverComplete materializes the target half of a UE migration
+// between shards. The source half is NOT touched here: removing the old
+// record is the source session's own job (its agent emits a detach event
+// when the UE is released), which preserves the sharded updater's
+// single-writer-per-shard discipline — a HandoverComplete arrives on the
+// *target* agent's session, and letting it write the source shard would
+// race the source session's in-order stream.
+func (r *RIB) applyHandoverComplete(to lte.ENBID, hc *protocol.HandoverComplete) {
+	sh := r.shard(to)
+	if sh == nil {
+		return
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c := sh.cells[hc.Cell]
+	if c == nil {
+		return
+	}
+	u := c.UEs[hc.RNTI]
+	if u == nil {
+		u = &UERecord{Config: protocol.UEConfig{RNTI: hc.RNTI, Cell: hc.Cell, IMSI: hc.IMSI}}
+		c.UEs[hc.RNTI] = u
+		sh.ueCount.Add(1)
+	}
+	if u.Config.IMSI == 0 {
+		u.Config.IMSI = hc.IMSI
+	}
+}
+
 func (r *RIB) applyUEEvent(enb lte.ENBID, ev *protocol.UEEvent) {
 	sh := r.shard(enb)
 	if sh == nil {
@@ -252,6 +311,24 @@ func (r *RIB) UEStats(enb lte.ENBID, rnti lte.RNTI) (protocol.UEStats, bool) {
 		}
 	}
 	return protocol.UEStats{}, false
+}
+
+// UEMeas returns the latest A3 measurement report of one UE and the cycle
+// it arrived in (ok=false before the first report). Callers must treat the
+// report as read-only.
+func (r *RIB) UEMeas(enb lte.ENBID, rnti lte.RNTI) (*protocol.MeasReport, lte.Subframe, bool) {
+	sh := r.shard(enb)
+	if sh == nil {
+		return nil, 0, false
+	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for _, c := range sh.cells {
+		if u, ok := c.UEs[rnti]; ok && u.Meas != nil {
+			return u.Meas, u.MeasSF, true
+		}
+	}
+	return nil, 0, false
 }
 
 // UEsOf returns the latest stats of every UE under an agent, ordered by

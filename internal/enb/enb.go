@@ -39,6 +39,10 @@ const (
 	// DefaultDLQueueCap bounds each UE's RLC transmission queue; excess
 	// downlink arrivals are dropped (UDP-like behaviour under overload).
 	DefaultDLQueueCap = 3 << 20
+	// DefaultMeasPeriodTTI is how often neighbour-cell measurements are
+	// collected for UEs whose channel model supports them (the L3
+	// measurement period feeding A3 handover evaluation).
+	DefaultMeasPeriodTTI = 10
 	// activityWindow is how many past subframes of per-cell transmission
 	// activity are retained (for interference coupling between eNBs).
 	activityWindow = 64
@@ -141,6 +145,11 @@ type Hooks struct {
 	ULSchedule func(cellID lte.CellID, in sched.Input) []sched.Alloc
 	OnUEEvent  func(ev protocol.UEEventType, rnti lte.RNTI, cellID lte.CellID)
 	OnSubframe func(sf lte.Subframe)
+	// OnMeasurement receives a connected UE's L3 measurements every
+	// Config.MeasPeriodTTI subframes (only for UEs whose channel model
+	// implements radio.NeighborMeasurer). The agent's RRC module runs A3
+	// evaluation on this stream.
+	OnMeasurement func(rnti lte.RNTI, cellID lte.CellID, serving radio.Meas, neighbors []radio.Meas)
 }
 
 // Config configures an eNodeB.
@@ -154,6 +163,8 @@ type Config struct {
 	AttachTimeoutTTI     int
 	// DLQueueCap overrides the RLC queue bound.
 	DLQueueCap int
+	// MeasPeriodTTI overrides the neighbour-measurement period.
+	MeasPeriodTTI int
 }
 
 // DefaultCell returns the paper's evaluation cell: FDD, 10 MHz, TM1, band 5.
@@ -189,6 +200,9 @@ func New(cfg Config) *ENB {
 	}
 	if cfg.DLQueueCap == 0 {
 		cfg.DLQueueCap = DefaultDLQueueCap
+	}
+	if cfg.MeasPeriodTTI == 0 {
+		cfg.MeasPeriodTTI = DefaultMeasPeriodTTI
 	}
 	if len(cfg.Cells) == 0 {
 		cfg.Cells = []protocol.CellConfig{DefaultCell(0)}
@@ -248,6 +262,9 @@ func (e *ENB) SetHooks(h Hooks) {
 	if h.OnSubframe != nil {
 		e.hooks.OnSubframe = h.OnSubframe
 	}
+	if h.OnMeasurement != nil {
+		e.hooks.OnMeasurement = h.OnMeasurement
+	}
 }
 
 // SetMuted installs a per-subframe muting predicate for a cell (the
@@ -296,6 +313,81 @@ func (e *ENB) RemoveUE(rnti lte.RNTI) {
 		}
 	}
 	e.event(protocol.UEEventDetach, rnti, u.params.Cell)
+}
+
+// HandoverState is the UE context transferred between eNodeBs during a
+// handover: identity, pending queues (lossless X2-style data forwarding)
+// and cumulative per-subscriber accounting so delivery metrics survive the
+// cell change.
+type HandoverState struct {
+	Params UEParams
+	// DLQueue/ULQueue are the bytes forwarded from the source cell.
+	DLQueue int
+	ULQueue int
+	// Cumulative counters carried across cells.
+	DLDelivered uint64
+	ULDelivered uint64
+	DLDropped   uint64
+	HARQRetx    uint32
+	AttachTries int
+	// Smoothed PF rates, carried so the target scheduler starts from the
+	// UE's real operating point instead of a cold average.
+	AvgDLKbps float64
+	AvgULKbps float64
+}
+
+// ReleaseUE removes a UE for handover, returning the context to admit at
+// the target cell. Unlike a plain RemoveUE the pending queues are captured
+// for forwarding; like RemoveUE it raises a detach event (the source
+// agent's notification that the UE left this cell).
+func (e *ENB) ReleaseUE(rnti lte.RNTI) (HandoverState, bool) {
+	u, ok := e.ues[rnti]
+	if !ok {
+		return HandoverState{}, false
+	}
+	st := HandoverState{
+		Params:      u.params,
+		DLQueue:     u.dlQueue,
+		ULQueue:     u.ulQueue,
+		DLDelivered: u.dlDelivered,
+		ULDelivered: u.ulDelivered,
+		DLDropped:   u.dlDropped,
+		HARQRetx:    u.harqRetx,
+		AttachTries: u.attach.attempts,
+		AvgDLKbps:   u.avgDLKbps,
+		AvgULKbps:   u.avgULKbps,
+	}
+	e.RemoveUE(rnti)
+	return st, true
+}
+
+// AdmitUE admits a handed-over UE: it enters directly in the connected
+// state (the RRC reconfiguration of a handover, not a fresh attach),
+// inherits the forwarded queues and counters, and raises an attach event
+// so the control plane learns the new binding.
+func (e *ENB) AdmitUE(st HandoverState) (lte.RNTI, error) {
+	if _, ok := e.cells[st.Params.Cell]; !ok {
+		return 0, fmt.Errorf("enb: unknown cell %d", st.Params.Cell)
+	}
+	if st.Params.Channel == nil {
+		st.Params.Channel = radio.Fixed(lte.MaxCQI)
+	}
+	rnti := e.nextRNTI
+	e.nextRNTI++
+	u := &ue{rnti: rnti, params: st.Params, state: StateConnected}
+	u.attach.attempts = st.AttachTries
+	u.dlQueue = min(st.DLQueue, e.cfg.DLQueueCap)
+	u.dlDropped = st.DLDropped + uint64(st.DLQueue-u.dlQueue)
+	u.ulQueue = st.ULQueue
+	u.dlDelivered = st.DLDelivered
+	u.ulDelivered = st.ULDelivered
+	u.harqRetx = st.HARQRetx
+	u.avgDLKbps = st.AvgDLKbps
+	u.avgULKbps = st.AvgULKbps
+	e.ues[rnti] = u
+	e.order = append(e.order, rnti)
+	e.event(protocol.UEEventAttach, rnti, st.Params.Cell)
+	return rnti, nil
 }
 
 // SetDRX configures discontinuous reception for a UE (Table 1 "DRX
@@ -369,9 +461,24 @@ func (e *ENB) Step() {
 		}
 	}
 
-	// 2. Control-plane subframe tick (agent sends triggers/reports here).
+	// 2. Control-plane subframe tick (agent sends triggers/reports here),
+	// then the periodic L3 measurement sweep feeding A3 evaluation.
 	if e.hooks.OnSubframe != nil {
 		e.hooks.OnSubframe(sf)
+	}
+	if e.hooks.OnMeasurement != nil && int(sf)%e.cfg.MeasPeriodTTI == 0 {
+		for _, rnti := range e.order {
+			u := e.ues[rnti]
+			if u.state != StateConnected {
+				continue
+			}
+			nm, ok := u.params.Channel.(radio.NeighborMeasurer)
+			if !ok {
+				continue
+			}
+			serving, neighbors := nm.Measure(sf)
+			e.hooks.OnMeasurement(rnti, u.params.Cell, serving, neighbors)
+		}
 	}
 
 	// 3. Per-cell scheduling and transmission.

@@ -1,0 +1,125 @@
+package enb
+
+import (
+	"testing"
+
+	"flexran/internal/lte"
+	"flexran/internal/protocol"
+	"flexran/internal/radio"
+)
+
+// Release/Admit is the data-plane half of a handover: the UE context —
+// identity, queues, cumulative counters — must survive the move, and the
+// UE must land connected (no fresh attach) with events raised on both
+// sides.
+func TestReleaseAdmitTransfersContext(t *testing.T) {
+	src := New(Config{ID: 1, Seed: 1})
+	tgt := New(Config{ID: 2, Seed: 2})
+	var tgtEvents []protocol.UEEventType
+	tgt.SetHooks(Hooks{OnUEEvent: func(ev protocol.UEEventType, _ lte.RNTI, _ lte.CellID) {
+		tgtEvents = append(tgtEvents, ev)
+	}})
+
+	rnti, err := src.AddUE(UEParams{IMSI: 77, Cell: 0, Channel: radio.Fixed(12), Group: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200 && !src.Connected(rnti); i++ {
+		src.Step()
+	}
+	if !src.Connected(rnti) {
+		t.Fatal("UE failed to attach")
+	}
+	src.DLEnqueue(rnti, 5000)
+	src.ULEnqueue(rnti, 700)
+	before, _ := src.UEReport(rnti)
+
+	var srcEvents []protocol.UEEventType
+	src.SetHooks(Hooks{OnUEEvent: func(ev protocol.UEEventType, _ lte.RNTI, _ lte.CellID) {
+		srcEvents = append(srcEvents, ev)
+	}})
+	st, ok := src.ReleaseUE(rnti)
+	if !ok {
+		t.Fatal("ReleaseUE failed for a known UE")
+	}
+	if len(srcEvents) != 1 || srcEvents[0] != protocol.UEEventDetach {
+		t.Errorf("source events = %v, want one detach", srcEvents)
+	}
+	if _, still := src.UEReport(rnti); still {
+		t.Error("UE still present at the source after release")
+	}
+	if st.DLQueue != before.DLQueue || st.ULQueue != before.ULQueue {
+		t.Errorf("queues not captured: %+v vs report %+v", st, before)
+	}
+
+	newRNTI, err := tgt.AdmitUE(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tgtEvents) != 1 || tgtEvents[0] != protocol.UEEventAttach {
+		t.Errorf("target events = %v, want one attach", tgtEvents)
+	}
+	after, ok := tgt.UEReport(newRNTI)
+	if !ok {
+		t.Fatal("admitted UE unknown at the target")
+	}
+	if !tgt.Connected(newRNTI) {
+		t.Error("admitted UE must be connected immediately (no fresh attach)")
+	}
+	if after.IMSI != 77 || after.Group != 3 {
+		t.Errorf("identity lost: %+v", after)
+	}
+	if after.DLQueue != before.DLQueue || after.ULQueue != before.ULQueue {
+		t.Errorf("queues not forwarded: %+v vs %+v", after, before)
+	}
+	if after.DLDelivered != before.DLDelivered || after.ULDelivered != before.ULDelivered {
+		t.Errorf("delivery counters reset: %+v vs %+v", after, before)
+	}
+	if after.HARQRetx != before.HARQRetx || after.AttachTries != before.AttachTries {
+		t.Errorf("counters lost: %+v vs %+v", after, before)
+	}
+
+	// The target can serve the forwarded queue straight away.
+	for i := 0; i < 50; i++ {
+		tgt.Step()
+	}
+	served, _ := tgt.UEReport(newRNTI)
+	if served.DLDelivered <= after.DLDelivered {
+		t.Error("forwarded downlink bytes were never served")
+	}
+}
+
+func TestReleaseUEUnknown(t *testing.T) {
+	e := New(Config{ID: 1})
+	if _, ok := e.ReleaseUE(0x99); ok {
+		t.Error("ReleaseUE of an unknown RNTI succeeded")
+	}
+}
+
+func TestAdmitUEUnknownCell(t *testing.T) {
+	e := New(Config{ID: 1})
+	_, err := e.AdmitUE(HandoverState{Params: UEParams{IMSI: 1, Cell: 9}})
+	if err == nil {
+		t.Error("AdmitUE into an unknown cell succeeded")
+	}
+}
+
+// Forwarded queues above the target's RLC cap are clipped and accounted
+// as drops, exactly like EPC arrivals.
+func TestAdmitUEClipsForwardedQueue(t *testing.T) {
+	e := New(Config{ID: 1, DLQueueCap: 1000})
+	rnti, err := e.AdmitUE(HandoverState{
+		Params:  UEParams{IMSI: 1, Cell: 0, Channel: radio.Fixed(10)},
+		DLQueue: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := e.UEReport(rnti)
+	if r.DLQueue != 1000 {
+		t.Errorf("forwarded queue = %d, want clipped to 1000", r.DLQueue)
+	}
+	if r.DLDropped != 4000 {
+		t.Errorf("dropped = %d, want 4000", r.DLDropped)
+	}
+}

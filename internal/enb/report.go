@@ -14,6 +14,7 @@ import (
 // UEReport is a point-in-time snapshot of one UE's data-plane state.
 type UEReport struct {
 	RNTI        lte.RNTI
+	IMSI        uint64
 	Cell        lte.CellID
 	State       UEState
 	CQI         lte.CQI
@@ -43,6 +44,7 @@ func (e *ENB) UEReport(rnti lte.RNTI) (UEReport, bool) {
 func (e *ENB) report(u *ue) UEReport {
 	return UEReport{
 		RNTI:        u.rnti,
+		IMSI:        u.params.IMSI,
 		Cell:        u.params.Cell,
 		State:       u.state,
 		CQI:         u.cqi,

@@ -19,7 +19,8 @@ const testScale = 0.25
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"delegation", "fig10", "fig11a", "fig11b", "fig12a", "fig12b",
-		"fig6a", "fig6b", "fig7a", "fig7b", "fig8", "fig9", "table2",
+		"fig6a", "fig6b", "fig7a", "fig7b", "fig8", "fig9",
+		"fig_handover", "table2",
 	}
 	got := IDs()
 	if len(got) != len(want) {
@@ -372,6 +373,43 @@ func TestDelegationShape(t *testing.T) {
 		if math.Abs(r.Mbps[i]-base)/base > 0.02 {
 			t.Errorf("swap period %d: %.2f Mb/s vs baseline %.2f", p, r.Mbps[i], base)
 		}
+	}
+}
+
+func TestFigHandoverShape(t *testing.T) {
+	res, err := Run("fig_handover", testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.(*FigHandoverResult)
+	last := len(r.HysteresisDB) - 1
+	// More hysteresis, fewer handovers: the sweep must be non-increasing
+	// and strictly drop end to end.
+	for i := 1; i < len(r.Handovers); i++ {
+		if r.Handovers[i] > r.Handovers[i-1] {
+			t.Errorf("handovers rose with hysteresis: %v", r.Handovers)
+		}
+	}
+	if r.Handovers[0] == 0 {
+		t.Fatal("no handovers at zero hysteresis; scenario inert")
+	}
+	if r.Handovers[last] >= r.Handovers[0] {
+		t.Errorf("hysteresis had no effect: %v", r.Handovers)
+	}
+	// Ping-pongs exist at zero hysteresis and die out at 3+ dB.
+	if r.PingPongs[0] == 0 {
+		t.Error("no ping-pongs at zero hysteresis")
+	}
+	if r.Rate(2) >= r.Rate(0) {
+		t.Errorf("ping-pong rate did not fall: %.2f at %g dB vs %.2f at %g dB",
+			r.Rate(2), r.HysteresisDB[2], r.Rate(0), r.HysteresisDB[0])
+	}
+	// Nobody stranded at the moderate settings.
+	if r.Stranded[0] != 0 || r.Stranded[2] != 0 {
+		t.Errorf("stranded UEs: %v", r.Stranded)
+	}
+	if !strings.Contains(r.String(), "ping-pong") {
+		t.Error("report rendering broken")
 	}
 }
 

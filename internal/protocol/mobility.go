@@ -1,0 +1,228 @@
+package protocol
+
+// Mobility messages: the A3 measurement report an agent raises when a
+// neighbour cell becomes better than the serving cell (hysteresis and
+// time-to-trigger applied agent-side by the RRC control module), the
+// handover command a mobility-management application issues back, and the
+// completion notification the target agent emits once the UE context has
+// moved. Together they close the paper's Table 1 mobility control loop.
+
+import (
+	"flexran/internal/lte"
+	"flexran/internal/wire"
+)
+
+// NeighborMeas is one neighbour-cell measurement inside a MeasReport.
+type NeighborMeas struct {
+	ENB     lte.ENBID
+	Cell    lte.CellID
+	RSRPdBm int32
+	RSRQdB  int32
+}
+
+// MarshalWire implements wire.Marshaler.
+func (n *NeighborMeas) MarshalWire(e *wire.Encoder) {
+	e.Uint(1, uint64(n.ENB))
+	e.Uint(2, uint64(n.Cell))
+	e.Int(3, int64(n.RSRPdBm))
+	e.Int(4, int64(n.RSRQdB))
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (n *NeighborMeas) UnmarshalWire(d *wire.Decoder) error {
+	return eachField(d, func(f int) error {
+		switch f {
+		case 1, 2:
+			v, err := d.ReadUint()
+			if err != nil {
+				return err
+			}
+			if f == 1 {
+				n.ENB = lte.ENBID(v)
+			} else {
+				n.Cell = lte.CellID(v)
+			}
+			return nil
+		case 3, 4:
+			v, err := d.ReadInt()
+			if err != nil {
+				return err
+			}
+			if f == 3 {
+				n.RSRPdBm = int32(v)
+			} else {
+				n.RSRQdB = int32(v)
+			}
+			return nil
+		}
+		return d.Skip()
+	})
+}
+
+// MeasReport is an A3 event report: the serving-cell operating point and
+// the neighbour measurements at the moment the entering condition had held
+// for the configured time-to-trigger. Neighbours are ordered strongest
+// first, so Neighbors[0] is the A3 trigger cell.
+type MeasReport struct {
+	RNTI lte.RNTI
+	IMSI uint64
+	Cell lte.CellID
+	// ServingRSRPdBm / ServingRSRQdB are the serving-cell measurements.
+	ServingRSRPdBm int32
+	ServingRSRQdB  int32
+	Neighbors      []NeighborMeas
+}
+
+// Kind implements Payload.
+func (*MeasReport) Kind() Kind { return KindMeasReport }
+
+// MarshalWire implements wire.Marshaler.
+func (p *MeasReport) MarshalWire(e *wire.Encoder) {
+	e.Uint(1, uint64(p.RNTI))
+	e.Uint(2, p.IMSI)
+	e.Uint(3, uint64(p.Cell))
+	e.Int(4, int64(p.ServingRSRPdBm))
+	e.Int(5, int64(p.ServingRSRQdB))
+	for i := range p.Neighbors {
+		e.Message(6, &p.Neighbors[i])
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (p *MeasReport) UnmarshalWire(d *wire.Decoder) error {
+	return eachField(d, func(f int) error {
+		switch f {
+		case 1, 2, 3:
+			v, err := d.ReadUint()
+			if err != nil {
+				return err
+			}
+			switch f {
+			case 1:
+				p.RNTI = lte.RNTI(v)
+			case 2:
+				p.IMSI = v
+			case 3:
+				p.Cell = lte.CellID(v)
+			}
+			return nil
+		case 4, 5:
+			v, err := d.ReadInt()
+			if err != nil {
+				return err
+			}
+			if f == 4 {
+				p.ServingRSRPdBm = int32(v)
+			} else {
+				p.ServingRSRQdB = int32(v)
+			}
+			return nil
+		case 6:
+			var n NeighborMeas
+			if err := d.ReadMessage(&n); err != nil {
+				return err
+			}
+			p.Neighbors = append(p.Neighbors, n)
+			return nil
+		}
+		return d.Skip()
+	})
+}
+
+// HandoverCommand orders the serving agent to hand a UE over to a target
+// cell (the master command closing the A3 loop).
+type HandoverCommand struct {
+	RNTI       lte.RNTI
+	IMSI       uint64
+	TargetENB  lte.ENBID
+	TargetCell lte.CellID
+}
+
+// Kind implements Payload.
+func (*HandoverCommand) Kind() Kind { return KindHandoverCommand }
+
+// MarshalWire implements wire.Marshaler.
+func (p *HandoverCommand) MarshalWire(e *wire.Encoder) {
+	e.Uint(1, uint64(p.RNTI))
+	e.Uint(2, p.IMSI)
+	e.Uint(3, uint64(p.TargetENB))
+	e.Uint(4, uint64(p.TargetCell))
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (p *HandoverCommand) UnmarshalWire(d *wire.Decoder) error {
+	return eachField(d, func(f int) error {
+		switch f {
+		case 1, 2, 3, 4:
+			v, err := d.ReadUint()
+			if err != nil {
+				return err
+			}
+			switch f {
+			case 1:
+				p.RNTI = lte.RNTI(v)
+			case 2:
+				p.IMSI = v
+			case 3:
+				p.TargetENB = lte.ENBID(v)
+			case 4:
+				p.TargetCell = lte.CellID(v)
+			}
+			return nil
+		}
+		return d.Skip()
+	})
+}
+
+// HandoverComplete is the target agent's notification that the UE context
+// has been admitted: the master's RIB migrates the UE between the source
+// and target shards on receipt.
+type HandoverComplete struct {
+	// RNTI is the UE's new identity at the target cell.
+	RNTI lte.RNTI
+	IMSI uint64
+	Cell lte.CellID
+	// SourceENB is the eNodeB the UE left.
+	SourceENB lte.ENBID
+	// SourceRNTI is the UE's old identity at the source cell.
+	SourceRNTI lte.RNTI
+}
+
+// Kind implements Payload.
+func (*HandoverComplete) Kind() Kind { return KindHandoverComplete }
+
+// MarshalWire implements wire.Marshaler.
+func (p *HandoverComplete) MarshalWire(e *wire.Encoder) {
+	e.Uint(1, uint64(p.RNTI))
+	e.Uint(2, p.IMSI)
+	e.Uint(3, uint64(p.Cell))
+	e.Uint(4, uint64(p.SourceENB))
+	e.Uint(5, uint64(p.SourceRNTI))
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (p *HandoverComplete) UnmarshalWire(d *wire.Decoder) error {
+	return eachField(d, func(f int) error {
+		switch f {
+		case 1, 2, 3, 4, 5:
+			v, err := d.ReadUint()
+			if err != nil {
+				return err
+			}
+			switch f {
+			case 1:
+				p.RNTI = lte.RNTI(v)
+			case 2:
+				p.IMSI = v
+			case 3:
+				p.Cell = lte.CellID(v)
+			case 4:
+				p.SourceENB = lte.ENBID(v)
+			case 5:
+				p.SourceRNTI = lte.RNTI(v)
+			}
+			return nil
+		}
+		return d.Skip()
+	})
+}

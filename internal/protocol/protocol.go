@@ -48,6 +48,9 @@ const (
 	KindVSFUpdate
 	KindPolicyReconf
 	KindControlAck
+	KindMeasReport
+	KindHandoverCommand
+	KindHandoverComplete
 	kindMax // sentinel
 )
 
@@ -56,7 +59,8 @@ var kindNames = [...]string{
 	"enb_config_request", "enb_config_reply", "ue_config_request",
 	"ue_config_reply", "stats_request", "stats_reply", "subframe_trigger",
 	"dl_schedule", "ul_schedule", "ue_event", "vsf_update",
-	"policy_reconf", "control_ack",
+	"policy_reconf", "control_ack", "meas_report", "handover_command",
+	"handover_complete",
 }
 
 func (k Kind) String() string {
@@ -79,11 +83,11 @@ const (
 // Category returns the Fig. 7 accounting bucket for a message kind.
 func (k Kind) Category() string {
 	switch k {
-	case KindStatsRequest, KindStatsReply:
+	case KindStatsRequest, KindStatsReply, KindMeasReport:
 		return CatStats
 	case KindSubframeTrigger:
 		return CatSync
-	case KindDLSchedule, KindULSchedule:
+	case KindDLSchedule, KindULSchedule, KindHandoverCommand:
 		return CatCommands
 	case KindVSFUpdate, KindPolicyReconf:
 		return CatDelegation
@@ -226,6 +230,12 @@ func newPayload(k Kind) (Payload, error) {
 		return &PolicyReconf{}, nil
 	case KindControlAck:
 		return &ControlAck{}, nil
+	case KindMeasReport:
+		return &MeasReport{}, nil
+	case KindHandoverCommand:
+		return &HandoverCommand{}, nil
+	case KindHandoverComplete:
+		return &HandoverComplete{}, nil
 	}
 	return nil, fmt.Errorf("protocol: unknown message kind %d", uint8(k))
 }

@@ -80,6 +80,16 @@ func TestRoundTripAllKinds(t *testing.T) {
 		},
 		&PolicyReconf{Doc: "mac:\n  dl_ue_sched:\n    behavior: pf-v2\n"},
 		&ControlAck{OK: true, Detail: "applied"},
+		&MeasReport{
+			RNTI: 0x46, IMSI: 208950000000001, Cell: 0,
+			ServingRSRPdBm: -97, ServingRSRQdB: -11,
+			Neighbors: []NeighborMeas{
+				{ENB: 2, Cell: 0, RSRPdBm: -91, RSRQdB: -7},
+				{ENB: 3, Cell: 1, RSRPdBm: -104, RSRQdB: -15},
+			},
+		},
+		&HandoverCommand{RNTI: 0x46, IMSI: 208950000000001, TargetENB: 2, TargetCell: 0},
+		&HandoverComplete{RNTI: 0x52, IMSI: 208950000000001, Cell: 0, SourceENB: 1, SourceRNTI: 0x46},
 	}
 	seen := map[Kind]bool{}
 	for _, p := range payloads {
@@ -118,18 +128,21 @@ func TestDecodeRejectsMissingPayload(t *testing.T) {
 
 func TestCategories(t *testing.T) {
 	cases := map[Kind]string{
-		KindHello:           CatManagement,
-		KindEcho:            CatManagement,
-		KindENBConfigReply:  CatManagement,
-		KindUEEvent:         CatManagement,
-		KindControlAck:      CatManagement,
-		KindStatsRequest:    CatStats,
-		KindStatsReply:      CatStats,
-		KindSubframeTrigger: CatSync,
-		KindDLSchedule:      CatCommands,
-		KindULSchedule:      CatCommands,
-		KindVSFUpdate:       CatDelegation,
-		KindPolicyReconf:    CatDelegation,
+		KindHello:            CatManagement,
+		KindEcho:             CatManagement,
+		KindENBConfigReply:   CatManagement,
+		KindUEEvent:          CatManagement,
+		KindControlAck:       CatManagement,
+		KindStatsRequest:     CatStats,
+		KindStatsReply:       CatStats,
+		KindSubframeTrigger:  CatSync,
+		KindDLSchedule:       CatCommands,
+		KindULSchedule:       CatCommands,
+		KindVSFUpdate:        CatDelegation,
+		KindPolicyReconf:     CatDelegation,
+		KindMeasReport:       CatStats,
+		KindHandoverCommand:  CatCommands,
+		KindHandoverComplete: CatManagement,
 	}
 	for k, want := range cases {
 		if got := k.Category(); got != want {

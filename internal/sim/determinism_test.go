@@ -5,7 +5,9 @@ import (
 	"reflect"
 	"testing"
 
+	"flexran/internal/apps"
 	"flexran/internal/controller"
+	"flexran/internal/enb"
 	"flexran/internal/lte"
 	"flexran/internal/protocol"
 	"flexran/internal/radio"
@@ -181,6 +183,152 @@ func TestDeterminismMidRunInspection(t *testing.T) {
 		}
 		if as, bs := a.Master.RIB().Size(), b.Master.RIB().Size(); as != bs {
 			t.Fatalf("TTI %d: RIB size serial %d parallel %d", step, as, bs)
+		}
+	}
+}
+
+// mobileScenario builds a handover-heavy world: four cells in a row, a
+// walking UE population crossing the borders in both directions (plus
+// static bystanders), geometry-derived CQI, jittery control channels and
+// a registered mobility manager. Returns the sim with the manager wired.
+func mobileScenario(workers int) (*sim.Sim, *apps.MobilityManager) {
+	rmap := radio.NewMap(
+		radio.Site{ENB: 1, Cell: 0, Tx: radio.Transmitter{Pos: radio.Point{X: 0}, PowerDBm: 43}},
+		radio.Site{ENB: 2, Cell: 0, Tx: radio.Transmitter{Pos: radio.Point{X: 800}, PowerDBm: 43}},
+		radio.Site{ENB: 3, Cell: 0, Tx: radio.Transmitter{Pos: radio.Point{X: 1600}, PowerDBm: 43}},
+		radio.Site{ENB: 4, Cell: 0, Tx: radio.Transmitter{Pos: radio.Point{X: 2400}, PowerDBm: 43}},
+	)
+	var enbs []sim.ENBSpec
+	for e := 0; e < 4; e++ {
+		id := lte.ENBID(e + 1)
+		home := float64(e) * 800
+		spec := sim.ENBSpec{
+			ID: id, Seed: int64(e + 1), Agent: true,
+			ToMaster: transport.Netem{OneWayTTI: e % 2, JitterTTI: e % 2, Seed: int64(e + 100)},
+			ToAgent:  transport.Netem{OneWayTTI: e % 2, Seed: int64(e + 200)},
+		}
+		// One walker ping-ponging toward the next cell, one fast walker
+		// spanning two cells, one static bystander.
+		walk := func(imsi uint64, from, to, speed float64, dl ue.Generator) sim.UESpec {
+			return sim.UESpec{
+				IMSI: imsi,
+				Channel: radio.NewGeoChannel(rmap, &radio.Waypoint{
+					Path:     []radio.Point{{X: from}, {X: to}},
+					SpeedMps: speed, PingPong: true,
+				}, id),
+				DL: dl,
+			}
+		}
+		spec.UEs = append(spec.UEs,
+			walk(uint64(e*100+1), home, home+800, 120, ue.NewCBR(400)),
+			walk(uint64(e*100+2), home-400, home+1200, 250, ue.NewCBR(200)),
+			sim.UESpec{
+				IMSI:    uint64(e*100 + 3),
+				Channel: radio.NewGeoChannel(rmap, radio.Static(radio.Point{X: home}), id),
+				DL:      ue.NewFullBuffer(),
+			},
+		)
+		enbs = append(enbs, spec)
+	}
+	opts := controller.DefaultOptions()
+	s := sim.MustNew(sim.Config{Master: &opts, Workers: workers}, enbs...)
+	mm := apps.NewMobilityManager()
+	s.Master.Register(mm, 5)
+	return s, mm
+}
+
+// mobileSnapshot flattens everything observable about a mobile run,
+// keyed by IMSI (UEs migrate between nodes, so index-based lookups from
+// the static snapshot do not apply).
+type mobileSnapshot struct {
+	SF        lte.Subframe
+	Reports   map[uint64]enb.UEReport
+	Serving   map[uint64]lte.ENBID
+	Handovers []sim.HandoverRecord
+	Decisions []apps.HandoverDecision
+	Completed int
+	RIBCount  map[lte.ENBID]int
+	RIBUEs    map[lte.ENBID][]protocol.UEStats
+	Bearers   map[uint64][2]uint64
+	Meters    map[lte.ENBID][2]int64
+}
+
+func mobileSnap(s *sim.Sim, mm *apps.MobilityManager) mobileSnapshot {
+	w := mobileSnapshot{
+		SF:        s.Now(),
+		Reports:   map[uint64]enb.UEReport{},
+		Serving:   map[uint64]lte.ENBID{},
+		Handovers: s.Handovers(),
+		Decisions: mm.Decisions(),
+		Completed: mm.Completed(),
+		RIBCount:  map[lte.ENBID]int{},
+		RIBUEs:    map[lte.ENBID][]protocol.UEStats{},
+		Bearers:   map[uint64][2]uint64{},
+		Meters:    map[lte.ENBID][2]int64{},
+	}
+	for _, b := range s.EPC.Bearers() {
+		w.Bearers[b.IMSI] = [2]uint64{b.DLOffered, b.DLAccepted}
+		if r, id, ok := s.ReportByIMSI(b.IMSI); ok {
+			w.Reports[b.IMSI] = r
+			w.Serving[b.IMSI] = id
+		}
+	}
+	rib := s.Master.RIB()
+	for _, n := range s.Nodes {
+		id := n.ENB.ID()
+		w.RIBCount[id] = rib.UECount(id)
+		w.RIBUEs[id] = rib.UEsOf(id)
+		w.Meters[id] = [2]int64{n.AgentMeter().TotalBytes(), n.MasterMeter().TotalBytes()}
+	}
+	return w
+}
+
+// TestDeterminismMobile is the handover-heavy determinism gate: a world
+// full of migrating UEs must evolve bit-for-bit identically — including
+// handover counts, ordering and per-UE delivered bytes — for every
+// worker-pool size.
+func TestDeterminismMobile(t *testing.T) {
+	const ttis = 12000 // 12 s: several border crossings per walker
+	ref, refMM := mobileScenario(1)
+	ref.Run(ttis)
+	want := mobileSnap(ref, refMM)
+
+	if len(want.Handovers) < 4 {
+		t.Fatalf("reference run executed only %d handovers; scenario too tame", len(want.Handovers))
+	}
+	for imsi, r := range want.Reports {
+		if r.State != enb.StateConnected {
+			t.Errorf("UE %d stranded in state %v", imsi, r.State)
+		}
+	}
+
+	for _, workers := range []int{2, 4} {
+		s, mm := mobileScenario(workers)
+		s.Run(ttis)
+		got := mobileSnap(s, mm)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Workers=%d diverged from serial engine", workers)
+			if !reflect.DeepEqual(got.Handovers, want.Handovers) {
+				t.Errorf("  handover log: got %d records %+v\n  want %d %+v",
+					len(got.Handovers), got.Handovers, len(want.Handovers), want.Handovers)
+			}
+			if !reflect.DeepEqual(got.Reports, want.Reports) {
+				for imsi, wr := range want.Reports {
+					if !reflect.DeepEqual(got.Reports[imsi], wr) {
+						t.Errorf("  UE %d: got %+v\n  want %+v", imsi, got.Reports[imsi], wr)
+						break
+					}
+				}
+			}
+			if !reflect.DeepEqual(got.RIBUEs, want.RIBUEs) {
+				t.Errorf("  RIB UE stats diverged")
+			}
+			if !reflect.DeepEqual(got.Bearers, want.Bearers) {
+				t.Errorf("  bearer accounting diverged")
+			}
+			if !reflect.DeepEqual(got.Meters, want.Meters) {
+				t.Errorf("  signaling meters diverged")
+			}
 		}
 	}
 }

@@ -21,6 +21,7 @@ package sim
 import (
 	"fmt"
 	"runtime"
+	"sort"
 
 	"flexran/internal/agent"
 	"flexran/internal/conc"
@@ -95,6 +96,11 @@ type Node struct {
 	// eNodeB (possible after a handover); they are replayed serially
 	// after the injection phase so no two workers touch one eNodeB.
 	spill []spillDL
+	// pendingHO collects handover commands delivered to this node's agent
+	// during the control phase; the engine applies them serially at the
+	// following barrier, ordered by IMSI, so migrations are deterministic
+	// for every worker-pool size.
+	pendingHO []protocol.HandoverCommand
 	// phaseErr records a control-channel decode failure inside a
 	// parallel phase, surfaced as a panic at the barrier.
 	phaseErr error
@@ -131,12 +137,25 @@ func (n *Node) SetNetem(toMaster, toAgent transport.Netem) {
 	}
 }
 
+// HandoverRecord is one executed UE migration.
+type HandoverRecord struct {
+	IMSI     uint64
+	From     lte.ENBID
+	To       lte.ENBID
+	FromRNTI lte.RNTI
+	ToRNTI   lte.RNTI
+	// SF is the subframe the migration was applied in.
+	SF lte.Subframe
+}
+
 // Sim is a running scenario.
 type Sim struct {
 	Master *controller.Master // nil without a master
 	EPC    *epc.EPC
 	Nodes  []*Node
 
+	byENB   map[lte.ENBID]*Node
+	hoLog   []HandoverRecord
 	sf      lte.Subframe
 	workers int
 }
@@ -151,7 +170,7 @@ func New(cfg Config, enbs ...ENBSpec) (*Sim, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	s := &Sim{EPC: epc.New(), workers: workers}
+	s := &Sim{EPC: epc.New(), workers: workers, byENB: map[lte.ENBID]*Node{}}
 	if cfg.Master != nil {
 		mo := *cfg.Master
 		if mo.Workers == 0 {
@@ -169,6 +188,12 @@ func New(cfg Config, enbs ...ENBSpec) (*Sim, error) {
 		n := &Node{ENB: e, specs: spec.UEs}
 		if spec.Agent {
 			n.Agent = agent.New(e, spec.AgentOpts)
+			// Handover commands are queued on the node and executed at
+			// the engine's post-control barrier (deterministic order).
+			n.Agent.SetHandoverExecutor(func(cmd *protocol.HandoverCommand) error {
+				n.pendingHO = append(n.pendingHO, *cmd)
+				return nil
+			})
 			if s.Master != nil {
 				n.aEp, n.mEp = transport.NewSimPair(spec.ToMaster, spec.ToAgent)
 				n.session = s.Master.HandleAgentSession(n.mEp.Send)
@@ -189,6 +214,7 @@ func New(cfg Config, enbs ...ENBSpec) (*Sim, error) {
 			n.RNTIs = append(n.RNTIs, rnti)
 		}
 		s.Nodes = append(s.Nodes, n)
+		s.byENB[spec.ID] = n
 	}
 	return s, nil
 }
@@ -264,6 +290,109 @@ func (s *Sim) drainSpill() {
 	}
 }
 
+// applyHandovers executes the UE migrations commanded during the control
+// phase. It runs serially at the barrier between the control and data
+// planes, with commands ordered by IMSI, so the outcome is identical for
+// every worker-pool size.
+func (s *Sim) applyHandovers() {
+	type hoJob struct {
+		cmd protocol.HandoverCommand
+		src *Node
+	}
+	var jobs []hoJob
+	for _, n := range s.Nodes {
+		for _, cmd := range n.pendingHO {
+			jobs = append(jobs, hoJob{cmd: cmd, src: n})
+		}
+		n.pendingHO = n.pendingHO[:0]
+	}
+	if len(jobs) == 0 {
+		return
+	}
+	sort.SliceStable(jobs, func(i, j int) bool {
+		a, b := jobs[i].cmd, jobs[j].cmd
+		if a.IMSI != b.IMSI {
+			return a.IMSI < b.IMSI
+		}
+		if a.RNTI != b.RNTI {
+			return a.RNTI < b.RNTI
+		}
+		return jobs[i].src.ENB.ID() < jobs[j].src.ENB.ID()
+	})
+	for _, j := range jobs {
+		s.executeHandover(j.src, j.cmd)
+	}
+}
+
+// executeHandover moves one UE's full context from its serving eNodeB to
+// the target: data-plane release/admit (with queue forwarding), channel
+// retargeting, EPC path switch and the scenario bookkeeping that keeps
+// traffic injection following the UE. Invalid commands (unknown target,
+// UE already gone) are dropped without touching the source.
+func (s *Sim) executeHandover(src *Node, cmd protocol.HandoverCommand) {
+	tgt := s.byENB[cmd.TargetENB]
+	if tgt == nil || tgt == src {
+		return
+	}
+	idx := -1
+	for i, r := range src.RNTIs {
+		if r == cmd.RNTI {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return // the UE already moved or detached
+	}
+	cellOK := false
+	for _, cc := range tgt.ENB.Config().Cells {
+		if cc.Cell == cmd.TargetCell {
+			cellOK = true
+			break
+		}
+	}
+	if !cellOK {
+		return
+	}
+	st, ok := src.ENB.ReleaseUE(cmd.RNTI)
+	if !ok {
+		return
+	}
+	spec := src.specs[idx]
+	srcCell := st.Params.Cell
+	st.Params.Cell = cmd.TargetCell
+	if rt, ok := st.Params.Channel.(radio.Retargetable); ok {
+		rt.Retarget(cmd.TargetENB)
+	}
+	newRNTI, err := tgt.ENB.AdmitUE(st)
+	if err != nil {
+		// Unreachable after the cell check; restore the source binding
+		// rather than strand the UE.
+		st.Params.Cell = srcCell
+		if rt, ok := st.Params.Channel.(radio.Retargetable); ok {
+			rt.Retarget(src.ENB.ID())
+		}
+		if back, backErr := src.ENB.AdmitUE(st); backErr == nil {
+			src.RNTIs[idx] = back
+			s.EPC.Handover(spec.IMSI, src.ENB.ID(), back) //nolint:errcheck // bearer exists
+		}
+		return
+	}
+	s.EPC.Handover(spec.IMSI, cmd.TargetENB, newRNTI) //nolint:errcheck // bearer exists by construction
+	src.RNTIs = append(src.RNTIs[:idx], src.RNTIs[idx+1:]...)
+	src.specs = append(src.specs[:idx], src.specs[idx+1:]...)
+	spec.Cell = cmd.TargetCell
+	tgt.specs = append(tgt.specs, spec)
+	tgt.RNTIs = append(tgt.RNTIs, newRNTI)
+	if tgt.Agent != nil {
+		tgt.Agent.NotifyHandoverComplete(newRNTI, spec.IMSI, cmd.TargetCell, src.ENB.ID(), cmd.RNTI)
+	}
+	s.hoLog = append(s.hoLog, HandoverRecord{
+		IMSI: spec.IMSI, From: src.ENB.ID(), To: cmd.TargetENB,
+		FromRNTI: cmd.RNTI, ToRNTI: newRNTI, SF: s.sf,
+	})
+}
+
 // Step advances the world by one TTI: the phases below run in the fixed
 // documented order, each parallel across eNodeBs with a barrier before
 // the next.
@@ -306,6 +435,9 @@ func (s *Sim) Step() {
 			}
 		})
 		s.barrierErr("master->agent")
+		// Handover barrier: commanded UE migrations move whole UE
+		// contexts across eNodeB shards, serially and IMSI-ordered.
+		s.applyHandovers()
 	}
 
 	// 3. Data plane.
@@ -346,11 +478,33 @@ func (s *Sim) allAttached() bool {
 	return true
 }
 
-// Report returns the UE report for eNodeB index i, UE index j.
+// Report returns the UE report for eNodeB index i, UE index j. Note that
+// handovers migrate UEs between nodes; mobile scenarios should prefer
+// ReportByIMSI.
 func (s *Sim) Report(i, j int) enb.UEReport {
 	n := s.Nodes[i]
 	r, _ := n.ENB.UEReport(n.RNTIs[j])
 	return r
+}
+
+// ReportByIMSI returns a subscriber's report wherever it is currently
+// attached, following handovers via the EPC bearer table.
+func (s *Sim) ReportByIMSI(imsi uint64) (enb.UEReport, lte.ENBID, bool) {
+	b, ok := s.EPC.Bearer(imsi)
+	if !ok {
+		return enb.UEReport{}, 0, false
+	}
+	n := s.byENB[b.ENB]
+	if n == nil {
+		return enb.UEReport{}, 0, false
+	}
+	r, ok := n.ENB.UEReport(b.RNTI)
+	return r, b.ENB, ok
+}
+
+// Handovers returns the log of executed UE migrations, in execution order.
+func (s *Sim) Handovers() []HandoverRecord {
+	return append([]HandoverRecord(nil), s.hoLog...)
 }
 
 // DeliveredDL sums downlink goodput bytes across all UEs of a node.
