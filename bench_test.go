@@ -213,6 +213,91 @@ func BenchmarkStatsReplyEncode(b *testing.B) {
 	}
 }
 
+// BenchmarkMessageRoundTripPooled measures the PR 3 southbound fast path:
+// serializing a 32-UE StatsReply into a reused buffer (in-place nested
+// encoding, pooled encoder) and decoding it through the protocol free
+// lists (pooled envelope + payload, recycled scratch). Steady state is
+// 0 allocs/op; compare BenchmarkStatsReplyEncode for the encode half on
+// its own.
+func BenchmarkMessageRoundTripPooled(b *testing.B) {
+	msg := protocol.New(1, 1000, gateStatsReply(32))
+	var buf []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = protocol.AppendMessage(buf[:0], msg)
+		m, err := protocol.DecodePooled(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Release()
+		b.SetBytes(int64(len(buf)))
+	}
+}
+
+// BenchmarkConnSend measures one framed transport send of a 16-UE report:
+// header and payload coalesced into the connection's reused write buffer,
+// one Write per message (0 allocs/op at steady state).
+func BenchmarkConnSend(b *testing.B) {
+	c := newPipeConn(b)
+	msg := protocol.New(1, 1000, gateStatsReply(16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Send(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConnSendBatch measures a coalesced 16-message flush through
+// Conn.SendBatch: every frame of the batch is assembled into one buffer
+// and written with a single Write — one syscall per flushed batch instead
+// of one (pre-PR 3: two) per message.
+func BenchmarkConnSendBatch(b *testing.B) {
+	c := newPipeConn(b)
+	msgs := make([]*protocol.Message, 16)
+	for i := range msgs {
+		msgs[i] = protocol.New(1, 1000, &protocol.SubframeTrigger{SF: lte.Subframe(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.SendBatch(msgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*len(msgs))/b.Elapsed().Seconds()/1e6, "Mmsg/s")
+}
+
+// BenchmarkAgentReportTTI measures one agent report TTI: a 16-UE eNodeB
+// subframe with a per-TTI full-stats subscription — data-plane step,
+// snapshot, in-place report build and emit (the sender half of the
+// dominant Fig. 7a message, before serialization).
+func BenchmarkAgentReportTTI(b *testing.B) {
+	e := enb.New(enb.Config{ID: 1, Seed: 1})
+	a := agent.New(e, agent.Options{})
+	a.Connect(func(m *protocol.Message) error { return nil })
+	var rntis []lte.RNTI
+	for i := 0; i < 16; i++ {
+		rnti, err := e.AddUE(enb.UEParams{IMSI: uint64(i + 1), Cell: 0, Channel: radio.Fixed(12)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rntis = append(rntis, rnti)
+	}
+	a.Deliver(protocol.New(1, 0, &protocol.StatsRequest{
+		ID: 1, Mode: protocol.StatsPeriodic, PeriodTTI: 1, Flags: protocol.StatsAll,
+	}))
+	for i := 0; i < 200; i++ {
+		e.Step()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range rntis {
+			e.DLEnqueue(r, 3000)
+		}
+		e.Step()
+	}
+}
+
 // BenchmarkENBStep measures one data-plane TTI with 16 backlogged UEs.
 func BenchmarkENBStep(b *testing.B) {
 	e := enb.New(enb.Config{ID: 1, Seed: 1})

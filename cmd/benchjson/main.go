@@ -1,0 +1,146 @@
+// Command benchjson runs the repository benchmark suite (`go test -bench
+// -benchmem`) and emits a machine-readable JSON summary — ns/op, B/op,
+// allocs/op and any custom ReportMetric units per benchmark — so CI can
+// archive the perf trajectory as an artifact (BENCH_PR3.json onward) and
+// later PRs can diff allocation and latency numbers mechanically.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson -bench 'Pooled|ConnSend|StatsReply' \
+//	    -benchtime 1000x -out BENCH_PR3.json [-pkg .]
+//
+// The tool shells out to the local go toolchain; everything else is stdlib.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed output line.
+type Result struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp / AllocsPerOp come from -benchmem.
+	BytesPerOp  float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds every other reported unit (MB/s, handovers/ksf, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	Package    string   `json:"package"`
+	GoOS       string   `json:"goos,omitempty"`
+	GoArch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		bench     = flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+		benchtime = flag.String("benchtime", "", "value for go test -benchtime (e.g. 1000x, 1s)")
+		pkg       = flag.String("pkg", ".", "package to benchmark")
+		out       = flag.String("out", "BENCH_PR3.json", "output JSON path")
+		count     = flag.Int("count", 1, "value for go test -count")
+	)
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
+		"-count", strconv.Itoa(*count)}
+	if *benchtime != "" {
+		args = append(args, "-benchtime", *benchtime)
+	}
+	args = append(args, *pkg)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		os.Stdout.Write(raw)
+		fmt.Fprintf(os.Stderr, "benchjson: go %s: %v\n", strings.Join(args, " "), err)
+		os.Exit(1)
+	}
+
+	rep := parse(raw)
+	rep.Package = *pkg
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+// parse extracts benchmark lines from `go test -bench` output. A line is
+//
+//	BenchmarkName-8   3000   17160 ns/op   103.28 MB/s   3 B/op   0 allocs/op
+//
+// i.e. name, iteration count, then (value, unit) pairs.
+func parse(raw []byte) Report {
+	var rep Report
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{
+			Name:       strings.SplitN(fields[0], "-", 2)[0],
+			Iterations: iters,
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[unit] = v
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, r)
+	}
+	return rep
+}

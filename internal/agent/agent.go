@@ -13,8 +13,8 @@ package agent
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
+	"sort"
 	"sync"
 
 	"flexran/internal/enb"
@@ -22,6 +22,7 @@ import (
 	"flexran/internal/protocol"
 	"flexran/internal/radio"
 	"flexran/internal/sched"
+	"flexran/internal/wire"
 	"flexran/internal/yamlite"
 )
 
@@ -55,6 +56,8 @@ type a3State struct {
 // moving the UE context from this agent's eNodeB to the target. The
 // environment hosting the agent installs it (the simulator defers the move
 // to a deterministic barrier); without one, handover commands are rejected.
+// The command is only valid for the duration of the call (the message may
+// be pooled); executors that defer work must copy it, as the simulator does.
 type HandoverExecutor func(cmd *protocol.HandoverCommand) error
 
 // statsSub is one registered statistics subscription.
@@ -64,6 +67,10 @@ type statsSub struct {
 	started  lte.Subframe
 	lastHash uint64 // for triggered mode
 	sentOnce bool
+	// rep is the subscription's reusable report: refilled in place every
+	// period, serialized synchronously by the transport on emit, never
+	// retained by the receive side (the master deep-copies what it keeps).
+	rep protocol.StatsReply
 }
 
 // Agent is one FlexRAN agent fronting one eNodeB.
@@ -79,6 +86,10 @@ type Agent struct {
 	modules map[string]Module
 
 	subs map[uint32]*statsSub
+	// subList mirrors subs sorted by subscription id. It is rebuilt on
+	// (rare) subscription changes so the per-TTI sweep iterates a stable,
+	// deterministic order without sorting every subframe.
+	subList []*statsSub
 
 	// a3 tracks the per-UE A3 entering condition (RRC module mobility
 	// parameters applied to the eNodeB's measurement stream).
@@ -88,6 +99,14 @@ type Agent struct {
 	// droppedSends counts messages lost because no transport is attached
 	// or the transport failed; surfaced for diagnostics.
 	droppedSends int
+
+	// Per-TTI scratch, reused across subframes so steady-state reporting
+	// allocates nothing: data-plane snapshots, the due-subscription sweep
+	// and the triggered-mode fingerprint encoder.
+	ueScratch   []enb.UEReport
+	cellScratch []enb.CellReport
+	subScratch  []*statsSub
+	hashEnc     wire.Encoder
 }
 
 // New builds an agent and wires it into the eNodeB's control hooks. From
@@ -335,22 +354,35 @@ func (a *Agent) handleStatsRequest(req *protocol.StatsRequest) {
 	now := a.enb.Now()
 	switch req.Mode {
 	case protocol.StatsOneOff:
-		a.emit(a.buildReport(req, now))
+		a.emit(a.buildReport(req, &protocol.StatsReply{}, now))
 	case protocol.StatsPeriodic:
-		if req.PeriodTTI == 0 {
-			a.mu.Lock()
-			delete(a.subs, req.ID)
-			a.mu.Unlock()
-			return
-		}
 		a.mu.Lock()
-		a.subs[req.ID] = &statsSub{req: *req, started: now}
+		if req.PeriodTTI == 0 {
+			delete(a.subs, req.ID)
+		} else {
+			a.subs[req.ID] = &statsSub{req: *req, started: now}
+		}
+		a.rebuildSubList()
 		a.mu.Unlock()
 	case protocol.StatsTriggered:
 		a.mu.Lock()
 		a.subs[req.ID] = &statsSub{req: *req, started: now}
+		a.rebuildSubList()
 		a.mu.Unlock()
 	}
+}
+
+// rebuildSubList refreshes the id-sorted subscription list (a.mu held).
+// Subscriptions change only on StatsRequest handling, so the per-TTI
+// sweep never sorts.
+func (a *Agent) rebuildSubList() {
+	a.subList = a.subList[:0]
+	for _, s := range a.subs {
+		a.subList = append(a.subList, s)
+	}
+	sort.Slice(a.subList, func(i, j int) bool {
+		return a.subList[i].req.ID < a.subList[j].req.ID
+	})
 }
 
 // onSubframe is the agent's TTI tick (installed as an eNodeB hook): it
@@ -359,21 +391,23 @@ func (a *Agent) onSubframe(sf lte.Subframe) {
 	if p := a.mgmt.SyncPeriod(); p > 0 && int(sf)%p == 0 {
 		a.emit(&protocol.SubframeTrigger{SF: sf})
 	}
+	// Snapshot the presorted subscription list. Deliver runs on the same
+	// goroutine as this hook (the agent's serialization contract), so the
+	// copy exists only to keep iteration stable if a StatsRequest handled
+	// later this subframe rebuilds the list.
 	a.mu.Lock()
-	subs := make([]*statsSub, 0, len(a.subs))
-	for _, s := range a.subs {
-		subs = append(subs, s)
-	}
+	subs := append(a.subScratch[:0], a.subList...)
+	a.subScratch = subs
 	a.mu.Unlock()
 	for _, s := range subs {
 		switch s.req.Mode {
 		case protocol.StatsPeriodic:
 			if int(sf-s.started)%int(s.req.PeriodTTI) == 0 {
-				a.emit(a.buildReport(&s.req, sf))
+				a.emit(a.buildReport(&s.req, &s.rep, sf))
 			}
 		case protocol.StatsTriggered:
-			rep := a.buildReport(&s.req, sf)
-			h := reportHash(rep)
+			rep := a.buildReport(&s.req, &s.rep, sf)
+			h := a.reportHash(rep)
 			if !s.sentOnce || h != s.lastHash {
 				s.sentOnce = true
 				s.lastHash = h
@@ -383,19 +417,29 @@ func (a *Agent) onSubframe(sf lte.Subframe) {
 	}
 }
 
-// buildReport assembles a StatsReply for a subscription's content flags.
-func (a *Agent) buildReport(req *protocol.StatsRequest, sf lte.Subframe) *protocol.StatsReply {
-	rep := &protocol.StatsReply{ID: req.ID, SF: sf}
+// buildReport assembles a StatsReply for a subscription's content flags,
+// refilling rep in place: the per-subscription reply and the per-entry
+// SubbandCQI/LCs scratch are reused every period, so steady-state report
+// construction allocates nothing. The returned reply (== rep) is valid
+// until the subscription's next report is built; transports serialize it
+// synchronously on emit.
+func (a *Agent) buildReport(req *protocol.StatsRequest, rep *protocol.StatsReply, sf lte.Subframe) *protocol.StatsReply {
+	cells := rep.Cells
+	rep.ID, rep.SF = req.ID, sf
+	rep.Cells = cells[:0]
 	if req.Flags&(protocol.StatsQueues|protocol.StatsCQI|protocol.StatsRates|protocol.StatsHARQ) != 0 {
-		for _, r := range a.enb.UEReports() {
-			s := r.ToProtocolUEStats()
+		a.ueScratch = a.enb.AppendUEReports(a.ueScratch[:0])
+		rep.GrowUEs(len(a.ueScratch))
+		for i, r := range a.ueScratch {
+			s := &rep.UEs[i]
+			r.FillProtocolUEStats(s)
 			if req.Flags&protocol.StatsQueues == 0 {
 				s.DLQueue, s.ULQueue = 0, 0
-				s.LCs = nil
+				s.LCs = s.LCs[:0]
 			}
 			if req.Flags&protocol.StatsCQI == 0 {
 				s.CQI = 0
-				s.SubbandCQI = nil
+				s.SubbandCQI = s.SubbandCQI[:0]
 			}
 			if req.Flags&protocol.StatsRates == 0 {
 				s.DLRateKbps, s.ULRateKbps = 0, 0
@@ -403,25 +447,42 @@ func (a *Agent) buildReport(req *protocol.StatsRequest, sf lte.Subframe) *protoc
 			if req.Flags&protocol.StatsHARQ == 0 {
 				s.HARQRetx = 0
 			}
-			rep.UEs = append(rep.UEs, s)
 		}
+	} else {
+		rep.GrowUEs(0)
 	}
 	if req.Flags&protocol.StatsCell != 0 {
-		for _, c := range a.enb.CellReports() {
+		a.cellScratch = a.enb.AppendCellReports(a.cellScratch[:0])
+		for _, c := range a.cellScratch {
 			rep.Cells = append(rep.Cells, c.ToProtocolCellStats())
 		}
 	}
 	return rep
 }
 
+// FNV-1a constants (the stdlib hash/fnv interface forces an allocation per
+// hasher, so the triggered-mode fingerprint folds the bytes inline).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // reportHash fingerprints a report's content, excluding the subframe stamp
-// so triggered subscriptions fire only on real changes.
-func reportHash(rep *protocol.StatsReply) uint64 {
-	clone := *rep
-	clone.SF = 0
-	h := fnv.New64a()
-	h.Write(protocol.Encode(protocol.New(0, 0, &clone)))
-	return h.Sum64()
+// so triggered subscriptions fire only on real changes. The report is
+// serialized into the agent's reused scratch encoder (no clone, no per-call
+// allocation); the SF field is zeroed for hashing and restored.
+func (a *Agent) reportHash(rep *protocol.StatsReply) uint64 {
+	sf := rep.SF
+	rep.SF = 0
+	a.hashEnc.Reset()
+	rep.MarshalWire(&a.hashEnc)
+	rep.SF = sf
+	h := uint64(fnvOffset64)
+	for _, c := range a.hashEnc.Bytes() {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
 }
 
 func (a *Agent) ueConfigReply() *protocol.UEConfigReply {

@@ -131,16 +131,23 @@ type session struct {
 // enqueue appends a batch to the session's ingest queue. Batches
 // arriving after the session closed are dropped: a closed session may
 // already be pruned from the master's drain list, and appending to a
-// queue nothing drains would leak without bound.
+// queue nothing drains would leak without bound. Ownership still
+// transferred, so dropped messages are released like applied ones.
 func (s *session) enqueue(msgs []*protocol.Message) {
 	if len(msgs) == 0 {
 		return
 	}
 	s.qmu.Lock()
-	if !s.closed {
+	closed := s.closed
+	if !closed {
 		s.queue = append(s.queue, msgs...)
 	}
 	s.qmu.Unlock()
+	if closed {
+		for _, m := range msgs {
+			m.Release()
+		}
+	}
 }
 
 // drain takes the queued batch.
@@ -255,7 +262,10 @@ type AgentSession struct {
 
 // Deliver queues a batch of agent-to-master messages for the next Tick.
 // One lock round-trip covers the whole batch, and batches from different
-// sessions are absorbed concurrently.
+// sessions are absorbed concurrently. Ownership of the messages passes to
+// the master: pooled messages (transport decodes) are released back to the
+// protocol free lists once applied, so callers must not touch them after
+// Deliver. The batch slice itself is not retained.
 func (as *AgentSession) Deliver(msgs ...*protocol.Message) {
 	as.s.enqueue(msgs)
 }
@@ -268,7 +278,9 @@ func (as *AgentSession) Close() {
 }
 
 // HandleAgentSession attaches one agent transport. send transmits
-// master-to-agent messages; the returned handle is how the transport
+// master-to-agent messages; it must serialize synchronously and not retain
+// the message (the master pools command envelopes — both transport.Conn
+// and SimEndpoint satisfy this). The returned handle is how the transport
 // driver delivers agent-to-master messages (they are queued per session
 // and applied by the RIB Updater during the next Tick).
 func (m *Master) HandleAgentSession(send func(*protocol.Message) error) *AgentSession {
@@ -317,7 +329,10 @@ func (m *Master) DisconnectAgent(enb lte.ENBID) {
 	m.rib.applyDisconnect(enb)
 }
 
-// Send transmits a payload to an agent (northbound command path).
+// Send transmits a payload to an agent (northbound command path). The
+// envelope is pooled: session send functions serialize synchronously and
+// must not retain the message (see HandleAgentSession), so it is released
+// as soon as the send returns. The caller keeps ownership of the payload.
 func (m *Master) Send(enb lte.ENBID, p protocol.Payload) error {
 	m.mu.Lock()
 	s := m.sessions[enb]
@@ -325,7 +340,10 @@ func (m *Master) Send(enb lte.ENBID, p protocol.Payload) error {
 	if s == nil {
 		return fmt.Errorf("controller: no session for agent %d", enb)
 	}
-	return s.send(protocol.New(enb, m.cycle, p))
+	msg := protocol.AcquireMessage(enb, m.cycle, p)
+	err := s.send(msg)
+	msg.Release()
+	return err
 }
 
 // Tick runs one task-manager cycle: the RIB Updater slot (drain the
@@ -409,9 +427,17 @@ func (m *Master) Tick() {
 // applyBatch runs the RIB Updater for one session's drained batch. Every
 // message of a session addresses the same agent (its RIB shard), so
 // concurrent applyBatch calls for different sessions do not contend.
+// Applied messages are released back to the protocol free lists: transports
+// decode with protocol.DecodePooled and the updater is the end of the
+// message's life (everything the RIB or the event sinks keep is copied —
+// kinds retained by pointer, like MeasReport, are exempt from payload
+// pooling by construction). Release is a no-op for messages that were
+// built directly rather than decoded, so in-process drivers and tests that
+// Deliver hand-made messages are unaffected.
 func (m *Master) applyBatch(s *session, msgs []*protocol.Message, sink *tickSink) {
 	for _, msg := range msgs {
 		m.applyInbound(s, msg, sink)
+		msg.Release()
 	}
 }
 

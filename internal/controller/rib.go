@@ -143,7 +143,8 @@ func (r *RIB) applyStats(enb lte.ENBID, rep *protocol.StatsReply) {
 		}
 	}
 	added := 0
-	for _, us := range rep.UEs {
+	for i := range rep.UEs {
+		us := &rep.UEs[i]
 		c := sh.cells[us.Cell]
 		if c == nil {
 			continue
@@ -154,7 +155,12 @@ func (r *RIB) applyStats(enb lte.ENBID, rep *protocol.StatsReply) {
 			c.UEs[us.RNTI] = u
 			added++
 		}
-		u.Stats = us
+		// Deep copy: the reply may be a pooled decode (released and reused
+		// after this tick) or an agent's in-place report scratch, so the
+		// record must own its SubbandCQI/LCs bytes. CopyFrom reuses the
+		// record's existing capacity, keeping steady-state updates
+		// allocation-free.
+		u.Stats.CopyFrom(us)
 		u.UpdatedSF = rep.SF
 	}
 	if added != 0 {
@@ -297,7 +303,9 @@ func (r *RIB) CellStats(enb lte.ENBID, cellID lte.CellID) (protocol.CellStats, b
 	return c.Stats, true
 }
 
-// UEStats returns the latest stats of one UE.
+// UEStats returns the latest stats of one UE. The returned snapshot is a
+// deep copy: the updater refills the record's SubbandCQI/LCs in place, so
+// handing out aliases would let a later update mutate a reader's snapshot.
 func (r *RIB) UEStats(enb lte.ENBID, rnti lte.RNTI) (protocol.UEStats, bool) {
 	sh := r.shard(enb)
 	if sh == nil {
@@ -307,7 +315,9 @@ func (r *RIB) UEStats(enb lte.ENBID, rnti lte.RNTI) (protocol.UEStats, bool) {
 	defer sh.mu.RUnlock()
 	for _, c := range sh.cells {
 		if u, ok := c.UEs[rnti]; ok {
-			return u.Stats, true
+			var out protocol.UEStats
+			out.CopyFrom(&u.Stats)
+			return out, true
 		}
 	}
 	return protocol.UEStats{}, false
@@ -332,22 +342,38 @@ func (r *RIB) UEMeas(enb lte.ENBID, rnti lte.RNTI) (*protocol.MeasReport, lte.Su
 }
 
 // UEsOf returns the latest stats of every UE under an agent, ordered by
-// RNTI (the snapshot a centralized scheduler works from).
+// RNTI (the snapshot a centralized scheduler works from). Entries are deep
+// copies — see UEStats.
 func (r *RIB) UEsOf(enb lte.ENBID) []protocol.UEStats {
+	return r.AppendUEsOf(enb, nil)
+}
+
+// AppendUEsOf is UEsOf into caller-owned scratch: entries are appended to
+// dst, reusing the capacity (including per-entry SubbandCQI/LCs scratch)
+// of any elements past dst's length from earlier snapshots. A per-tick app
+// passing dst[:0] takes its RIB snapshot allocation-free at steady state.
+func (r *RIB) AppendUEsOf(enb lte.ENBID, dst []protocol.UEStats) []protocol.UEStats {
 	sh := r.shard(enb)
 	if sh == nil {
-		return nil
+		return dst
 	}
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	out := make([]protocol.UEStats, 0, sh.ueCount.Load())
+	start := len(dst)
 	for _, c := range sh.cells {
 		for _, u := range c.UEs {
-			out = append(out, u.Stats)
+			n := len(dst)
+			if n < cap(dst) {
+				dst = dst[:n+1]
+			} else {
+				dst = append(dst, protocol.UEStats{})
+			}
+			dst[n].CopyFrom(&u.Stats)
 		}
 	}
+	out := dst[start:]
 	sort.Slice(out, func(i, j int) bool { return out[i].RNTI < out[j].RNTI })
-	return out
+	return dst
 }
 
 // UECount returns the number of UEs known under an agent (lock-free).

@@ -180,13 +180,25 @@ func DefaultCell(id lte.CellID) protocol.CellConfig {
 type ENB struct {
 	cfg   Config
 	cells map[lte.CellID]*cell
-	ues   map[lte.RNTI]*ue
-	order []lte.RNTI // stable iteration order
+	// cellList is the cells in ascending id order. The cell set is fixed
+	// at construction, so the snapshot and scheduling paths iterate this
+	// cached list instead of re-sorting the map every TTI.
+	cellList []*cell
+	ues      map[lte.RNTI]*ue
+	// order is the UE iteration order, kept sorted by RNTI incrementally
+	// (insertion keeps the invariant; removal preserves it), so per-TTI
+	// snapshots never re-sort.
+	order []lte.RNTI
 
 	sf       lte.Subframe
 	hooks    Hooks
 	rnd      *rand.Rand
 	nextRNTI lte.RNTI
+
+	// schedUEs is the reusable scratch behind schedInput's UE snapshots
+	// (safe: schedulers must not retain the slice past the call, and the
+	// DL and UL passes of one cell run sequentially).
+	schedUEs []sched.UEInfo
 }
 
 // New builds an eNodeB with local default schedulers (round robin), i.e.
@@ -216,6 +228,15 @@ func New(cfg Config) *ENB {
 	}
 	for _, cc := range cfg.Cells {
 		e.cells[cc.Cell] = &cell{cfg: cc, prbs: cc.Bandwidth.PRBs()}
+	}
+	ids := make([]int, 0, len(e.cells))
+	for id := range e.cells {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	e.cellList = make([]*cell, len(ids))
+	for i, id := range ids {
+		e.cellList[i] = e.cells[lte.CellID(id)]
 	}
 	dl := sched.NewRoundRobin()
 	ul := sched.NewRoundRobin()
@@ -293,7 +314,7 @@ func (e *ENB) AddUE(p UEParams) (lte.RNTI, error) {
 	u.attach.deadline = e.sf + lte.Subframe(e.cfg.AttachTimeoutTTI)
 	u.attach.attempts = 1
 	e.ues[rnti] = u
-	e.order = append(e.order, rnti)
+	e.insertOrdered(rnti)
 	e.event(protocol.UEEventRandomAccess, rnti, p.Cell)
 	return rnti, nil
 }
@@ -385,7 +406,7 @@ func (e *ENB) AdmitUE(st HandoverState) (lte.RNTI, error) {
 	u.avgDLKbps = st.AvgDLKbps
 	u.avgULKbps = st.AvgULKbps
 	e.ues[rnti] = u
-	e.order = append(e.order, rnti)
+	e.insertOrdered(rnti)
 	e.event(protocol.UEEventAttach, rnti, st.Params.Cell)
 	return rnti, nil
 }
@@ -511,17 +532,21 @@ func updateAvg(avgKbps, bitsThisTTI float64) float64 {
 	return (1-alpha)*avgKbps + alpha*instKbps
 }
 
-func (e *ENB) sortedCells() []*cell {
-	ids := make([]int, 0, len(e.cells))
-	for id := range e.cells {
-		ids = append(ids, int(id))
+func (e *ENB) sortedCells() []*cell { return e.cellList }
+
+// insertOrdered adds rnti to the order slice keeping it sorted. RNTIs are
+// assigned monotonically, so the common case is an append; the binary
+// search guards the invariant regardless.
+func (e *ENB) insertOrdered(rnti lte.RNTI) {
+	n := len(e.order)
+	if n == 0 || e.order[n-1] < rnti {
+		e.order = append(e.order, rnti)
+		return
 	}
-	sort.Ints(ids)
-	out := make([]*cell, len(ids))
-	for i, id := range ids {
-		out[i] = e.cells[lte.CellID(id)]
-	}
-	return out
+	i := sort.Search(n, func(i int) bool { return e.order[i] >= rnti })
+	e.order = append(e.order, 0)
+	copy(e.order[i+1:], e.order[i:])
+	e.order[i] = rnti
 }
 
 func (e *ENB) runCell(c *cell, sf lte.Subframe) {
@@ -548,9 +573,11 @@ func (e *ENB) runCell(c *cell, sf lte.Subframe) {
 	}
 }
 
-// schedInput snapshots the schedulable UEs of a cell.
+// schedInput snapshots the schedulable UEs of a cell into the eNodeB's
+// reusable scratch slice. The returned Input is valid until the next
+// schedInput call; schedulers must not retain in.UEs past Schedule.
 func (e *ENB) schedInput(c *cell, sf lte.Subframe, dir lte.Direction) sched.Input {
-	in := sched.Input{SF: sf, Dir: dir, TotalPRB: c.prbs}
+	in := sched.Input{SF: sf, Dir: dir, TotalPRB: c.prbs, UEs: e.schedUEs[:0]}
 	for _, rnti := range e.order {
 		u := e.ues[rnti]
 		if u.params.Cell != c.cfg.Cell || u.state == StateDetached {
@@ -586,6 +613,7 @@ func (e *ENB) schedInput(c *cell, sf lte.Subframe, dir lte.Direction) sched.Inpu
 			Group:       u.params.Group,
 		})
 	}
+	e.schedUEs = in.UEs[:0] // keep grown capacity for the next snapshot
 	return in
 }
 

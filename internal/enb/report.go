@@ -1,8 +1,6 @@
 package enb
 
 import (
-	"sort"
-
 	"flexran/internal/lte"
 	"flexran/internal/protocol"
 )
@@ -63,21 +61,25 @@ func (e *ENB) report(u *ue) UEReport {
 	}
 }
 
-// UEReports snapshots every UE, ordered by RNTI.
-func (e *ENB) UEReports() []UEReport {
-	out := make([]UEReport, 0, len(e.order))
+// AppendUEReports appends a snapshot of every UE to dst, ordered by RNTI
+// (e.order is kept sorted incrementally, so no per-snapshot sort). Callers
+// on the per-TTI path pass a reused scratch slice (dst[:0]) to make the
+// snapshot allocation-free at steady state.
+func (e *ENB) AppendUEReports(dst []UEReport) []UEReport {
 	for _, rnti := range e.order {
-		out = append(out, e.report(e.ues[rnti]))
+		dst = append(dst, e.report(e.ues[rnti]))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].RNTI < out[j].RNTI })
-	return out
+	return dst
+}
+
+// UEReports snapshots every UE into a fresh slice, ordered by RNTI.
+func (e *ENB) UEReports() []UEReport {
+	return e.AppendUEReports(make([]UEReport, 0, len(e.order)))
 }
 
 // UEs returns the RNTIs of all current UEs, ordered.
 func (e *ENB) UEs() []lte.RNTI {
-	out := append([]lte.RNTI(nil), e.order...)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return append([]lte.RNTI(nil), e.order...)
 }
 
 // Connected reports whether a UE has completed attachment.
@@ -94,22 +96,26 @@ type CellReport struct {
 	Muted    bool // whether the *last executed* subframe was muted
 }
 
-// CellReports snapshots every cell, ordered by id.
-func (e *ENB) CellReports() []CellReport {
-	var out []CellReport
+// AppendCellReports appends a snapshot of every cell to dst, ordered by id.
+func (e *ENB) AppendCellReports(dst []CellReport) []CellReport {
 	last := e.sf
 	if last > 0 {
 		last--
 	}
 	for _, c := range e.sortedCells() {
-		out = append(out, CellReport{
+		dst = append(dst, CellReport{
 			Cell:     c.cfg.Cell,
 			UsedPRB:  c.usedPRB,
 			TotalPRB: c.prbs,
 			Muted:    c.muted != nil && c.muted(last),
 		})
 	}
-	return out
+	return dst
+}
+
+// CellReports snapshots every cell into a fresh slice, ordered by id.
+func (e *ENB) CellReports() []CellReport {
+	return e.AppendCellReports(make([]CellReport, 0, len(e.cellList)))
 }
 
 // Active reports whether the cell transmitted any PRB in subframe sf.
@@ -135,7 +141,18 @@ const SubbandsAt10MHz = 13
 // ripple around the wideband CQI (the PHY abstraction has no frequency-
 // selective model); RSRP/RSRQ derive from the CQI operating point.
 func (r UEReport) ToProtocolUEStats() protocol.UEStats {
-	s := protocol.UEStats{
+	var s protocol.UEStats
+	r.FillProtocolUEStats(&s)
+	return s
+}
+
+// FillProtocolUEStats is ToProtocolUEStats writing into a caller-owned
+// entry: s's SubbandCQI/LCs capacity is reused, so a report builder that
+// refills one StatsReply per subscription allocates nothing per TTI. All
+// other fields of s are overwritten.
+func (r UEReport) FillProtocolUEStats(s *protocol.UEStats) {
+	sb, lcs := s.SubbandCQI, s.LCs
+	*s = protocol.UEStats{
 		RNTI:            r.RNTI,
 		Cell:            r.Cell,
 		CQI:             r.CQI,
@@ -149,9 +166,9 @@ func (r UEReport) ToProtocolUEStats() protocol.UEStats {
 		RSRPdBm:         -140 + 6*int32(r.CQI),
 		RSRQdB:          -20 + int32(r.CQI),
 	}
+	s.SubbandCQI = sb[:0]
 	if r.CQI > 0 {
-		s.SubbandCQI = make([]uint8, SubbandsAt10MHz)
-		for i := range s.SubbandCQI {
+		for i := 0; i < SubbandsAt10MHz; i++ {
 			ripple := int(r.RNTI) + i*7
 			c := int(r.CQI) + ripple%3 - 1
 			if c < 1 {
@@ -160,15 +177,14 @@ func (r UEReport) ToProtocolUEStats() protocol.UEStats {
 			if c > lte.MaxCQI {
 				c = lte.MaxCQI
 			}
-			s.SubbandCQI[i] = uint8(c)
+			s.SubbandCQI = append(s.SubbandCQI, uint8(c))
 		}
 	}
-	s.LCs = []protocol.LCReport{
-		{LCID: 1, Bytes: uint64(r.SigQueue)},                         // SRB1
-		{LCID: 2, Bytes: 0},                                          // SRB2
-		{LCID: 3, Bytes: uint64(r.DLQueue), HoLDelayMs: holDelay(r)}, // default DRB
-	}
-	return s
+	s.LCs = append(lcs[:0],
+		protocol.LCReport{LCID: 1, Bytes: uint64(r.SigQueue)},                         // SRB1
+		protocol.LCReport{LCID: 2, Bytes: 0},                                          // SRB2
+		protocol.LCReport{LCID: 3, Bytes: uint64(r.DLQueue), HoLDelayMs: holDelay(r)}, // default DRB
+	)
 }
 
 // holDelay estimates the head-of-line delay of the data bearer from the

@@ -118,12 +118,10 @@ func (p *MeasReport) UnmarshalWire(d *wire.Decoder) error {
 			}
 			return nil
 		case 6:
-			var n NeighborMeas
-			if err := d.ReadMessage(&n); err != nil {
-				return err
-			}
-			p.Neighbors = append(p.Neighbors, n)
-			return nil
+			var nm *NeighborMeas
+			p.Neighbors, nm = grow(p.Neighbors)
+			*nm = NeighborMeas{}
+			return d.ReadMessage(nm)
 		}
 		return d.Skip()
 	})
@@ -140,6 +138,9 @@ type HandoverCommand struct {
 
 // Kind implements Payload.
 func (*HandoverCommand) Kind() Kind { return KindHandoverCommand }
+
+// reset implements poolable.
+func (p *HandoverCommand) reset() { *p = HandoverCommand{} }
 
 // MarshalWire implements wire.Marshaler.
 func (p *HandoverCommand) MarshalWire(e *wire.Encoder) {

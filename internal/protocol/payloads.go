@@ -79,6 +79,9 @@ type Echo struct {
 // Kind implements Payload.
 func (*Echo) Kind() Kind { return KindEcho }
 
+// reset implements poolable.
+func (p *Echo) reset() { *p = Echo{} }
+
 // MarshalWire implements wire.Marshaler.
 func (p *Echo) MarshalWire(e *wire.Encoder) {
 	e.Uint(1, p.Seq)
@@ -108,6 +111,9 @@ type EchoReply struct {
 
 // Kind implements Payload.
 func (*EchoReply) Kind() Kind { return KindEchoReply }
+
+// reset implements poolable.
+func (p *EchoReply) reset() { *p = EchoReply{} }
 
 // MarshalWire implements wire.Marshaler.
 func (p *EchoReply) MarshalWire(e *wire.Encoder) {
@@ -363,6 +369,9 @@ type UEEvent struct {
 // Kind implements Payload.
 func (*UEEvent) Kind() Kind { return KindUEEvent }
 
+// reset implements poolable.
+func (p *UEEvent) reset() { *p = UEEvent{} }
+
 // MarshalWire implements wire.Marshaler.
 func (p *UEEvent) MarshalWire(e *wire.Encoder) {
 	e.Uint(1, uint64(p.Type))
@@ -398,6 +407,9 @@ type SubframeTrigger struct {
 
 // Kind implements Payload.
 func (*SubframeTrigger) Kind() Kind { return KindSubframeTrigger }
+
+// reset implements poolable.
+func (p *SubframeTrigger) reset() { *p = SubframeTrigger{} }
 
 // MarshalWire implements wire.Marshaler.
 func (p *SubframeTrigger) MarshalWire(e *wire.Encoder) {
@@ -529,6 +541,9 @@ type ControlAck struct {
 
 // Kind implements Payload.
 func (*ControlAck) Kind() Kind { return KindControlAck }
+
+// reset implements poolable.
+func (p *ControlAck) reset() { *p = ControlAck{} }
 
 // MarshalWire implements wire.Marshaler.
 func (p *ControlAck) MarshalWire(e *wire.Encoder) {

@@ -1,0 +1,146 @@
+package protocol
+
+// Message and payload pooling: the southbound fast path decodes one message
+// per frame and the master/agent ingest loops discard it within the same
+// tick, so both the Message envelope and the payload body are recycled
+// through free lists instead of allocated per frame.
+//
+// Ownership contract:
+//
+//   - DecodePooled returns a message owned by the caller; calling Release
+//     hands the envelope (and, for poolable kinds, the payload) back to the
+//     free lists. After Release the message and its payload must not be
+//     touched.
+//   - Anything that must outlive Release has to be copied out first. The
+//     RIB deep-copies UEStats (UEStats.CopyFrom) for exactly this reason.
+//   - Kinds whose payloads are retained by pointer downstream (MeasReport
+//     is stored in the RIB, Hello/config replies alias their Cells slice,
+//     VSFUpdate's program bytes reach the module cache) are deliberately
+//     NOT in the free lists: Release recycles only their envelope and the
+//     payload stays alive for its retainers.
+//   - Release on a message built by New (or by hand) is a no-op, so code
+//     paths and tests that keep messages around are unaffected.
+
+import (
+	"sync"
+
+	"flexran/internal/lte"
+	"flexran/internal/wire"
+)
+
+// poolable payloads can be recycled through the per-kind free lists.
+// reset must clear every field while keeping slice capacity, so a reused
+// payload never leaks stale fields into a message that omits them.
+type poolable interface {
+	Payload
+	reset()
+}
+
+var msgPool = sync.Pool{New: func() interface{} { return new(Message) }}
+
+// payloadPools is indexed by Kind. A nil entry marks a kind whose payloads
+// must not be recycled (see the ownership contract above).
+var payloadPools [kindMax]*sync.Pool
+
+func registerPool(k Kind, newFn func() interface{}) {
+	payloadPools[k] = &sync.Pool{New: newFn}
+}
+
+func init() {
+	registerPool(KindEcho, func() interface{} { return &Echo{} })
+	registerPool(KindEchoReply, func() interface{} { return &EchoReply{} })
+	registerPool(KindStatsRequest, func() interface{} { return &StatsRequest{} })
+	registerPool(KindStatsReply, func() interface{} { return &StatsReply{} })
+	registerPool(KindSubframeTrigger, func() interface{} { return &SubframeTrigger{} })
+	registerPool(KindDLSchedule, func() interface{} { return &DLSchedule{} })
+	registerPool(KindULSchedule, func() interface{} { return &ULSchedule{} })
+	registerPool(KindUEEvent, func() interface{} { return &UEEvent{} })
+	registerPool(KindControlAck, func() interface{} { return &ControlAck{} })
+	registerPool(KindHandoverCommand, func() interface{} { return &HandoverCommand{} })
+}
+
+// acquirePayload returns a payload for a kind: from the kind's free list
+// when pooling was requested and the kind allows it, freshly allocated
+// otherwise. The bool reports whether the payload came from a pool.
+func acquirePayload(k Kind, wantPool bool) (Payload, bool, error) {
+	if wantPool && k > KindInvalid && k < kindMax && payloadPools[k] != nil {
+		return payloadPools[k].Get().(Payload), true, nil
+	}
+	p, err := newPayload(k)
+	return p, false, err
+}
+
+// AcquireMessage builds a message around a payload using a pooled envelope.
+// The caller keeps ownership of the payload: Release returns only the
+// envelope to the pool (the payload is recycled solely for messages
+// produced by DecodePooled). Intended for transient sends where the
+// transport serializes synchronously and does not retain the message.
+func AcquireMessage(enb lte.ENBID, sf lte.Subframe, p Payload) *Message {
+	m := msgPool.Get().(*Message)
+	m.ENB, m.SF, m.Payload = enb, sf, p
+	m.poolMsg = true
+	m.poolPayload = false
+	m.wantPool = false
+	return m
+}
+
+// DecodePooled parses a message from bytes like Decode, but draws the
+// envelope — and the payload, for poolable kinds — from the free lists.
+// The decoded message owns no part of b (payload decoders copy what they
+// keep), so the caller may reuse b immediately. Call Release when done.
+func DecodePooled(b []byte) (*Message, error) {
+	m := msgPool.Get().(*Message)
+	*m = Message{poolMsg: true, wantPool: true}
+	if err := wire.Unmarshal(b, m); err != nil {
+		// A half-decoded payload is dropped rather than recycled.
+		m.poolPayload = false
+		m.Release()
+		return nil, err
+	}
+	return m, nil
+}
+
+// Release recycles a message obtained from AcquireMessage or DecodePooled.
+// For DecodePooled messages with poolable payloads the payload is reset and
+// returned to its kind's free list too. Messages built by New (or composite
+// literals) are untouched — Release is a no-op for them — so retaining
+// such messages stays safe.
+func (m *Message) Release() {
+	if m == nil || !m.poolMsg {
+		return
+	}
+	if m.poolPayload {
+		if p, ok := m.Payload.(poolable); ok {
+			p.reset()
+			payloadPools[p.Kind()].Put(p)
+		}
+	}
+	*m = Message{}
+	msgPool.Put(m)
+}
+
+// AppendMessage serializes m onto dst and returns the extended slice,
+// encoding through a pooled encoder: a caller that reuses dst's capacity
+// pays no allocation at steady state.
+func AppendMessage(dst []byte, m *Message) []byte {
+	return wire.AppendMarshal(dst, m)
+}
+
+// grow extends s by one element, reusing capacity when available, and
+// returns the extended slice plus a pointer to the new element. This is
+// the repeated-field decode fast path: decoding into the slice element
+// directly avoids the per-element heap allocation a stack temporary would
+// cost escaping through the Unmarshaler interface. The element is NOT
+// cleared — the caller must reset it before decoding (zero-assign for
+// scalar element types; reset() where inner slice capacity must survive,
+// as in StatsReply.UEs).
+func grow[T any](s []T) ([]T, *T) {
+	n := len(s)
+	if n < cap(s) {
+		s = s[:n+1]
+	} else {
+		var zero T
+		s = append(s, zero)
+	}
+	return s, &s[n]
+}

@@ -116,6 +116,13 @@ type Message struct {
 	// Payload is the message body; its Kind() is serialized in the
 	// envelope.
 	Payload Payload
+
+	// poolMsg marks an envelope drawn from the message free list;
+	// poolPayload marks a payload drawn from its kind's free list; and
+	// wantPool asks UnmarshalWire to use the free lists. See pool.go.
+	poolMsg     bool
+	poolPayload bool
+	wantPool    bool
 }
 
 // Envelope wire fields.
@@ -182,10 +189,11 @@ func (m *Message) UnmarshalWire(d *wire.Decoder) error {
 	if !seenPayload {
 		return errors.New("protocol: message without payload")
 	}
-	p, err := newPayload(kind)
+	p, pooled, err := acquirePayload(kind, m.wantPool)
 	if err != nil {
 		return err
 	}
+	m.poolPayload = pooled
 	if err := wire.Unmarshal(payloadRaw, p); err != nil {
 		return fmt.Errorf("protocol: decoding %v payload: %w", kind, err)
 	}

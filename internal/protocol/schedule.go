@@ -58,6 +58,13 @@ type DLSchedule struct {
 // Kind implements Payload.
 func (*DLSchedule) Kind() Kind { return KindDLSchedule }
 
+// reset implements poolable.
+func (p *DLSchedule) reset() {
+	allocs := p.Allocs
+	*p = DLSchedule{}
+	p.Allocs = allocs[:0]
+}
+
 // MarshalWire implements wire.Marshaler.
 func (p *DLSchedule) MarshalWire(e *wire.Encoder) {
 	e.Uint(1, uint64(p.Cell))
@@ -78,12 +85,10 @@ func (p *DLSchedule) UnmarshalWire(d *wire.Decoder) error {
 		case 2:
 			return readSF(d, &p.TargetSF)
 		case 3:
-			var a Alloc
-			if err := d.ReadMessage(&a); err != nil {
-				return err
-			}
-			p.Allocs = append(p.Allocs, a)
-			return nil
+			var a *Alloc
+			p.Allocs, a = grow(p.Allocs)
+			*a = Alloc{}
+			return d.ReadMessage(a)
 		}
 		return d.Skip()
 	})
@@ -99,6 +104,13 @@ type ULSchedule struct {
 
 // Kind implements Payload.
 func (*ULSchedule) Kind() Kind { return KindULSchedule }
+
+// reset implements poolable.
+func (p *ULSchedule) reset() {
+	allocs := p.Allocs
+	*p = ULSchedule{}
+	p.Allocs = allocs[:0]
+}
 
 // MarshalWire implements wire.Marshaler.
 func (p *ULSchedule) MarshalWire(e *wire.Encoder) {
@@ -120,12 +132,10 @@ func (p *ULSchedule) UnmarshalWire(d *wire.Decoder) error {
 		case 2:
 			return readSF(d, &p.TargetSF)
 		case 3:
-			var a Alloc
-			if err := d.ReadMessage(&a); err != nil {
-				return err
-			}
-			p.Allocs = append(p.Allocs, a)
-			return nil
+			var a *Alloc
+			p.Allocs, a = grow(p.Allocs)
+			*a = Alloc{}
+			return d.ReadMessage(a)
 		}
 		return d.Skip()
 	})

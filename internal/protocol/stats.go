@@ -60,6 +60,9 @@ type StatsRequest struct {
 // Kind implements Payload.
 func (*StatsRequest) Kind() Kind { return KindStatsRequest }
 
+// reset implements poolable.
+func (p *StatsRequest) reset() { *p = StatsRequest{} }
+
 // MarshalWire implements wire.Marshaler.
 func (p *StatsRequest) MarshalWire(e *wire.Encoder) {
 	e.Uint(1, uint64(p.ID))
@@ -149,6 +152,26 @@ type UEStats struct {
 	RSRQdB  int32
 }
 
+// reset clears every field while keeping the slices' capacity, so a reused
+// entry never leaks stale state into a report that omits a field.
+func (s *UEStats) reset() {
+	sb, lcs := s.SubbandCQI, s.LCs
+	*s = UEStats{}
+	s.SubbandCQI = sb[:0]
+	s.LCs = lcs[:0]
+}
+
+// CopyFrom deep-copies src into s, reusing s's slice capacity. Retainers of
+// decoded statistics (the RIB's UE records) must copy rather than alias:
+// decoded payloads may come from the free lists and are reused after
+// Release, which would corrupt any aliased SubbandCQI/LCs slices.
+func (s *UEStats) CopyFrom(src *UEStats) {
+	sb, lcs := s.SubbandCQI, s.LCs
+	*s = *src
+	s.SubbandCQI = append(sb[:0], src.SubbandCQI...)
+	s.LCs = append(lcs[:0], src.LCs...)
+}
+
 // MarshalWire implements wire.Marshaler.
 func (s *UEStats) MarshalWire(e *wire.Encoder) {
 	e.Uint(1, uint64(s.RNTI))
@@ -180,15 +203,13 @@ func (s *UEStats) UnmarshalWire(d *wire.Decoder) error {
 			if err != nil {
 				return err
 			}
-			s.SubbandCQI = append([]uint8(nil), b...)
+			s.SubbandCQI = append(s.SubbandCQI[:0], b...)
 			return nil
 		case 11:
-			var lc LCReport
-			if err := d.ReadMessage(&lc); err != nil {
-				return err
-			}
-			s.LCs = append(s.LCs, lc)
-			return nil
+			var lc *LCReport
+			s.LCs, lc = grow(s.LCs)
+			*lc = LCReport{}
+			return d.ReadMessage(lc)
 		case 12, 13, 14:
 			v, err := d.ReadInt()
 			if err != nil {
@@ -284,6 +305,31 @@ type StatsReply struct {
 // Kind implements Payload.
 func (*StatsReply) Kind() Kind { return KindStatsReply }
 
+// reset implements poolable. The UEs are truncated, not dropped: their
+// inner slices keep their capacity and are reused by the next decode.
+func (p *StatsReply) reset() {
+	ues, cells := p.UEs, p.Cells
+	*p = StatsReply{}
+	p.UEs = ues[:0]
+	p.Cells = cells[:0]
+}
+
+// GrowUEs extends the UEs slice to length n, reusing capacity (and the
+// per-entry SubbandCQI/LCs scratch of previous entries) where available.
+// Every entry is reset. This is the report builder's fast path: a
+// subscription reuses one StatsReply and refills it each TTI.
+func (p *StatsReply) GrowUEs(n int) {
+	if cap(p.UEs) < n {
+		ues := make([]UEStats, n)
+		copy(ues, p.UEs[:cap(p.UEs)])
+		p.UEs = ues
+	}
+	p.UEs = p.UEs[:n]
+	for i := range p.UEs {
+		p.UEs[i].reset()
+	}
+}
+
 // MarshalWire implements wire.Marshaler.
 func (p *StatsReply) MarshalWire(e *wire.Encoder) {
 	e.Uint(1, uint64(p.ID))
@@ -305,19 +351,17 @@ func (p *StatsReply) UnmarshalWire(d *wire.Decoder) error {
 		case 2:
 			return readSF(d, &p.SF)
 		case 3:
-			var u UEStats
-			if err := d.ReadMessage(&u); err != nil {
-				return err
-			}
-			p.UEs = append(p.UEs, u)
-			return nil
+			// reset(), not zero-assign: a pooled reply reuses the entry's
+			// SubbandCQI/LCs capacity left behind by the previous decode.
+			var u *UEStats
+			p.UEs, u = grow(p.UEs)
+			u.reset()
+			return d.ReadMessage(u)
 		case 4:
-			var c CellStats
-			if err := d.ReadMessage(&c); err != nil {
-				return err
-			}
-			p.Cells = append(p.Cells, c)
-			return nil
+			var c *CellStats
+			p.Cells, c = grow(p.Cells)
+			*c = CellStats{}
+			return d.ReadMessage(c)
 		}
 		return d.Skip()
 	})

@@ -104,6 +104,12 @@ type Node struct {
 	// phaseErr records a control-channel decode failure inside a
 	// parallel phase, surfaced as a panic at the barrier.
 	phaseErr error
+
+	// mBatch/aBatch are reusable per-node delivery batches for the two
+	// control-phase directions (only message pointers outlive a phase;
+	// the slices themselves are scratch).
+	mBatch []*protocol.Message
+	aBatch []*protocol.Message
 }
 
 type spillDL struct {
@@ -410,12 +416,15 @@ func (s *Sim) Step() {
 			if n.session == nil {
 				return
 			}
-			msgs, err := n.mEp.AdvanceTo(sf)
-			if err != nil {
+			n.mBatch = n.mBatch[:0]
+			if err := n.mEp.AdvanceInto(sf, &n.mBatch); err != nil {
 				n.phaseErr = err
 				return
 			}
-			n.session.Deliver(msgs...)
+			// Ownership moves to the master, which releases each message
+			// back to the protocol free lists once the RIB updater has
+			// applied it.
+			n.session.Deliver(n.mBatch...)
 		})
 		s.barrierErr("agent->master")
 		// The master cycle itself is one phase on one goroutine; its
@@ -425,13 +434,17 @@ func (s *Sim) Step() {
 			if n.aEp == nil {
 				return
 			}
-			msgs, err := n.aEp.AdvanceTo(sf)
-			if err != nil {
+			n.aBatch = n.aBatch[:0]
+			if err := n.aEp.AdvanceInto(sf, &n.aBatch); err != nil {
 				n.phaseErr = err
 				return
 			}
-			for _, m := range msgs {
+			for _, m := range n.aBatch {
 				n.Agent.Deliver(m)
+				// The agent copies what it keeps (subscriptions, alloc
+				// vectors, queued handover commands), so the decoded
+				// message recycles immediately.
+				m.Release()
 			}
 		})
 		s.barrierErr("master->agent")

@@ -1,13 +1,21 @@
 package transport
 
 import (
-	"container/heap"
 	"math/rand"
+	"sync"
 
 	"flexran/internal/lte"
 	"flexran/internal/metrics"
 	"flexran/internal/protocol"
 )
+
+// simBufPool recycles the serialized-payload buffers that travel between
+// simulated endpoints: Send draws one, AdvanceTo returns it after decoding
+// (decoded messages own their bytes, so the buffer is free immediately).
+var simBufPool = sync.Pool{New: func() interface{} { return new(simBuf) }}
+
+// simBuf boxes the byte slice so pool round-trips don't allocate a header.
+type simBuf struct{ b []byte }
 
 // Netem models the control-channel impairment between master and agent,
 // replacing the Linux netem qdisc used in the paper's Fig. 9 experiment.
@@ -49,26 +57,61 @@ func (n Netem) delay(r *rand.Rand) lte.Subframe {
 type inflight struct {
 	deliverAt lte.Subframe
 	seq       uint64 // tie-break: FIFO among equal delivery times
-	payload   []byte
+	payload   *simBuf
 }
 
+// inflightHeap is a typed min-heap ordered by (deliverAt, seq). It is
+// hand-rolled rather than driven through container/heap so pushes do not
+// box the inflight struct into an interface (one allocation per send on
+// the per-TTI fast path). Pop order — the delivery order — is identical:
+// the comparison defines a total order, so any heap yields the same
+// sequence.
 type inflightHeap []inflight
 
-func (h inflightHeap) Len() int { return len(h) }
-func (h inflightHeap) Less(i, j int) bool {
+func (h inflightHeap) less(i, j int) bool {
 	if h[i].deliverAt != h[j].deliverAt {
 		return h[i].deliverAt < h[j].deliverAt
 	}
 	return h[i].seq < h[j].seq
 }
-func (h inflightHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *inflightHeap) Push(x interface{}) { *h = append(*h, x.(inflight)) }
-func (h *inflightHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h *inflightHeap) push(it inflight) {
+	*h = append(*h, it)
+	q := *h
+	for i := len(q) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *inflightHeap) pop() inflight {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = inflight{} // release the buffer pointer
+	*h = q[:n]
+	q = q[:n]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && q.less(l, least) {
+			least = l
+		}
+		if r < n && q.less(r, least) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+	return top
 }
 
 // SimEndpoint is one side of a simulated control channel. It is driven by
@@ -97,38 +140,53 @@ func NewSimPair(aToB, bToA Netem) (a, b *SimEndpoint) {
 	return a, b
 }
 
-// Send serializes m and schedules its delivery at the peer.
+// Send serializes m (into a pooled buffer) and schedules its delivery at
+// the peer. The message itself is not retained: callers may reuse it — and
+// any scratch its payload aliases — as soon as Send returns.
 func (e *SimEndpoint) Send(m *protocol.Message) error {
-	b := protocol.Encode(m)
-	e.meter.Record(m.Payload.Kind().Category(), len(b)+FrameOverhead)
+	buf := simBufPool.Get().(*simBuf)
+	buf.b = protocol.AppendMessage(buf.b[:0], m)
+	e.meter.Record(m.Payload.Kind().Category(), len(buf.b)+FrameOverhead)
 	if e.netem.LossProb > 0 && e.rnd.Float64() < e.netem.LossProb {
+		simBufPool.Put(buf)
 		return nil // dropped in flight
 	}
 	e.seq++
-	heap.Push(&e.peer.pending, inflight{
+	e.peer.pending.push(inflight{
 		deliverAt: e.now + e.netem.delay(e.rnd),
 		seq:       e.seq,
-		payload:   b,
+		payload:   buf,
 	})
 	return nil
 }
 
 // AdvanceTo moves this endpoint's clock to sf and returns every message
 // that has arrived (in delivery order). The clock must not move backwards.
+// Messages are pooled (protocol.DecodePooled): the consumer should Release
+// them once applied.
 func (e *SimEndpoint) AdvanceTo(sf lte.Subframe) ([]*protocol.Message, error) {
+	var out []*protocol.Message
+	err := e.AdvanceInto(sf, &out)
+	return out, err
+}
+
+// AdvanceInto is AdvanceTo with a caller-owned batch slice: arrived
+// messages are appended to *batch, so a driver looping per TTI can reuse
+// one slice and make the idle case (no arrivals) allocation-free.
+func (e *SimEndpoint) AdvanceInto(sf lte.Subframe, batch *[]*protocol.Message) error {
 	if sf > e.now {
 		e.now = sf
 	}
-	var out []*protocol.Message
 	for len(e.pending) > 0 && e.pending[0].deliverAt <= e.now {
-		it := heap.Pop(&e.pending).(inflight)
-		m, err := protocol.Decode(it.payload)
+		it := e.pending.pop()
+		m, err := protocol.DecodePooled(it.payload.b)
+		simBufPool.Put(it.payload) // decoded messages own their bytes
 		if err != nil {
-			return out, err
+			return err
 		}
-		out = append(out, m)
+		*batch = append(*batch, m)
 	}
-	return out, nil
+	return nil
 }
 
 // Now returns the endpoint's current subframe.

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -17,6 +18,13 @@ type Conn struct {
 	meter *metrics.Meter
 
 	sendMu sync.Mutex
+	// wbuf is the per-connection write buffer, reused under sendMu: frames
+	// are assembled (header + serialized message, coalesced) into it and
+	// flushed with one Write, so steady-state sends allocate nothing and a
+	// frame can never be torn by an interleaved writer. sizes holds the
+	// per-frame payload sizes of the batch being flushed (for metering).
+	wbuf  []byte
+	sizes []int
 
 	recv chan *protocol.Message
 
@@ -49,13 +57,65 @@ func Dial(addr string) (*Conn, error) {
 	return NewConn(nc, 1024), nil
 }
 
-// Send serializes and writes one message.
+// appendFrame serializes m as one length-prefixed frame onto c.wbuf,
+// returning the encoded message size (without the header).
+func (c *Conn) appendFrame(m *protocol.Message) (int, error) {
+	start := len(c.wbuf)
+	c.wbuf = append(c.wbuf, 0, 0, 0, 0)
+	c.wbuf = protocol.AppendMessage(c.wbuf, m)
+	n := len(c.wbuf) - start - frameHeaderSize
+	if n > MaxFrameSize {
+		return 0, ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(c.wbuf[start:], uint32(n))
+	return n, nil
+}
+
+// Send serializes and writes one message: header and payload are coalesced
+// into the connection's reused write buffer and go out in a single Write
+// (one syscall, no torn frames under a slow peer). The message is metered
+// only after the write succeeded.
 func (c *Conn) Send(m *protocol.Message) error {
-	b := protocol.Encode(m)
-	c.meter.Record(m.Payload.Kind().Category(), len(b)+FrameOverhead)
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
-	return WriteFrame(c.nc, b)
+	c.wbuf = c.wbuf[:0]
+	n, err := c.appendFrame(m)
+	if err != nil {
+		return err
+	}
+	if _, err := c.nc.Write(c.wbuf); err != nil {
+		return err
+	}
+	c.meter.Record(m.Payload.Kind().Category(), n+FrameOverhead)
+	return nil
+}
+
+// SendBatch serializes every message into one coalesced buffer and writes
+// it with a single Write call — one syscall per flushed batch, however many
+// per-TTI messages it carries. Messages are metered only after the write
+// succeeded.
+func (c *Conn) SendBatch(msgs []*protocol.Message) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	c.wbuf = c.wbuf[:0]
+	c.sizes = c.sizes[:0]
+	for _, m := range msgs {
+		n, err := c.appendFrame(m)
+		if err != nil {
+			return err
+		}
+		c.sizes = append(c.sizes, n)
+	}
+	if _, err := c.nc.Write(c.wbuf); err != nil {
+		return err
+	}
+	for i, m := range msgs {
+		c.meter.Record(m.Payload.Kind().Category(), c.sizes[i]+FrameOverhead)
+	}
+	return nil
 }
 
 // Recv returns the channel of incoming messages. It is closed when the
@@ -139,7 +199,7 @@ func (c *Conn) readLoop() {
 			return
 		}
 		buf = payload[:0]
-		m, err := protocol.Decode(payload)
+		m, err := protocol.DecodePooled(payload)
 		if err != nil {
 			c.readMu.Lock()
 			c.readErr = fmt.Errorf("transport: decoding frame: %w", err)

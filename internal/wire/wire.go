@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Type is the wire type of an encoded field.
@@ -126,20 +127,49 @@ func (e *Encoder) String(field int, s string) {
 	e.buf = append(e.buf, s...)
 }
 
-// Message encodes a nested message as a length-delimited field.
-func (e *Encoder) Message(field int, m Marshaler) {
-	var sub Encoder
-	m.MarshalWire(&sub)
-	e.BytesField(field, sub.buf)
+// beginBytes opens a length-delimited field for in-place encoding: it
+// writes the key, reserves a one-byte length slot and returns the offset
+// of the first payload byte. endBytes backpatches the real length.
+func (e *Encoder) beginBytes(field int) int {
+	e.key(field, TBytes)
+	e.buf = append(e.buf, 0)
+	return len(e.buf)
 }
 
-// UintSlice encodes a packed repeated varint field.
-func (e *Encoder) UintSlice(field int, vs []uint64) {
-	var sub []byte
-	for _, v := range vs {
-		sub = AppendUvarint(sub, v)
+// endBytes closes a length-delimited field opened by beginBytes. The
+// common case (payload < 128 bytes) patches the reserved byte in place;
+// longer payloads shift the tail right to make room for the multi-byte
+// varint. Either way the bytes produced are identical to encoding the
+// payload separately and copying it in — without the sub-buffer.
+func (e *Encoder) endBytes(start int) {
+	n := len(e.buf) - start
+	if n < 0x80 {
+		e.buf[start-1] = byte(n)
+		return
 	}
-	e.BytesField(field, sub)
+	var tmp [binary.MaxVarintLen64]byte
+	w := binary.PutUvarint(tmp[:], uint64(n))
+	e.buf = append(e.buf, tmp[:w-1]...) // grow by the extra length bytes
+	copy(e.buf[start+w-1:], e.buf[start:start+n])
+	copy(e.buf[start-1:], tmp[:w])
+}
+
+// Message encodes a nested message as a length-delimited field. The nested
+// message is encoded directly into this encoder's buffer (no sub-encoder
+// allocation); the length prefix is backpatched afterwards.
+func (e *Encoder) Message(field int, m Marshaler) {
+	start := e.beginBytes(field)
+	m.MarshalWire(e)
+	e.endBytes(start)
+}
+
+// UintSlice encodes a packed repeated varint field in place.
+func (e *Encoder) UintSlice(field int, vs []uint64) {
+	start := e.beginBytes(field)
+	for _, v := range vs {
+		e.buf = AppendUvarint(e.buf, v)
+	}
+	e.endBytes(start)
 }
 
 // Decoder reads tagged fields from an encoded message.
@@ -254,13 +284,19 @@ func (d *Decoder) ReadString() (string, error) {
 }
 
 // ReadMessage consumes the pending length-delimited field and decodes it
-// into m.
+// into m. The nested decode runs on this decoder with its state saved and
+// restored around the call (no sub-decoder allocation); recursion nests
+// naturally, each level holding its saved state on its own stack frame.
 func (d *Decoder) ReadMessage(m Unmarshaler) error {
 	b, err := d.ReadBytes()
 	if err != nil {
 		return err
 	}
-	return m.UnmarshalWire(NewDecoder(b))
+	saved := *d
+	d.buf, d.pos = b, 0
+	err = m.UnmarshalWire(d)
+	*d = saved
+	return err
 }
 
 // ReadUintSlice consumes a packed repeated varint field.
@@ -301,14 +337,53 @@ func (d *Decoder) Skip() error {
 	return ErrWireType
 }
 
-// Marshal encodes a message into a fresh byte slice.
-func Marshal(m Marshaler) []byte {
-	var e Encoder
-	m.MarshalWire(&e)
-	return e.Bytes()
+// encoderPool recycles Encoders (and their buffers) across Marshal and
+// AppendMarshal calls, so steady-state encoding costs no allocation.
+var encoderPool = sync.Pool{New: func() interface{} { return new(Encoder) }}
+
+// AcquireEncoder returns a pooled encoder, reset and ready to append.
+// Callers must Release it (after copying out Bytes, which alias the
+// encoder's buffer) to keep the fast path allocation-free.
+func AcquireEncoder() *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	e.Reset()
+	return e
 }
+
+// Release returns the encoder (buffer included) to the pool. The slice
+// previously returned by Bytes must no longer be referenced.
+func (e *Encoder) Release() {
+	e.Reset()
+	encoderPool.Put(e)
+}
+
+// AppendMarshal encodes m onto dst and returns the extended slice. The
+// encoding runs through a pooled encoder that adopts dst as its buffer, so
+// a caller reusing dst's capacity pays zero allocations at steady state.
+func AppendMarshal(dst []byte, m Marshaler) []byte {
+	e := encoderPool.Get().(*Encoder)
+	e.buf = dst
+	m.MarshalWire(e)
+	out := e.buf
+	e.buf = nil
+	encoderPool.Put(e)
+	return out
+}
+
+// Marshal encodes a message into a fresh byte slice.
+func Marshal(m Marshaler) []byte { return AppendMarshal(nil, m) }
+
+// decoderPool recycles top-level Decoders so steady-state Unmarshal calls
+// allocate nothing (nested messages reuse the same decoder — see
+// ReadMessage).
+var decoderPool = sync.Pool{New: func() interface{} { return new(Decoder) }}
 
 // Unmarshal decodes b into m.
 func Unmarshal(b []byte, m Unmarshaler) error {
-	return m.UnmarshalWire(NewDecoder(b))
+	d := decoderPool.Get().(*Decoder)
+	*d = Decoder{buf: b}
+	err := m.UnmarshalWire(d)
+	d.buf = nil // do not pin the caller's bytes in the pool
+	decoderPool.Put(d)
+	return err
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package flexran_test
+
+// raceEnabled reports whether the race detector is active. The allocation
+// gates skip under -race: the detector randomizes sync.Pool caching to
+// expose races, which makes alloc counts meaningless there.
+const raceEnabled = false

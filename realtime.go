@@ -107,6 +107,7 @@ func RunAgentLoop(a *Agent, masterAddr string, stop <-chan struct{}) error {
 			open := transport.DrainRecv(conn.Recv(), &batch)
 			for _, m := range batch {
 				a.Deliver(m)
+				m.Release() // the agent copies what it keeps
 			}
 			if !open {
 				return closedErr()
@@ -118,6 +119,7 @@ func RunAgentLoop(a *Agent, masterAddr string, stop <-chan struct{}) error {
 			open := transport.DrainRecv(conn.Recv(), &batch)
 			for _, m := range batch {
 				a.Deliver(m)
+				m.Release() // the agent copies what it keeps
 			}
 			if !open {
 				return closedErr()
