@@ -82,6 +82,8 @@ type (
 	TickerApp = controller.TickerApp
 	// EventApp receives agent events.
 	EventApp = controller.EventApp
+	// LifecycleApp receives AgentUp/AgentDown liveness transitions.
+	LifecycleApp = controller.LifecycleApp
 	// Context is the northbound API handed to applications.
 	Context = controller.Context
 	// AgentEvent is a data-plane event dispatched to applications.
@@ -129,6 +131,17 @@ type (
 	UESpec = sim.UESpec
 	// HandoverRecord is one executed UE migration of a scenario.
 	HandoverRecord = sim.HandoverRecord
+	// Fault is one scheduled failure-injection event of a scenario.
+	Fault = sim.Fault
+	// FaultKind selects the injected failure (link cut/restore, restart).
+	FaultKind = sim.FaultKind
+)
+
+// Failure-injection kinds (see Sim.InjectFaults).
+const (
+	FaultLinkCut      = sim.FaultLinkCut
+	FaultLinkRestore  = sim.FaultLinkRestore
+	FaultAgentRestart = sim.FaultAgentRestart
 )
 
 // Mobility types: geometry, motion models and the handover control loop.

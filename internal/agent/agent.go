@@ -33,7 +33,16 @@ type Options struct {
 	RequireSignedVSFs bool
 	// TrustKey overrides the deployment trust key.
 	TrustKey string
+	// HelloRetryTTI is the Hello retransmission period: until the master's
+	// HelloAck (for the current epoch) arrives, the agent re-sends its
+	// Hello every HelloRetryTTI subframes, so a handshake lost on an
+	// impaired control channel can never strand the agent unwelcomed.
+	// 0 uses DefaultHelloRetryTTI; negative disables retransmission.
+	HelloRetryTTI int
 }
+
+// DefaultHelloRetryTTI is the default Hello retransmission period (ms).
+const DefaultHelloRetryTTI = 20
 
 // maxReportNeighbors caps the neighbour list carried in one MeasReport
 // (the strongest cells; 3GPP reports are similarly bounded).
@@ -96,6 +105,14 @@ type Agent struct {
 	a3     map[lte.RNTI]*a3State
 	hoExec HandoverExecutor
 
+	// epoch is the session incarnation counter carried in Hello: bumped on
+	// every Connect, preserved across Restart (a deployment would persist
+	// it as a boot counter) so the master's epoch fence stays a total
+	// order. helloAcked/lastHello drive the Hello retransmission loop.
+	epoch      uint64
+	helloAcked bool
+	lastHello  lte.Subframe
+
 	// droppedSends counts messages lost because no transport is attached
 	// or the transport failed; surfaced for diagnostics.
 	droppedSends int
@@ -156,15 +173,71 @@ func (a *Agent) RRC() *RRCModule { return a.rrc }
 // ENB returns the fronted data plane.
 func (a *Agent) ENB() *enb.ENB { return a.enb }
 
-// Connect attaches the outbound transport and sends the Hello handshake.
+// Connect attaches the outbound transport, bumps the session epoch and
+// sends the Hello handshake. The Hello is retransmitted from the TTI loop
+// until the master's HelloAck for this epoch arrives (see onSubframe), so
+// a lossy control channel cannot leave the agent unwelcomed forever.
 func (a *Agent) Connect(send func(*protocol.Message) error) {
 	a.mu.Lock()
 	a.send = send
+	a.epoch++
+	a.helloAcked = false
+	a.mu.Unlock()
+	a.sendHello()
+}
+
+// Epoch returns the agent's current session epoch.
+func (a *Agent) Epoch() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.epoch
+}
+
+// HelloAcked reports whether the current epoch's handshake completed.
+func (a *Agent) HelloAcked() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.helloAcked
+}
+
+// Restart models an agent process restart: the transport, the statistics
+// subscriptions and the per-UE A3 episodes are volatile state and are
+// dropped; the epoch counter survives (persisted boot counter) so the next
+// Connect still moves the fence forward. Module state (VSF cache, policy)
+// is modeled as persistent storage and kept.
+func (a *Agent) Restart() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.send = nil
+	a.helloAcked = false
+	a.subs = map[uint32]*statsSub{}
+	a.subList = a.subList[:0]
+	a.a3 = map[lte.RNTI]*a3State{}
+}
+
+// sendHello (re)transmits the handshake for the current epoch.
+func (a *Agent) sendHello() {
+	a.mu.Lock()
+	epoch := a.epoch
+	a.lastHello = a.enb.Now()
 	a.mu.Unlock()
 	a.emit(&protocol.Hello{
 		Version: protocol.ProtocolVersion,
+		Epoch:   epoch,
 		Config:  a.enb.Config(),
 	})
+}
+
+// helloRetry returns the effective retransmission period (0 = disabled).
+func (a *Agent) helloRetry() int {
+	switch {
+	case a.opts.HelloRetryTTI > 0:
+		return a.opts.HelloRetryTTI
+	case a.opts.HelloRetryTTI == 0:
+		return DefaultHelloRetryTTI
+	default:
+		return 0
+	}
 }
 
 // emit sends a payload to the master, stamping the envelope.
@@ -198,7 +271,17 @@ func (a *Agent) DroppedSends() int {
 func (a *Agent) Deliver(m *protocol.Message) {
 	switch p := m.Payload.(type) {
 	case *protocol.HelloAck:
-		// Session established; nothing further to do.
+		// Session established: stop retransmitting the Hello. An ack
+		// carrying a foreign epoch is a leftover from a previous
+		// incarnation and must not silence the current handshake
+		// (epoch 0 acks come from pre-epoch masters and are accepted).
+		a.mu.Lock()
+		if p.Epoch == 0 || p.Epoch == a.epoch {
+			a.helloAcked = true
+		}
+		a.mu.Unlock()
+	case *protocol.ResyncRequest:
+		a.emit(a.buildSnapshot())
 	case *protocol.Echo:
 		a.emit(&protocol.EchoReply{Seq: p.Seq, SenderSF: p.SenderSF})
 	case *protocol.ENBConfigRequest:
@@ -386,8 +469,17 @@ func (a *Agent) rebuildSubList() {
 }
 
 // onSubframe is the agent's TTI tick (installed as an eNodeB hook): it
-// emits subframe-sync triggers and due statistics reports.
+// retransmits an unacknowledged Hello, then emits subframe-sync triggers
+// and due statistics reports.
 func (a *Agent) onSubframe(sf lte.Subframe) {
+	if retry := a.helloRetry(); retry > 0 {
+		a.mu.Lock()
+		resend := a.send != nil && !a.helloAcked && int(sf-a.lastHello) >= retry
+		a.mu.Unlock()
+		if resend {
+			a.sendHello()
+		}
+	}
 	if p := a.mgmt.SyncPeriod(); p > 0 && int(sf)%p == 0 {
 		a.emit(&protocol.SubframeTrigger{SF: sf})
 	}
@@ -483,6 +575,31 @@ func (a *Agent) reportHash(rep *protocol.StatsReply) uint64 {
 		h *= fnvPrime64
 	}
 	return h
+}
+
+// buildSnapshot assembles the agent's authoritative state for a resync:
+// the eNodeB configuration, one full statistics entry plus identity per UE
+// (RNTI order), the cell statistics and the active subscriptions. Snapshots
+// are rare (reconnects), so this path allocates freely.
+func (a *Agent) buildSnapshot() *protocol.StateSnapshot {
+	a.mu.Lock()
+	snap := &protocol.StateSnapshot{Epoch: a.epoch}
+	for _, s := range a.subList {
+		snap.Subs = append(snap.Subs, s.req)
+	}
+	a.mu.Unlock()
+	snap.SF = a.enb.Now()
+	snap.Config = a.enb.Config()
+	for _, r := range a.enb.UEReports() {
+		snap.UEs = append(snap.UEs, r.ToProtocolUEStats())
+		snap.Configs = append(snap.Configs, protocol.UEConfig{
+			RNTI: r.RNTI, Cell: r.Cell, IMSI: r.IMSI,
+		})
+	}
+	for _, c := range a.enb.CellReports() {
+		snap.Cells = append(snap.Cells, c.ToProtocolCellStats())
+	}
+	return snap
 }
 
 func (a *Agent) ueConfigReply() *protocol.UEConfigReply {

@@ -8,6 +8,7 @@ import (
 	"flexran/internal/controller"
 	"flexran/internal/dash"
 	"flexran/internal/lte"
+	"flexran/internal/protocol"
 	"flexran/internal/radio"
 	"flexran/internal/sched"
 	"flexran/internal/sim"
@@ -224,6 +225,75 @@ func TestEICICCoordinatorRespectsSmallCellPriority(t *testing.T) {
 	s.RunSeconds(2)
 	if coord.Granted != 0 {
 		t.Errorf("granted %d ABS despite small-cell backlog", coord.Granted)
+	}
+}
+
+// TestMobilityManagerCancelsInflightOnAgentDown covers the mid-handover
+// disconnect: an agent dies between the HandoverCommand and the
+// HandoverComplete. Before the AgentDown hook, the in-flight entry (and
+// with it the UE's eligibility) leaked until CommandTimeoutTTI; now it is
+// retired the cycle the disconnect is dispatched, and the UE's next A3
+// report immediately re-routes it.
+func TestMobilityManagerCancelsInflightOnAgentDown(t *testing.T) {
+	m := controller.NewMaster(controller.DefaultOptions())
+	mm := apps.NewMobilityManager()
+	m.Register(mm, 5)
+
+	mkSession := func(enb lte.ENBID) *controller.AgentSession {
+		s := m.HandleAgentSession(func(*protocol.Message) error { return nil })
+		s.Deliver(protocol.New(enb, 0, &protocol.Hello{
+			Version: protocol.ProtocolVersion, Epoch: 1,
+			Config: protocol.ENBConfig{ID: enb, Cells: []protocol.CellConfig{{Cell: 0}}},
+		}))
+		return s
+	}
+	serving, target := mkSession(1), mkSession(2)
+	m.Tick()
+
+	report := func(imsi uint64) *protocol.Message {
+		return protocol.New(1, 1, &protocol.MeasReport{
+			RNTI: 0x46, IMSI: imsi, Cell: 0,
+			ServingRSRPdBm: -100, ServingRSRQdB: -12,
+			Neighbors: []protocol.NeighborMeas{{ENB: 2, Cell: 0, RSRPdBm: -90, RSRQdB: -8}},
+		})
+	}
+	serving.Deliver(report(4242))
+	m.Tick()
+	if mm.InFlight() != 1 {
+		t.Fatalf("in-flight after A3 report = %d, want 1", mm.InFlight())
+	}
+
+	// The target dies between command and completion.
+	target.Close()
+	m.Tick()
+	if mm.InFlight() != 0 || mm.Canceled() != 1 {
+		t.Fatalf("after target down: inflight=%d canceled=%d, want 0/1",
+			mm.InFlight(), mm.Canceled())
+	}
+	// A late completion for the canceled entry is absorbed gracefully.
+	targetAgain := mkSession(2)
+	targetAgain.Deliver(protocol.New(2, 2, &protocol.HandoverComplete{
+		RNTI: 0x52, IMSI: 4242, Cell: 0, SourceENB: 1, SourceRNTI: 0x46,
+	}))
+	m.Tick()
+	if mm.Completed() != 0 {
+		t.Errorf("canceled handover counted as completed")
+	}
+
+	// The UE re-armed: with the target back up, the next report re-routes
+	// it instead of waiting out CommandTimeoutTTI.
+	serving.Deliver(report(4242))
+	m.Tick()
+	if mm.InFlight() != 1 {
+		t.Errorf("re-armed UE not re-routed: inflight=%d", mm.InFlight())
+	}
+
+	// Serving-side death cancels too.
+	m.DisconnectAgent(1)
+	m.Tick()
+	if mm.InFlight() != 0 || mm.Canceled() != 2 {
+		t.Errorf("after serving down: inflight=%d canceled=%d, want 0/2",
+			mm.InFlight(), mm.Canceled())
 	}
 }
 

@@ -38,9 +38,11 @@ type MobilityManager struct {
 	decisions []HandoverDecision
 	completed int
 	expired   int
+	canceled  int
 }
 
 type inflightHO struct {
+	serving  lte.ENBID
 	target   lte.ENBID
 	issuedAt lte.Subframe
 }
@@ -115,7 +117,7 @@ func (m *MobilityManager) OnMeasReport(ctx *controller.Context, ev controller.Me
 		return // session gone; the next report retries
 	}
 	m.mu.Lock()
-	m.inflight[key] = inflightHO{target: target, issuedAt: ctx.Now}
+	m.inflight[key] = inflightHO{serving: ev.ENB, target: target, issuedAt: ctx.Now}
 	m.decisions = append(m.decisions, HandoverDecision{
 		RNTI: rep.RNTI, IMSI: rep.IMSI, From: ev.ENB, To: target,
 		AtCycle: ctx.Now, MarginDB: margin,
@@ -134,6 +136,30 @@ func (m *MobilityManager) OnHandoverComplete(_ *controller.Context, ev controlle
 	}
 	m.mu.Unlock()
 }
+
+// OnAgentDown implements controller.LifecycleApp: an agent disconnecting
+// mid-handover (serving side: the command may never have been executed;
+// target side: the completion may never arrive) retires every in-flight
+// entry touching it immediately instead of leaking it until the command
+// timeout. The affected UE re-arms at once — its next A3 report (agents
+// repeat reports at the RRC report interval while the condition holds)
+// re-routes it through whatever targets are still up, or re-admits it to
+// the serving cell's loop once that agent resyncs.
+func (m *MobilityManager) OnAgentDown(_ *controller.Context, enb lte.ENBID) {
+	m.mu.Lock()
+	for k, ho := range m.inflight {
+		if ho.serving == enb || ho.target == enb {
+			delete(m.inflight, k)
+			m.canceled++
+		}
+	}
+	m.mu.Unlock()
+}
+
+// OnAgentUp implements controller.LifecycleApp. Nothing to reconcile: the
+// down event already cleared the agent's in-flight entries, and fresh A3
+// reports rebuild the decision state from the resynced RIB.
+func (m *MobilityManager) OnAgentUp(*controller.Context, lte.ENBID) {}
 
 // OnTick implements controller.TickerApp: expire in-flight commands that
 // never completed so their UEs become eligible again.
@@ -191,6 +217,14 @@ func (m *MobilityManager) Expired() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.expired
+}
+
+// Canceled reports commands retired early because the serving or target
+// agent disconnected mid-handover.
+func (m *MobilityManager) Canceled() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.canceled
 }
 
 // ---------------------------------------------------------------------------

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flexran/internal/conc"
@@ -34,6 +35,18 @@ type Options struct {
 	// serial. Results are identical for any value — see the sharded-RIB
 	// notes in rib.go.
 	Workers int
+	// EchoPeriodTTI is the liveness-probe period: a bound session that has
+	// delivered nothing for EchoPeriodTTI cycles is sent an Echo, and each
+	// further silent period counts as a miss. 0 disables heartbeats.
+	EchoPeriodTTI int
+	// EchoMissBudget is how many consecutive unanswered Echo periods a
+	// session survives; one more closes it (DisconnectAgent semantics:
+	// the RIB marks the agent down and an AgentDown event is dispatched).
+	EchoMissBudget int
+	// NoResync suppresses the ResyncRequest the master normally sends
+	// after each HelloAck, leaving RIB repopulation to periodic reports
+	// (the pre-resync behaviour; kept for ablation experiments).
+	NoResync bool
 }
 
 // DefaultOptions mirror the paper's demanding evaluation setup: per-TTI
@@ -45,6 +58,8 @@ func DefaultOptions() Options {
 		StatsMode:      protocol.StatsPeriodic,
 		StatsFlags:     protocol.StatsAll,
 		SyncPeriodTTI:  1,
+		EchoPeriodTTI:  20,
+		EchoMissBudget: 3,
 	}
 }
 
@@ -105,6 +120,24 @@ type MobilityApp interface {
 	OnHandoverComplete(ctx *Context, ev HandoverEvent)
 }
 
+// LifecycleApp receives agent liveness transitions: OnAgentDown fires when
+// a session closes (transport death, heartbeat-miss disconnect, or an
+// epoch takeover by a reconnecting agent) and OnAgentUp fires once the
+// reconnected agent's StateSnapshot has been absorbed — i.e. when the RIB
+// shard is authoritative again. Apps holding per-agent in-flight state
+// (like the MobilityManager's commanded handovers) reconcile on these.
+type LifecycleApp interface {
+	App
+	OnAgentUp(ctx *Context, enb lte.ENBID)
+	OnAgentDown(ctx *Context, enb lte.ENBID)
+}
+
+// lifeEvent is one agent liveness transition queued for dispatch.
+type lifeEvent struct {
+	enb lte.ENBID
+	up  bool
+}
+
 type appEntry struct {
 	app      App
 	priority int
@@ -122,10 +155,25 @@ type session struct {
 	queue  []*protocol.Message
 	closed bool
 
-	// enb is guarded by Master.mu; lastReport is only touched from the
-	// task-manager cycle (at most one updater per session).
-	enb        lte.ENBID
-	lastReport lte.Subframe
+	// fenced marks a session displaced by a newer-epoch Hello for the same
+	// eNodeB: every message it still delivers is dropped unapplied, so a
+	// stale incarnation can never write over its successor's state. The
+	// flag is atomic because the displacing Hello may be applied by a
+	// parallel updater while this session's own batch is in flight.
+	fenced atomic.Bool
+
+	// enb and epoch are guarded by Master.mu; the remaining fields are
+	// only touched from the task-manager cycle (at most one updater per
+	// session, heartbeats after the updater barrier).
+	enb   lte.ENBID
+	epoch uint64
+	// lastReport is the cycle of the last StatsReply (subscription
+	// maintenance); lastInbound the cycle of the last applied message of
+	// any kind (liveness); lastEcho/echoMisses drive the heartbeat.
+	lastReport  lte.Subframe
+	lastInbound lte.Subframe
+	lastEcho    lte.Subframe
+	echoMisses  int
 }
 
 // enqueue appends a batch to the session's ingest queue. Batches
@@ -174,6 +222,7 @@ type tickSink struct {
 	meas   []MeasEvent
 	hos    []HandoverEvent
 	acks   []protocol.ControlAck
+	life   []lifeEvent
 }
 
 // Master is the FlexRAN master controller.
@@ -183,10 +232,16 @@ type Master struct {
 
 	mu       sync.Mutex
 	sessions map[lte.ENBID]*session // send routing, by bound agent id
-	ingest   []*session             // every attached session, in attach order
-	apps     []appEntry
-	nextApp  int
-	acks     []protocol.ControlAck
+	// epochs records the highest Hello epoch ever accepted per eNodeB. It
+	// survives session closes, making the epoch fence a total order: a
+	// ghost Hello from any previous incarnation — even one whose session
+	// is long gone — can never rebind the agent.
+	epochs      map[lte.ENBID]uint64
+	ingest      []*session // every attached session, in attach order
+	apps        []appEntry
+	nextApp     int
+	acks        []protocol.ControlAck
+	pendingLife []lifeEvent // liveness transitions queued outside the updater
 
 	cycle lte.Subframe
 
@@ -194,6 +249,13 @@ type Master struct {
 	// RIB updater ("core components") and in applications.
 	coreTime metrics.Series
 	appsTime metrics.Series
+
+	// Per-tick scratch for the updater-slot partition and the heartbeat's
+	// binding snapshot, reused across cycles so the steady-state Tick adds
+	// no allocations over the batch/sink bookkeeping.
+	enbScratch  []lte.ENBID
+	slotScratch [][]int
+	slotIdx     map[lte.ENBID]int
 }
 
 // NewMaster builds a master controller.
@@ -208,6 +270,7 @@ func NewMaster(opts Options) *Master {
 		opts:     opts,
 		rib:      NewRIB(),
 		sessions: map[lte.ENBID]*session{},
+		epochs:   map[lte.ENBID]uint64{},
 	}
 }
 
@@ -306,10 +369,12 @@ func (m *Master) closeSession(s *session) {
 	enb := s.enb
 	// Only the session that still owns the ENB binding may mark the
 	// agent disconnected: a reconnected agent's newer session must not
-	// be flagged down by the stale connection's belated close.
+	// be flagged down by the stale connection's belated close. (The epoch
+	// fence makes the ownership handoff a total order — see handleHello.)
 	owner := enb != 0 && m.sessions[enb] == s
 	if owner {
 		delete(m.sessions, enb)
+		m.pendingLife = append(m.pendingLife, lifeEvent{enb: enb})
 	}
 	m.mu.Unlock()
 	if owner {
@@ -326,7 +391,12 @@ func (m *Master) DisconnectAgent(enb lte.ENBID) {
 		m.closeSession(s)
 		return
 	}
-	m.rib.applyDisconnect(enb)
+	if m.rib.Connected(enb) {
+		m.rib.applyDisconnect(enb)
+		m.mu.Lock()
+		m.pendingLife = append(m.pendingLife, lifeEvent{enb: enb})
+		m.mu.Unlock()
+	}
 }
 
 // Send transmits a payload to an agent (northbound command path). The
@@ -359,6 +429,10 @@ func (m *Master) Tick() {
 	m.mu.Lock()
 	sessions := append([]*session(nil), m.ingest...)
 	apps := append([]appEntry(nil), m.apps...)
+	// Liveness transitions queued since the last cycle (transport closes)
+	// dispatch before anything this cycle's updater produces.
+	life := m.pendingLife
+	m.pendingLife = nil
 	m.mu.Unlock()
 
 	// --- RIB Updater slot ---
@@ -368,8 +442,11 @@ func (m *Master) Tick() {
 		batches[i] = s.drain()
 	}
 	sinks := make([]tickSink, len(sessions))
-	conc.ForEach(m.opts.Workers, len(sessions), func(i int) {
-		m.applyBatch(sessions[i], batches[i], &sinks[i])
+	slots := m.updaterSlots(sessions, batches)
+	conc.ForEach(m.opts.Workers, len(slots), func(j int) {
+		for _, i := range slots[j] {
+			m.applyBatch(sessions[i], batches[i], &sinks[i])
+		}
 	})
 	var events []AgentEvent
 	var meas []MeasEvent
@@ -380,22 +457,50 @@ func (m *Master) Tick() {
 		meas = append(meas, sinks[i].meas...)
 		hos = append(hos, sinks[i].hos...)
 		acks = append(acks, sinks[i].acks...)
+		life = append(life, sinks[i].life...)
 	}
 	if len(acks) > 0 {
 		m.mu.Lock()
 		m.acks = append(m.acks, acks...)
 		m.mu.Unlock()
 	}
+	// Reap displaced sessions regardless of heartbeat configuration:
+	// their agent provably lives on a newer session, so the half-open
+	// transport would otherwise linger in the ingest list forever.
+	for _, s := range sessions {
+		if s.fenced.Load() && !s.isClosed() {
+			m.closeSession(s) // non-owner: no AgentDown, no RIB change
+		}
+	}
+	if m.opts.EchoPeriodTTI > 0 {
+		m.heartbeat(sessions)
+	}
 	if m.opts.StatsPeriodTTI > 0 && m.cycle%maintenanceEvery == maintenanceEvery-1 {
 		m.maintainSubscriptions(sessions)
 	}
 	m.pruneClosed(sessions)
+	// Heartbeat-driven disconnects queued just now dispatch this cycle.
+	m.mu.Lock()
+	life = append(life, m.pendingLife...)
+	m.pendingLife = nil
+	m.mu.Unlock()
 	core := time.Since(t0)
 
 	// --- Application slot ---
 	t1 := time.Now()
 	ctx := &Context{master: m, Now: m.cycle}
 	for _, e := range apps {
+		if lcApp, ok := e.app.(LifecycleApp); ok {
+			// Liveness first: an app must not act on stale per-agent
+			// state (in-flight commands, cached decisions) this cycle.
+			for _, lv := range life {
+				if lv.up {
+					lcApp.OnAgentUp(ctx, lv.enb)
+				} else {
+					lcApp.OnAgentDown(ctx, lv.enb)
+				}
+			}
+		}
 		if ticker, ok := e.app.(TickerApp); ok {
 			ticker.OnTick(ctx, m.cycle)
 		}
@@ -424,6 +529,64 @@ func (m *Master) Tick() {
 	m.mu.Unlock()
 }
 
+// updaterSlots partitions the drained batches into parallel units: one
+// slot per target agent, holding its sessions' batch indices in ingest
+// order. At steady state every session addresses its own eNodeB and this
+// is one slot per session; around a reconnect, the displaced session and
+// its successor briefly coexist, and putting them in one slot keeps the
+// single-writer-per-shard discipline strict — the epoch fence is applied
+// and observed within one goroutine, in attach order, exactly like the
+// serial updater, so a residual write of the old incarnation can never
+// race the new Hello's shard replacement (or land nondeterministically
+// after it). A session's target is its binding, or its batch's first
+// envelope before the binding exists (transports carry one agent per
+// session; the fence still guards hand-built sessions that mix envelopes).
+func (m *Master) updaterSlots(sessions []*session, batches [][]*protocol.Message) [][]int {
+	enbs := m.snapshotBindings(sessions)
+	if m.slotIdx == nil {
+		m.slotIdx = make(map[lte.ENBID]int, len(sessions))
+	} else {
+		clear(m.slotIdx)
+	}
+	slots := m.slotScratch[:0]
+	for i := range sessions {
+		enb := enbs[i]
+		if enb == 0 && len(batches[i]) > 0 {
+			enb = batches[i][0].ENB
+		}
+		if enb != 0 {
+			if j, ok := m.slotIdx[enb]; ok {
+				slots[j] = append(slots[j], i)
+				continue
+			}
+			m.slotIdx[enb] = len(slots)
+		}
+		if len(slots) < cap(slots) {
+			slots = slots[:len(slots)+1]
+			slots[len(slots)-1] = append(slots[len(slots)-1][:0], i)
+		} else {
+			slots = append(slots, []int{i})
+		}
+	}
+	m.slotScratch = slots
+	return slots
+}
+
+// snapshotBindings reads every session's eNodeB binding in one lock
+// round-trip, into reused scratch.
+func (m *Master) snapshotBindings(sessions []*session) []lte.ENBID {
+	if cap(m.enbScratch) < len(sessions) {
+		m.enbScratch = make([]lte.ENBID, len(sessions))
+	}
+	enbs := m.enbScratch[:len(sessions)]
+	m.mu.Lock()
+	for i, s := range sessions {
+		enbs[i] = s.enb
+	}
+	m.mu.Unlock()
+	return enbs
+}
+
 // applyBatch runs the RIB Updater for one session's drained batch. Every
 // message of a session addresses the same agent (its RIB shard), so
 // concurrent applyBatch calls for different sessions do not contend.
@@ -444,24 +607,31 @@ func (m *Master) applyBatch(s *session, msgs []*protocol.Message, sink *tickSink
 // applyInbound is the RIB Updater: the single component allowed to mutate
 // the RIB (paper Fig. 5).
 func (m *Master) applyInbound(s *session, msg *protocol.Message, sink *tickSink) {
+	if s.fenced.Load() {
+		return // displaced incarnation: drop everything unapplied
+	}
+	s.lastInbound = m.cycle
+	s.echoMisses = 0
 	switch p := msg.Payload.(type) {
 	case *protocol.Hello:
+		m.handleHello(s, msg.ENB, p, sink)
+	case *protocol.StateSnapshot:
+		// Only the owning session's snapshot for the current epoch may
+		// rebuild the shard: an answer overtaken by a further reconnect
+		// (or delivered by a not-yet-fenced ghost) is dropped.
 		m.mu.Lock()
-		closed := s.isClosed()
-		if !closed && s.enb == 0 {
-			s.enb = msg.ENB
-			m.sessions[msg.ENB] = s
-		}
+		ok := s.enb == msg.ENB && s.epoch == p.Epoch && m.sessions[msg.ENB] == s
 		m.mu.Unlock()
-		if closed {
+		if !ok {
 			return
 		}
-		m.rib.applyHello(msg.ENB, p.Config)
-		m.welcome(msg.ENB)
-		// Close may have raced the shard publish above (it runs its
-		// applyDisconnect against a shard that does not exist yet);
-		// retract the liveness if the session closed meanwhile, so the
-		// RIB never reports a ghost connected agent.
+		m.rib.applyResync(msg.ENB, p)
+		m.verifySubscriptions(msg.ENB, p.Subs)
+		s.lastReport = m.cycle
+		sink.life = append(sink.life, lifeEvent{enb: msg.ENB, up: true})
+		// As with Hello: a close racing the apply may have run its
+		// applyDisconnect before the resync marked the agent live again;
+		// retract so the RIB never reports a ghost connected agent.
 		if s.isClosed() {
 			m.rib.applyDisconnect(msg.ENB)
 		}
@@ -490,12 +660,76 @@ func (m *Master) applyInbound(s *session, msg *protocol.Message, sink *tickSink)
 	}
 }
 
+// handleHello runs the session-establishment half of the RIB Updater:
+// epoch fencing, (re)binding the eNodeB to this session, and the welcome +
+// resync sequence. The epoch fence is a total order over incarnations —
+// m.epochs keeps the highest epoch ever accepted per eNodeB even after its
+// session closed, so a ghost Hello from any previous incarnation can
+// neither rebind the agent nor wipe the shard. Two sessions of one eNodeB
+// overlapping within a tick (a reconnect racing the dying transport) are
+// resolved by the fence plus applyHello's wholesale shard replacement: once
+// the newer Hello is applied, every late write of the old incarnation is
+// dropped, and whatever it wrote before is gone with the replaced shard.
+func (m *Master) handleHello(s *session, enb lte.ENBID, p *protocol.Hello, sink *tickSink) {
+	m.mu.Lock()
+	if s.isClosed() || (s.enb != 0 && s.enb != enb) {
+		m.mu.Unlock()
+		return
+	}
+	if p.Epoch < m.epochs[enb] {
+		// Stale incarnation: the whole session is a ghost. Fence it so
+		// none of its remaining traffic applies.
+		s.fenced.Store(true)
+		m.mu.Unlock()
+		return
+	}
+	prev := m.sessions[enb]
+	dup := prev == s && s.epoch == p.Epoch
+	var takeover bool
+	if !dup {
+		if prev != nil && prev != s {
+			// A newer incarnation displaces the current session: fence
+			// it and report the old agent down before the new one
+			// resyncs (apps drop their per-agent in-flight state).
+			prev.fenced.Store(true)
+			takeover = true
+		}
+		s.enb = enb
+		s.epoch = p.Epoch
+		s.lastInbound = m.cycle
+		m.sessions[enb] = s
+		m.epochs[enb] = p.Epoch
+	}
+	m.mu.Unlock()
+	if takeover {
+		sink.life = append(sink.life, lifeEvent{enb: enb})
+	}
+	if !dup {
+		// A duplicate Hello (lost HelloAck, retransmission) must not wipe
+		// the shard the first one built; it only re-triggers the welcome.
+		m.rib.applyHello(enb, p.Config)
+	}
+	m.welcome(enb)
+	// Close may have raced the shard publish above (it runs its
+	// applyDisconnect against a shard that does not exist yet);
+	// retract the liveness if the session closed meanwhile, so the
+	// RIB never reports a ghost connected agent.
+	if s.isClosed() {
+		m.rib.applyDisconnect(enb)
+	}
+}
+
 // welcome completes the handshake: HelloAck plus the default statistics
-// and synchronization subscriptions.
+// and synchronization subscriptions, then the resync pull that rebuilds
+// the RIB shard in one cycle.
 func (m *Master) welcome(enb lte.ENBID) {
+	m.mu.Lock()
+	epoch := m.epochs[enb]
+	m.mu.Unlock()
 	m.Send(enb, &protocol.HelloAck{
 		Version:  protocol.ProtocolVersion,
 		MasterID: m.opts.ID,
+		Epoch:    epoch,
 	})
 	if m.opts.StatsPeriodTTI > 0 {
 		m.Send(enb, &protocol.StatsRequest{
@@ -509,6 +743,74 @@ func (m *Master) welcome(enb lte.ENBID) {
 		m.Send(enb, &protocol.PolicyReconf{
 			Doc: fmt.Sprintf("agent:\n  sync_period: %d\n", m.opts.SyncPeriodTTI),
 		})
+	}
+	if !m.opts.NoResync {
+		m.Send(enb, &protocol.ResyncRequest{Epoch: epoch})
+	}
+}
+
+// verifySubscriptions audits a resync snapshot's subscription list: the
+// snapshot is taken after the welcome's re-subscription, so the default
+// subscription must appear in it. If it does not — the StatsRequest was
+// lost while the ResyncRequest survived — it is re-issued immediately
+// instead of waiting for the 256-cycle staleness maintenance.
+func (m *Master) verifySubscriptions(enb lte.ENBID, subs []protocol.StatsRequest) {
+	if m.opts.StatsPeriodTTI <= 0 {
+		return
+	}
+	want := protocol.StatsRequest{
+		ID:        1,
+		Mode:      m.opts.StatsMode,
+		PeriodTTI: uint32(m.opts.StatsPeriodTTI),
+		Flags:     m.opts.StatsFlags,
+	}
+	for _, s := range subs {
+		if s == want {
+			return
+		}
+	}
+	m.Send(enb, &want) //nolint:errcheck // a lost repair is retried by maintenance
+}
+
+// heartbeat runs the liveness probe over every session: a bound session
+// that delivered nothing for EchoPeriodTTI cycles is sent an Echo; each
+// further silent period is a miss, and exceeding EchoMissBudget closes the
+// session (RIB disconnect + AgentDown). Any applied inbound message resets
+// the miss count — with per-TTI reporting the probes never even fire.
+// A session that has not completed a handshake yet is left alone — its
+// agent may still be retransmitting Hellos through a lossy link, and
+// closing the master-side session would blackhole it permanently (the
+// transport driver owns that lifetime). Runs after the updater barrier,
+// so per-session fields are stable; bindings are snapshotted in one lock
+// round-trip. Fenced sessions were already reaped by Tick.
+func (m *Master) heartbeat(sessions []*session) {
+	period := lte.Subframe(m.opts.EchoPeriodTTI)
+	enbs := m.snapshotBindings(sessions)
+	for i, s := range sessions {
+		if s.isClosed() {
+			continue
+		}
+		if enbs[i] == 0 {
+			continue // handshake still in flight; not ours to reap
+		}
+		if m.cycle-s.lastInbound < period {
+			continue
+		}
+		if s.lastEcho > s.lastInbound && m.cycle-s.lastEcho < period {
+			continue // probe outstanding; give it a full period
+		}
+		if s.echoMisses >= m.opts.EchoMissBudget {
+			m.closeSession(s) // queues the AgentDown
+			continue
+		}
+		s.echoMisses++
+		s.lastEcho = m.cycle
+		msg := protocol.AcquireMessage(enbs[i], m.cycle, &protocol.Echo{
+			Seq:      uint64(s.echoMisses),
+			SenderSF: m.cycle,
+		})
+		s.send(msg) //nolint:errcheck // a failed probe shows up as continued silence
+		msg.Release()
 	}
 }
 

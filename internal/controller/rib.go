@@ -110,6 +110,57 @@ func (r *RIB) applyDisconnect(enb lte.ENBID) {
 	}
 }
 
+// applyResync rebuilds an agent's shard from a StateSnapshot: the UE forest
+// under every cell is replaced wholesale by the snapshot's entries (full
+// statistics deep-copied, identities joined by RNTI), cell statistics and
+// the agent-time watermark are refreshed, and the agent is marked live.
+// This is the one-cycle RIB convergence path after a reconnect — no
+// dependence on periodic reports trickling the state back in. If the
+// snapshot outran the Hello (no shard yet), the shard is created from the
+// snapshot's own config; the snapshot payload is pooling-exempt for
+// exactly this retention.
+func (r *RIB) applyResync(enb lte.ENBID, snap *protocol.StateSnapshot) {
+	sh := r.shard(enb)
+	if sh == nil {
+		r.applyHello(enb, snap.Config)
+		sh = r.shard(enb)
+	}
+	imsis := map[lte.RNTI]uint64{}
+	for i := range snap.Configs {
+		imsis[snap.Configs[i].RNTI] = snap.Configs[i].IMSI
+	}
+	count := 0
+	sh.mu.Lock()
+	for _, c := range sh.cells {
+		for rnti := range c.UEs {
+			delete(c.UEs, rnti)
+		}
+	}
+	for i := range snap.UEs {
+		us := &snap.UEs[i]
+		c := sh.cells[us.Cell]
+		if c == nil {
+			continue
+		}
+		u := &UERecord{Config: protocol.UEConfig{
+			RNTI: us.RNTI, Cell: us.Cell, IMSI: imsis[us.RNTI],
+		}}
+		u.Stats.CopyFrom(us)
+		u.UpdatedSF = snap.SF
+		c.UEs[us.RNTI] = u
+		count++
+	}
+	for _, cs := range snap.Cells {
+		if c := sh.cells[cs.Cell]; c != nil {
+			c.Stats = cs
+		}
+	}
+	sh.mu.Unlock()
+	sh.ueCount.Store(int64(count))
+	sh.advanceSF(snap.SF)
+	sh.connected.Store(true)
+}
+
 // advanceSF lifts the shard's agent-time watermark to sf (monotonic).
 func (sh *agentShard) advanceSF(sf lte.Subframe) {
 	for {
@@ -321,6 +372,25 @@ func (r *RIB) UEStats(enb lte.ENBID, rnti lte.RNTI) (protocol.UEStats, bool) {
 		}
 	}
 	return protocol.UEStats{}, false
+}
+
+// UEConfigOf returns the identity record of one UE (RNTI/cell/IMSI). The
+// IMSI is known once any identity-bearing message arrived — a resync
+// StateSnapshot, an A3 measurement report or a handover completion;
+// periodic statistics alone never carry it.
+func (r *RIB) UEConfigOf(enb lte.ENBID, rnti lte.RNTI) (protocol.UEConfig, bool) {
+	sh := r.shard(enb)
+	if sh == nil {
+		return protocol.UEConfig{}, false
+	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for _, c := range sh.cells {
+		if u, ok := c.UEs[rnti]; ok {
+			return u.Config, true
+		}
+	}
+	return protocol.UEConfig{}, false
 }
 
 // UEMeas returns the latest A3 measurement report of one UE and the cycle

@@ -20,7 +20,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"delegation", "fig10", "fig11a", "fig11b", "fig12a", "fig12b",
 		"fig6a", "fig6b", "fig7a", "fig7b", "fig8", "fig9",
-		"fig_handover", "table2",
+		"fig_handover", "fig_resilience", "table2",
 	}
 	got := IDs()
 	if len(got) != len(want) {
@@ -409,6 +409,36 @@ func TestFigHandoverShape(t *testing.T) {
 		t.Errorf("stranded UEs: %v", r.Stranded)
 	}
 	if !strings.Contains(r.String(), "ping-pong") {
+		t.Error("report rendering broken")
+	}
+}
+
+func TestFigResilienceShape(t *testing.T) {
+	res, err := Run("fig_resilience", testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.(*FigResilienceResult)
+	for i, d := range r.DelayTTI {
+		// The resync pull always converges, and full state costs no more
+		// than ~3 one-way trips (Hello, resync request, snapshot) plus a
+		// couple of cycles of slack.
+		bound := 3*d + 6
+		if r.ResyncFull[i] < 0 || r.ResyncFull[i] > bound {
+			t.Errorf("delay %d: resync full convergence = %d cycles, want <= %d",
+				d, r.ResyncFull[i], bound)
+		}
+		// The baseline's report stream restores records but never the
+		// identities: the RIB stays degraded without the snapshot.
+		if r.BaselineRecord[i] < 0 {
+			t.Errorf("delay %d: baseline records never converged", d)
+		}
+		if r.BaselineFull[i] >= 0 {
+			t.Errorf("delay %d: baseline recovered identities (%d) without resync",
+				d, r.BaselineFull[i])
+		}
+	}
+	if !strings.Contains(r.String(), "never") {
 		t.Error("report rendering broken")
 	}
 }

@@ -13,12 +13,12 @@ import (
 // each payload decoder).
 func seedPayloads() []Payload {
 	return []Payload{
-		&Hello{Version: ProtocolVersion, Config: ENBConfig{
+		&Hello{Version: ProtocolVersion, Epoch: 3, Config: ENBConfig{
 			ID: 3, Cells: []CellConfig{
 				{Cell: 0, Bandwidth: lte.BW10MHz, Duplex: lte.FDD, TxMode: 1, Antennas: 2, Band: 5},
 			},
 		}},
-		&HelloAck{Version: ProtocolVersion, MasterID: "master-0"},
+		&HelloAck{Version: ProtocolVersion, MasterID: "master-0", Epoch: 3},
 		&Echo{Seq: 7, SenderSF: 11},
 		&EchoReply{Seq: 7, SenderSF: 12},
 		&ENBConfigRequest{},
@@ -45,6 +45,14 @@ func seedPayloads() []Payload {
 			Neighbors: []NeighborMeas{{ENB: 2, Cell: 0, RSRPdBm: -91, RSRQdB: -7}}},
 		&HandoverCommand{RNTI: 0x46, IMSI: 208950000000001, TargetENB: 2},
 		&HandoverComplete{RNTI: 0x52, IMSI: 208950000000001, SourceENB: 1, SourceRNTI: 0x46},
+		&ResyncRequest{Epoch: 4},
+		&StateSnapshot{Epoch: 4, SF: 900,
+			Config: ENBConfig{ID: 3, Cells: []CellConfig{{Cell: 0, Bandwidth: lte.BW10MHz}}},
+			UEs: []UEStats{{RNTI: 0x46, Cell: 0, CQI: 9, DLQueue: 400,
+				SubbandCQI: []uint8{8, 9, 10}, LCs: []LCReport{{LCID: 1, Bytes: 40}}}},
+			Configs: []UEConfig{{RNTI: 0x46, Cell: 0, IMSI: 208950000000001}},
+			Cells:   []CellStats{{Cell: 0, UsedPRB: 10, TotalPRB: 50}},
+			Subs:    []StatsRequest{{ID: 1, Mode: StatsPeriodic, PeriodTTI: 1, Flags: StatsAll}}},
 	}
 }
 

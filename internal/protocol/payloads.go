@@ -12,10 +12,17 @@ const ProtocolVersion = 1
 // Agent management (session establishment, liveness, configuration)
 
 // Hello is the first message an agent sends after connecting: it announces
-// the protocol version and the eNodeB configuration it fronts.
+// the protocol version, the agent's session epoch and the eNodeB
+// configuration it fronts. The agent retransmits the Hello until the
+// matching HelloAck arrives.
 type Hello struct {
 	Version uint32
 	Config  ENBConfig
+	// Epoch is the agent's monotonically increasing session counter: it
+	// bumps on every (re)connect and survives agent restarts (a persisted
+	// boot counter). The master fences sessions by epoch, so traffic from
+	// a previous incarnation can never overwrite a newer session's state.
+	Epoch uint64
 }
 
 // Kind implements Payload.
@@ -25,6 +32,7 @@ func (*Hello) Kind() Kind { return KindHello }
 func (h *Hello) MarshalWire(e *wire.Encoder) {
 	e.Uint(1, uint64(h.Version))
 	e.Message(2, &h.Config)
+	e.Uint(3, h.Epoch)
 }
 
 // UnmarshalWire implements wire.Unmarshaler.
@@ -35,6 +43,10 @@ func (h *Hello) UnmarshalWire(d *wire.Decoder) error {
 			return readU32(d, &h.Version)
 		case 2:
 			return d.ReadMessage(&h.Config)
+		case 3:
+			v, err := d.ReadUint()
+			h.Epoch = v
+			return err
 		}
 		return d.Skip()
 	})
@@ -44,6 +56,9 @@ func (h *Hello) UnmarshalWire(d *wire.Decoder) error {
 type HelloAck struct {
 	Version  uint32
 	MasterID string
+	// Epoch echoes the accepted Hello's epoch, so a retransmitting agent
+	// can tell an ack for its current incarnation from a stale one.
+	Epoch uint64
 }
 
 // Kind implements Payload.
@@ -53,6 +68,7 @@ func (*HelloAck) Kind() Kind { return KindHelloAck }
 func (h *HelloAck) MarshalWire(e *wire.Encoder) {
 	e.Uint(1, uint64(h.Version))
 	e.String(2, h.MasterID)
+	e.Uint(3, h.Epoch)
 }
 
 // UnmarshalWire implements wire.Unmarshaler.
@@ -64,6 +80,10 @@ func (h *HelloAck) UnmarshalWire(d *wire.Decoder) error {
 		case 2:
 			s, err := d.ReadString()
 			h.MasterID = s
+			return err
+		case 3:
+			v, err := d.ReadUint()
+			h.Epoch = v
 			return err
 		}
 		return d.Skip()

@@ -57,6 +57,9 @@ func init() {
 	registerPool(KindUEEvent, func() interface{} { return &UEEvent{} })
 	registerPool(KindControlAck, func() interface{} { return &ControlAck{} })
 	registerPool(KindHandoverCommand, func() interface{} { return &HandoverCommand{} })
+	registerPool(KindResyncRequest, func() interface{} { return &ResyncRequest{} })
+	// KindStateSnapshot is deliberately absent: like Hello, its ENBConfig
+	// may be retained by the RIB when the snapshot creates the shard.
 }
 
 // acquirePayload returns a payload for a kind: from the kind's free list

@@ -51,6 +51,8 @@ const (
 	KindMeasReport
 	KindHandoverCommand
 	KindHandoverComplete
+	KindResyncRequest
+	KindStateSnapshot
 	kindMax // sentinel
 )
 
@@ -60,7 +62,7 @@ var kindNames = [...]string{
 	"ue_config_reply", "stats_request", "stats_reply", "subframe_trigger",
 	"dl_schedule", "ul_schedule", "ue_event", "vsf_update",
 	"policy_reconf", "control_ack", "meas_report", "handover_command",
-	"handover_complete",
+	"handover_complete", "resync_request", "state_snapshot",
 }
 
 func (k Kind) String() string {
@@ -244,6 +246,10 @@ func newPayload(k Kind) (Payload, error) {
 		return &HandoverCommand{}, nil
 	case KindHandoverComplete:
 		return &HandoverComplete{}, nil
+	case KindResyncRequest:
+		return &ResyncRequest{}, nil
+	case KindStateSnapshot:
+		return &StateSnapshot{}, nil
 	}
 	return nil, fmt.Errorf("protocol: unknown message kind %d", uint8(k))
 }

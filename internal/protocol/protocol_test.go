@@ -90,6 +90,24 @@ func TestRoundTripAllKinds(t *testing.T) {
 		},
 		&HandoverCommand{RNTI: 0x46, IMSI: 208950000000001, TargetENB: 2, TargetCell: 0},
 		&HandoverComplete{RNTI: 0x52, IMSI: 208950000000001, Cell: 0, SourceENB: 1, SourceRNTI: 0x46},
+		&ResyncRequest{Epoch: 7},
+		&StateSnapshot{
+			Epoch: 7, SF: 1234,
+			Config: ENBConfig{ID: 3, Cells: []CellConfig{
+				{Cell: 0, Bandwidth: lte.BW10MHz, Duplex: lte.FDD, Antennas: 2},
+			}},
+			UEs: []UEStats{{
+				RNTI: 0x46, Cell: 0, CQI: 11, DLQueue: 900,
+				SubbandCQI: []uint8{10, 11, 12},
+				LCs:        []LCReport{{LCID: 1, Bytes: 12}, {LCID: 3, Bytes: 900, HoLDelayMs: 4}},
+			}},
+			Configs: []UEConfig{{RNTI: 0x46, Cell: 0, IMSI: 208950000000001}},
+			Cells:   []CellStats{{Cell: 0, UsedPRB: 7, TotalPRB: 50}},
+			Subs: []StatsRequest{
+				{ID: 1, Mode: StatsPeriodic, PeriodTTI: 1, Flags: StatsAll},
+				{ID: 9, Mode: StatsTriggered, Flags: StatsCQI},
+			},
+		},
 	}
 	seen := map[Kind]bool{}
 	for _, p := range payloads {

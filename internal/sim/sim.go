@@ -154,6 +154,48 @@ type HandoverRecord struct {
 	SF lte.Subframe
 }
 
+// FaultKind enumerates the scriptable control-plane failures.
+type FaultKind int
+
+// Fault kinds.
+const (
+	// FaultLinkCut blackholes the control channel in both directions and
+	// drops everything in flight. The master notices via heartbeat misses
+	// (DisconnectAgent + AgentDown); the agent notices nothing — exactly
+	// like a netem blackhole under a TCP session that has not timed out.
+	FaultLinkCut FaultKind = iota
+	// FaultLinkRestore re-enables the channel and redials: a fresh
+	// master-side session is attached and the agent reconnects (epoch
+	// bump, new Hello, resync).
+	FaultLinkRestore
+	// FaultAgentRestart models an agent process crash+supervise cycle:
+	// volatile agent state (subscriptions, A3 episodes) is dropped, the
+	// old session dies, in-flight control traffic is lost, and the agent
+	// reconnects with a bumped epoch.
+	FaultAgentRestart
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultLinkCut:
+		return "link_cut"
+	case FaultLinkRestore:
+		return "link_restore"
+	case FaultAgentRestart:
+		return "agent_restart"
+	}
+	return "unknown"
+}
+
+// Fault is one scheduled failure-injection event. Faults fire at the start
+// of the Step whose subframe matches At (before traffic injection), in
+// (At, insertion) order — chaos runs are deterministic and replayable.
+type Fault struct {
+	At   lte.Subframe
+	Kind FaultKind
+	ENB  lte.ENBID
+}
+
 // Sim is a running scenario.
 type Sim struct {
 	Master *controller.Master // nil without a master
@@ -162,6 +204,7 @@ type Sim struct {
 
 	byENB   map[lte.ENBID]*Node
 	hoLog   []HandoverRecord
+	faults  []Fault // sorted by At, stable
 	sf      lte.Subframe
 	workers int
 }
@@ -399,11 +442,101 @@ func (s *Sim) executeHandover(src *Node, cmd protocol.HandoverCommand) {
 	})
 }
 
+// InjectFaults schedules failure-injection events. The schedule may be
+// extended at any time; events whose At already passed fire on the next
+// Step. Requires a master (faults concern the control plane).
+func (s *Sim) InjectFaults(faults ...Fault) {
+	s.faults = append(s.faults, faults...)
+	sort.SliceStable(s.faults, func(i, j int) bool {
+		return s.faults[i].At < s.faults[j].At
+	})
+}
+
+// applyFaults fires every fault due at the current subframe, serially and
+// in schedule order (the chaos phase stays deterministic for any worker
+// count: it runs before the parallel phases of the Step).
+func (s *Sim) applyFaults() {
+	for len(s.faults) > 0 && s.faults[0].At <= s.sf {
+		f := s.faults[0]
+		s.faults = s.faults[1:]
+		switch f.Kind {
+		case FaultLinkCut:
+			s.CutLink(f.ENB)
+		case FaultLinkRestore:
+			s.RestoreLink(f.ENB)
+		case FaultAgentRestart:
+			s.RestartAgent(f.ENB)
+		}
+	}
+}
+
+// CutLink blackholes the control channel of one eNodeB in both directions
+// and drops everything in flight. No-op without an agent session.
+func (s *Sim) CutLink(enb lte.ENBID) {
+	n := s.byENB[enb]
+	if n == nil || n.aEp == nil {
+		return
+	}
+	n.aEp.SetDown(true)
+	n.mEp.SetDown(true)
+	n.aEp.DropInflight()
+	n.mEp.DropInflight()
+}
+
+// RestoreLink re-enables a cut control channel and redials: the old
+// master-side session is closed (it may already be heartbeat-closed), a
+// fresh session is attached, and the agent reconnects with a bumped epoch
+// — the simulated analogue of the agent supervisor's TCP redial.
+func (s *Sim) RestoreLink(enb lte.ENBID) {
+	n := s.byENB[enb]
+	if n == nil || n.aEp == nil {
+		return
+	}
+	n.aEp.SetDown(false)
+	n.mEp.SetDown(false)
+	s.reconnect(n)
+}
+
+// RestartAgent models an agent process crash and restart: volatile agent
+// state is dropped (Agent.Restart), in-flight control traffic is lost with
+// the dying process's connection, and the agent reconnects immediately
+// with a bumped epoch. The link's up/down state is untouched: restarting
+// behind a cut link leaves the new Hello retransmitting until restore.
+func (s *Sim) RestartAgent(enb lte.ENBID) {
+	n := s.byENB[enb]
+	if n == nil || n.Agent == nil {
+		return
+	}
+	n.Agent.Restart()
+	if n.aEp == nil {
+		return
+	}
+	n.aEp.DropInflight()
+	n.mEp.DropInflight()
+	s.reconnect(n)
+}
+
+// reconnect attaches a fresh master-side session for the node and
+// re-Connects its agent (epoch bump, new Hello, master-pulled resync).
+func (s *Sim) reconnect(n *Node) {
+	if s.Master == nil || n.Agent == nil {
+		return
+	}
+	if n.session != nil {
+		n.session.Close()
+	}
+	n.session = s.Master.HandleAgentSession(n.mEp.Send)
+	n.Agent.Connect(n.aEp.Send)
+}
+
 // Step advances the world by one TTI: the phases below run in the fixed
 // documented order, each parallel across eNodeBs with a barrier before
 // the next.
 func (s *Sim) Step() {
 	sf := s.sf
+
+	// 0. Failure injection (serial; see applyFaults).
+	s.applyFaults()
 
 	// 1. Traffic injection.
 	s.forEachNode(func(n *Node) { s.injectTraffic(n, sf) })

@@ -32,13 +32,24 @@ type Netem struct {
 	Seed int64
 }
 
-// rng builds the deterministic random source for one endpoint.
-func (n Netem) rng() *rand.Rand {
+// rngFor builds the deterministic random source for one endpoint. dir is
+// the endpoint's direction index within its duplex link (0 or 1): it is
+// mixed into the seed so the two directions draw decorrelated jitter/loss
+// sequences even when both sides carry the same Seed (with the old shared
+// seed, a duplex link produced mirror-image impairment patterns). Runs stay
+// deterministic: the derived seed depends only on (Seed, dir).
+func (n Netem) rngFor(dir int) *rand.Rand {
 	seed := n.Seed
 	if seed == 0 {
 		seed = 42
 	}
-	return rand.New(rand.NewSource(seed))
+	// SplitMix64-style avalanche over (seed, dir), so adjacent seeds and
+	// directions land far apart in the generator's state space.
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(dir+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return rand.New(rand.NewSource(int64(z)))
 }
 
 // delay samples the one-way delay in TTIs.
@@ -124,6 +135,8 @@ type SimEndpoint struct {
 	peer  *SimEndpoint
 	netem Netem
 	rnd   *rand.Rand
+	dir   int // direction index within the pair (seed derivation)
+	down  bool
 	meter *metrics.Meter
 
 	now     lte.Subframe
@@ -134,8 +147,8 @@ type SimEndpoint struct {
 // NewSimPair creates two connected endpoints. aToB impairs messages sent
 // by a; bToA impairs messages sent by b.
 func NewSimPair(aToB, bToA Netem) (a, b *SimEndpoint) {
-	a = &SimEndpoint{netem: aToB, rnd: aToB.rng(), meter: metrics.NewMeter()}
-	b = &SimEndpoint{netem: bToA, rnd: bToA.rng(), meter: metrics.NewMeter()}
+	a = &SimEndpoint{netem: aToB, rnd: aToB.rngFor(0), dir: 0, meter: metrics.NewMeter()}
+	b = &SimEndpoint{netem: bToA, rnd: bToA.rngFor(1), dir: 1, meter: metrics.NewMeter()}
 	a.peer, b.peer = b, a
 	return a, b
 }
@@ -144,6 +157,9 @@ func NewSimPair(aToB, bToA Netem) (a, b *SimEndpoint) {
 // the peer. The message itself is not retained: callers may reuse it — and
 // any scratch its payload aliases — as soon as Send returns.
 func (e *SimEndpoint) Send(m *protocol.Message) error {
+	if e.down {
+		return nil // link cut: nothing is transmitted (and nothing metered)
+	}
 	buf := simBufPool.Get().(*simBuf)
 	buf.b = protocol.AppendMessage(buf.b[:0], m)
 	e.meter.Record(m.Payload.Kind().Category(), len(buf.b)+FrameOverhead)
@@ -203,5 +219,25 @@ func (e *SimEndpoint) Meter() *metrics.Meter { return e.meter }
 // endpoint (the simulated equivalent of re-running `tc qdisc change`).
 func (e *SimEndpoint) SetNetem(n Netem) {
 	e.netem = n
-	e.rnd = n.rng()
+	e.rnd = n.rngFor(e.dir)
+}
+
+// SetDown cuts or restores the link for traffic sent BY this endpoint:
+// while down, Send silently discards everything (the netem-style blackhole
+// of a failure-injection scenario). Messages already in flight are
+// unaffected; pair SetDown with DropInflight on the receiving side to
+// model a cut that loses them too.
+func (e *SimEndpoint) SetDown(down bool) { e.down = down }
+
+// Down reports whether outbound transmission is cut.
+func (e *SimEndpoint) Down() bool { return e.down }
+
+// DropInflight discards every message currently in flight TOWARD this
+// endpoint (a link cut taking the wire's contents with it).
+func (e *SimEndpoint) DropInflight() {
+	for i := range e.pending {
+		simBufPool.Put(e.pending[i].payload)
+		e.pending[i] = inflight{}
+	}
+	e.pending = e.pending[:0]
 }

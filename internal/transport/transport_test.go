@@ -192,6 +192,84 @@ func TestSimMeterCountsByCategory(t *testing.T) {
 	}
 }
 
+// TestNetemDirectionsDecorrelated is the duplex-seed regression test: the
+// two directions of one link used to draw from identically seeded
+// generators (default seed 42 on both sides), producing mirror-image
+// jitter and loss patterns. The per-direction seed derivation must give
+// each endpoint its own sequence while staying deterministic.
+func TestNetemDirectionsDecorrelated(t *testing.T) {
+	imp := Netem{OneWayTTI: 2, JitterTTI: 8} // Seed 0: the shared default
+	deliveries := func() (fwd, rev []lte.Subframe) {
+		a, b := NewSimPair(imp, imp)
+		for sf := lte.Subframe(0); sf < 1000; sf++ {
+			if sf%20 == 0 && sf < 800 {
+				a.Send(echo(uint64(sf), sf))
+				b.Send(echo(uint64(sf), sf))
+			}
+			for range mustAdvance(t, b, sf) {
+				fwd = append(fwd, sf)
+			}
+			for range mustAdvance(t, a, sf) {
+				rev = append(rev, sf)
+			}
+		}
+		return fwd, rev
+	}
+	fwd1, rev1 := deliveries()
+	if len(fwd1) != 40 || len(rev1) != 40 {
+		t.Fatalf("lost messages: fwd %d rev %d", len(fwd1), len(rev1))
+	}
+	mirrored := true
+	for i := range fwd1 {
+		if fwd1[i] != rev1[i] {
+			mirrored = false
+			break
+		}
+	}
+	if mirrored {
+		t.Error("duplex directions draw mirror-image jitter (shared seed regression)")
+	}
+	// Still deterministic run to run.
+	fwd2, rev2 := deliveries()
+	for i := range fwd1 {
+		if fwd1[i] != fwd2[i] || rev1[i] != rev2[i] {
+			t.Fatal("per-direction seeding broke determinism")
+		}
+	}
+}
+
+func mustAdvance(t *testing.T, e *SimEndpoint, sf lte.Subframe) []*protocol.Message {
+	t.Helper()
+	got, err := e.AdvanceTo(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestSimEndpointLinkDownAndDropInflight(t *testing.T) {
+	a, b := NewSimPair(Netem{OneWayTTI: 5}, Netem{})
+	a.Send(echo(1, 0)) // in flight when the cut happens
+	a.SetDown(true)
+	b.DropInflight()
+	if b.Pending() != 0 {
+		t.Fatal("in-flight message survived the cut")
+	}
+	a.Send(echo(2, 0))
+	if got, _ := b.AdvanceTo(100); len(got) != 0 {
+		t.Fatalf("cut link delivered %d messages", len(got))
+	}
+	if !a.Down() {
+		t.Error("Down() = false on a cut endpoint")
+	}
+	a.SetDown(false)
+	a.Send(echo(3, 100))
+	got, _ := b.AdvanceTo(105)
+	if len(got) != 1 || got[0].Payload.(*protocol.Echo).Seq != 3 {
+		t.Fatalf("restored link delivery = %+v", got)
+	}
+}
+
 func TestSetNetem(t *testing.T) {
 	a, b := NewSimPair(Netem{}, Netem{})
 	a.Send(echo(1, 0))
