@@ -1,13 +1,20 @@
 // Command benchjson runs the repository benchmark suite (`go test -bench
 // -benchmem`) and emits a machine-readable JSON summary — ns/op, B/op,
 // allocs/op and any custom ReportMetric units per benchmark — so CI can
-// archive the perf trajectory as an artifact (BENCH_PR3.json onward) and
-// later PRs can diff allocation and latency numbers mechanically.
+// archive the perf trajectory as an artifact and diff allocation and
+// latency numbers mechanically.
 //
 // Usage:
 //
 //	go run ./cmd/benchjson -bench 'Pooled|ConnSend|StatsReply' \
-//	    -benchtime 1000x -out BENCH_PR3.json [-pkg .]
+//	    -benchtime 1000x -out BENCH.json [-pkg .] \
+//	    [-compare BENCH_BASELINE.json] [-maxslow 1.25]
+//
+// With -compare, the run becomes a regression gate: any benchmark whose
+// allocs/op exceed the baseline, or whose ns/op exceed baseline*maxslow,
+// fails the command. Allocation counts are machine-independent and
+// compared exactly; latency is a tripwire with headroom for runner
+// variance.
 //
 // The tool shells out to the local go toolchain; everything else is stdlib.
 package main
@@ -50,8 +57,11 @@ func main() {
 		bench     = flag.String("bench", ".", "benchmark regexp passed to go test -bench")
 		benchtime = flag.String("benchtime", "", "value for go test -benchtime (e.g. 1000x, 1s)")
 		pkg       = flag.String("pkg", ".", "package to benchmark")
-		out       = flag.String("out", "BENCH_PR3.json", "output JSON path")
+		out       = flag.String("out", "BENCH.json", "output JSON path")
 		count     = flag.Int("count", 1, "value for go test -count")
+		compare   = flag.String("compare", "", "baseline JSON to diff against; regressions fail the run")
+		maxSlow   = flag.Float64("maxslow", 1.25, "ns/op regression factor tolerated vs the baseline")
+		minNs     = flag.Float64("minns", 500, "latency gate floor: baselines under this many ns/op are timer noise and only alloc-checked")
 	)
 	flag.Parse()
 
@@ -83,6 +93,75 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+
+	if *compare != "" {
+		if err := compareBaseline(rep, *compare, *maxSlow, *minNs); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// compareBaseline diffs the fresh report against a committed baseline:
+// allocs/op must not increase (allocation counts are deterministic), and
+// ns/op must stay under baseline*maxSlow — except for baselines below
+// minNs, whose timings are timer noise at fixed iteration counts and are
+// only alloc-checked. Benchmarks present only in the new run are reported
+// but pass (additions are fine); baseline benchmarks missing from the run
+// fail, so the gate cannot silently narrow.
+func compareBaseline(rep Report, path string, maxSlow, minNs float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	baseline := make(map[string]Result, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+	fresh := make(map[string]bool, len(rep.Benchmarks))
+
+	var failures []string
+	fmt.Printf("benchjson: comparing against %s (ns/op budget %.2fx)\n", path, maxSlow)
+	fmt.Printf("%-34s %14s %14s %9s %9s\n", "benchmark", "ns/op", "base ns/op", "allocs", "base")
+	for _, r := range rep.Benchmarks {
+		fresh[r.Name] = true
+		b, ok := baseline[r.Name]
+		if !ok {
+			fmt.Printf("%-34s %14.0f %14s %9.0f %9s  (new)\n", r.Name, r.NsPerOp, "-", r.AllocsPerOp, "-")
+			continue
+		}
+		verdict := ""
+		if r.AllocsPerOp > b.AllocsPerOp {
+			verdict = "ALLOC REGRESSION"
+			failures = append(failures, fmt.Sprintf(
+				"%s: allocs/op %.0f > baseline %.0f", r.Name, r.AllocsPerOp, b.AllocsPerOp))
+		}
+		if b.NsPerOp >= minNs && r.NsPerOp > b.NsPerOp*maxSlow {
+			if verdict != "" {
+				verdict += ", "
+			}
+			verdict += "LATENCY REGRESSION"
+			failures = append(failures, fmt.Sprintf(
+				"%s: ns/op %.0f > baseline %.0f * %.2f", r.Name, r.NsPerOp, b.NsPerOp, maxSlow))
+		}
+		fmt.Printf("%-34s %14.0f %14.0f %9.0f %9.0f  %s\n",
+			r.Name, r.NsPerOp, b.NsPerOp, r.AllocsPerOp, b.AllocsPerOp, verdict)
+	}
+	for name := range baseline {
+		if !fresh[name] {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline but not in this run", name))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d regression(s) vs %s:\n  %s",
+			len(failures), path, strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("benchjson: no regressions across %d benchmarks\n", len(rep.Benchmarks))
+	return nil
 }
 
 // parse extracts benchmark lines from `go test -bench` output. A line is

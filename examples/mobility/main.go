@@ -1,109 +1,52 @@
-// Mobility: the paper's §7.1 mobility-management use case end to end.
-// Three UEs walk back and forth between two cells 1 km apart while
-// streaming downlink traffic. Their CQI and neighbour measurements derive
-// from the shared radio map; the serving agents raise A3 measurement
-// reports (RRC-module hysteresis and time-to-trigger), the master's
-// MobilityManager picks targets and issues handover commands, and the
-// simulator migrates each UE's full context — queues, counters, bearer —
-// between the eNodeB shards at a deterministic barrier.
-//
-// The same world is run by the serial engine and by a 4-worker pool: the
-// handover logs and every per-UE metric must match bit for bit, every
-// walker must hand over at least once per border crossing, and no UE may
-// end the run stranded.
+// Mobility: the paper's §7.1 mobility-management use case, now driven by
+// the declarative scenario library. scenarios/highway-pingpong.yaml
+// declares the three-cell highway, the walkers and the master-side
+// MobilityManager; this program runs that one document on the serial
+// engine and on a 4-worker pool and demands bit-for-bit identical worlds
+// — the determinism guarantee the golden digests in scenarios/ rely on.
 package main
 
 import (
 	"fmt"
-	"reflect"
 
 	"flexran"
 )
 
-const (
-	walkers = 3
-	runSecs = 20.0
-)
-
-func buildSim(workers int) (*flexran.Sim, *flexran.MobilityManager) {
-	rmap := flexran.NewRadioMap(
-		flexran.RadioSite{ENB: 1, Cell: 0, Tx: flexran.Transmitter{Pos: flexran.Point{X: 0}, PowerDBm: 43}},
-		flexran.RadioSite{ENB: 2, Cell: 0, Tx: flexran.Transmitter{Pos: flexran.Point{X: 1000}, PowerDBm: 43}},
-	)
-	spec1 := flexran.ENBSpec{ID: 1, Agent: true, Seed: 1}
-	for u := 0; u < walkers; u++ {
-		// Each walker ping-pongs across the border at its own speed, so
-		// crossings (and handovers) spread over the run.
-		spec1.UEs = append(spec1.UEs, flexran.UESpec{
-			IMSI: uint64(100 + u),
-			Channel: flexran.NewGeoChannel(rmap, &flexran.WaypointMobility{
-				Path:     []flexran.Point{{X: 150}, {X: 850}},
-				SpeedMps: float64(60 + 25*u),
-				PingPong: true,
-			}, 1),
-			DL: flexran.NewCBR(500),
-		})
-	}
-	opts := flexran.DefaultMasterOptions()
-	s := flexran.MustNewSim(flexran.SimConfig{Master: &opts, Workers: workers},
-		spec1, flexran.ENBSpec{ID: 2, Agent: true, Seed: 2})
-	mm := flexran.NewMobilityManager()
-	s.Master.Register(mm, 5)
-	if !s.WaitAttached(2000) {
-		panic("UEs failed to attach")
-	}
-	return s, mm
-}
-
-func run(workers int) (*flexran.Sim, *flexran.MobilityManager) {
-	s, mm := buildSim(workers)
-	s.RunSeconds(runSecs)
-	return s, mm
-}
-
 func main() {
-	fmt.Printf("scenario: 2 cells 1 km apart, %d UEs walking between them for %.0f s\n\n",
-		walkers, runSecs)
-
-	serial, _ := run(1)
-	parallel, mm := run(4)
-
-	// Determinism: identical handover logs and per-UE outcomes.
-	if !reflect.DeepEqual(serial.Handovers(), parallel.Handovers()) {
-		panic("determinism violated: handover logs differ between engines")
+	sc, err := flexran.LoadNamedScenario("highway-pingpong")
+	if err != nil {
+		panic(err)
 	}
-	perUE := map[uint64]int{}
-	for _, h := range parallel.Handovers() {
-		perUE[h.IMSI]++
+
+	serial, err := sc.RunWorkers(1)
+	if err != nil {
+		panic(err)
+	}
+	parallel, err := sc.RunWorkers(4)
+	if err != nil {
+		panic(err)
+	}
+
+	if serial.Summary.Digest != parallel.Summary.Digest {
+		panic(fmt.Sprintf("determinism violated: serial digest %s != 4-worker %s",
+			serial.Summary.Digest, parallel.Summary.Digest))
+	}
+
+	sum := parallel.Summary
+	fmt.Printf("scenario %q: %d eNBs, %d UEs walking for %.0f s\n\n",
+		sum.Name, sum.ENBs, sum.UEs, float64(sum.RunTTIs)/1000)
+	for _, h := range parallel.Runtime.Sim.Handovers() {
 		fmt.Printf("t=%5.1fs  UE %d handed over eNB %d -> eNB %d (RNTI %#x -> %#x)\n",
 			h.SF.Seconds(), h.IMSI, h.From, h.To, h.FromRNTI, h.ToRNTI)
 	}
-	fmt.Println()
-
-	stranded := 0
-	for u := 0; u < walkers; u++ {
-		imsi := uint64(100 + u)
-		rs, _, okS := serial.ReportByIMSI(imsi)
-		rp, servingENB, okP := parallel.ReportByIMSI(imsi)
-		if !okS || !okP || rs != rp {
-			panic(fmt.Sprintf("determinism violated: UE %d reports differ", imsi))
-		}
-		connected := rp.State.String() == "connected"
-		if !connected {
-			stranded++
-		}
-		fmt.Printf("UE %d: %2d handovers, serving eNB %d, %s, %5.1f MB delivered, %d B dropped\n",
-			imsi, perUE[imsi], servingENB, rp.State,
-			float64(rp.DLDelivered)/1e6, rp.DLDropped)
-		if perUE[imsi] == 0 {
-			panic(fmt.Sprintf("UE %d crossed the border without a handover", imsi))
-		}
+	fmt.Printf("\nhandovers: %d total, %d classified ping-pong\n", sum.Handovers, sum.PingPongs)
+	if sum.Handovers == 0 {
+		panic("walkers crossed cell borders without a single handover")
 	}
-	if stranded > 0 {
-		panic(fmt.Sprintf("%d UEs stranded", stranded))
+	if mm := parallel.Runtime.Mobility; mm != nil {
+		fmt.Printf("in-flight commands at end: %d (completed %d, expired %d)\n",
+			mm.InFlight(), mm.Completed(), mm.Expired())
 	}
-
-	fmt.Printf("\nhandovers: %d total, all completed; stranded UEs: 0\n", len(parallel.Handovers()))
-	fmt.Printf("in-flight commands at end: %d\n", mm.InFlight())
 	fmt.Println("determinism: serial and 4-worker engines produced identical worlds")
+	fmt.Printf("digest: %s\n", sum.Digest)
 }

@@ -1,6 +1,8 @@
-// Quickstart: one FlexRAN master, one agent-enabled eNodeB, two UEs.
-// Shows the minimal virtual-time setup: the master's RIB fills from
-// per-TTI agent reports while the data plane serves traffic.
+// Quickstart: the minimal platform demo, now a thin runner over the
+// declarative scenario library — scenarios/quickstart.yaml describes the
+// topology (one master, one agent eNodeB, two UEs) and this program just
+// executes it and cross-checks the master's RIB against the data plane.
+// Topology setup lives in the scenario engine; nothing is hand-wired here.
 package main
 
 import (
@@ -10,29 +12,25 @@ import (
 )
 
 func main() {
-	opts := flexran.DefaultMasterOptions()
-	s := flexran.MustNewSim(flexran.SimConfig{Master: &opts},
-		flexran.ENBSpec{
-			ID: 1, Agent: true, Seed: 1,
-			UEs: []flexran.UESpec{
-				{IMSI: 1001, Channel: flexran.FixedChannel(15), DL: flexran.NewFullBuffer()},
-				{IMSI: 1002, Channel: flexran.FixedChannel(7), DL: flexran.NewCBR(2000)},
-			},
-		})
-
-	if !s.WaitAttached(1000) {
-		panic("UEs failed to attach")
+	sc, err := flexran.LoadNamedScenario("quickstart")
+	if err != nil {
+		panic(err)
 	}
-	fmt.Println("UEs attached; running 3 simulated seconds of traffic...")
-	s.RunSeconds(3)
-
-	for i := 0; i < 2; i++ {
-		r := s.Report(0, i)
-		fmt.Printf("UE rnti=%d cqi=%d: DL %.2f Mb/s (queue %d bytes, %d HARQ retx)\n",
-			r.RNTI, r.CQI, float64(r.DLDelivered)*8/1e6/3, r.DLQueue, r.HARQRetx)
+	res, err := sc.RunWorkers(0)
+	if err != nil {
+		panic(err)
 	}
+	sum := res.Summary
+	if sum.Attached != sum.UEs {
+		panic(fmt.Sprintf("only %d/%d UEs attached", sum.Attached, sum.UEs))
+	}
+	fmt.Printf("scenario %q: %d UEs attached in %d TTIs, then %d TTIs of traffic\n",
+		sum.Name, sum.Attached, sum.AttachTTIs, sum.RunTTIs)
+	fmt.Printf("aggregate DL: %.2f Mb/s (%d HARQ retx)\n", sum.ThroughputMbps, sum.HARQRetx)
 
-	// The master's consolidated view (the RIB) saw the same network.
+	// The master's consolidated view (the RIB) saw the same network the
+	// data plane served.
+	s := res.Runtime.Sim
 	rib := s.Master.RIB()
 	for _, id := range rib.Agents() {
 		fmt.Printf("master RIB: agent %d connected=%v ues=%d\n",
@@ -43,4 +41,5 @@ func main() {
 	}
 	sf, _ := rib.AgentSF(1)
 	fmt.Printf("agent time at master: %v (data plane at %v)\n", sf, s.Now())
+	fmt.Printf("digest: %s\n", sum.Digest)
 }

@@ -1,109 +1,60 @@
-// Resilience: the controller surviving a flaky control plane. Two agent
-// eNodeBs serve a static UE population while a scripted chaos timeline
-// cuts eNB 1's control channel, restores it, and crash-restarts eNB 2 —
-// twice, back to back.
-//
-// The run demonstrates the three resilience mechanisms end to end:
-//
-//   - liveness: the master's Echo heartbeat detects the silent link cut
-//     within the miss budget and marks the agent down (AgentDown event);
-//   - epoch-fenced sessions: every reconnect arrives with a bumped epoch,
-//     so late traffic and closes of dead incarnations are fenced out;
-//   - state resync: after each HelloAck the master pulls a StateSnapshot
-//     and rebuilds the agent's RIB shard in one cycle — no waiting for
-//     periodic reports.
-//
-// The program prints the observed lifecycle timeline and verifies that
-// every agent ends the run connected with its full pre-failure UE state.
+// Resilience: the controller surviving a flaky control plane, driven by
+// the declarative scenario library. scenarios/chaos-reconnect.yaml
+// scripts a storm of link cuts, restores and back-to-back agent restarts
+// over three eNodeBs; this program runs it, prints the lifecycle timeline
+// the engine recorded, and verifies every agent ends the run reconnected
+// with its full pre-failure RIB state — heartbeat liveness, epoch fencing
+// and one-cycle resync all holding, with zero hand-wired topology code.
 package main
 
 import (
 	"fmt"
-	"sync"
 
 	"flexran"
 )
 
-// timeline records AgentUp/AgentDown dispatches with their master cycle.
-type timeline struct {
-	mu     sync.Mutex
-	events []string
-	ups    int
-	downs  int
-}
-
-func (*timeline) Name() string { return "timeline" }
-
-func (tl *timeline) OnAgentUp(ctx *flexran.Context, enb flexran.ENBID) {
-	tl.mu.Lock()
-	defer tl.mu.Unlock()
-	tl.ups++
-	tl.events = append(tl.events, fmt.Sprintf("  cycle %5d: eNB %d UP (resynced)", ctx.Now, enb))
-}
-
-func (tl *timeline) OnAgentDown(ctx *flexran.Context, enb flexran.ENBID) {
-	tl.mu.Lock()
-	defer tl.mu.Unlock()
-	tl.downs++
-	tl.events = append(tl.events, fmt.Sprintf("  cycle %5d: eNB %d DOWN", ctx.Now, enb))
-}
-
 func main() {
-	opts := flexran.DefaultMasterOptions()
-	opts.EchoPeriodTTI = 20 // probe after 20 ms of silence
-	opts.EchoMissBudget = 3 // ~80 ms to declare an agent dead
-
-	s := flexran.MustNewSim(flexran.SimConfig{Master: &opts},
-		flexran.ENBSpec{ID: 1, Agent: true, Seed: 1, UEs: []flexran.UESpec{
-			{IMSI: 101, Channel: flexran.FixedChannel(12), DL: flexran.NewCBR(200)},
-			{IMSI: 102, Channel: flexran.FixedChannel(9), DL: flexran.NewCBR(200)},
-		}},
-		flexran.ENBSpec{ID: 2, Agent: true, Seed: 2, UEs: []flexran.UESpec{
-			{IMSI: 201, Channel: flexran.FixedChannel(14), DL: flexran.NewCBR(200)},
-		}},
-	)
-	tl := &timeline{}
-	s.Master.Register(tl, 10)
-	if !s.WaitAttached(2000) {
-		panic("UEs failed to attach")
+	sc, err := flexran.LoadNamedScenario("chaos-reconnect")
+	if err != nil {
+		panic(err)
 	}
-	base := s.Now()
+	res, err := sc.RunWorkers(0)
+	if err != nil {
+		panic(err)
+	}
+	sum := res.Summary
 
-	s.InjectFaults(
-		flexran.Fault{At: base + 500, Kind: flexran.FaultLinkCut, ENB: 1},
-		flexran.Fault{At: base + 1500, Kind: flexran.FaultLinkRestore, ENB: 1},
-		flexran.Fault{At: base + 2000, Kind: flexran.FaultAgentRestart, ENB: 2},
-		flexran.Fault{At: base + 2001, Kind: flexran.FaultAgentRestart, ENB: 2},
-	)
-	fmt.Printf("chaos timeline: cut eNB1 @%d, restore @%d, double-restart eNB2 @%d\n\n",
-		base+500, base+1500, base+2000)
-	s.Run(3000)
-
+	fmt.Printf("scenario %q: %d faults injected across %d eNodeBs\n\n",
+		sum.Name, sum.FaultsInjected, sum.ENBs)
 	fmt.Println("observed lifecycle events:")
-	for _, e := range tl.events {
-		fmt.Println(e)
+	for _, ev := range sum.Lifecycle {
+		state := "DOWN"
+		if ev.Up {
+			state = "UP (resynced)"
+		}
+		fmt.Printf("  cycle %5d: eNB %d %s\n", ev.Cycle, ev.ENB, state)
 	}
 
-	rib := s.Master.RIB()
+	// Every agent must end the run connected with its pre-failure UEs.
+	rib := res.Runtime.Sim.Master.RIB()
 	fmt.Println("\nfinal RIB state:")
 	ok := true
-	for enb, wantUEs := range map[flexran.ENBID]int{1: 2, 2: 1} {
-		connected := rib.Connected(enb)
-		count := rib.UECount(enb)
-		fmt.Printf("  eNB %d: connected=%v ues=%d (want %d)\n", enb, connected, count, wantUEs)
+	for enbID, wantUEs := range map[flexran.ENBID]int{1: 2, 2: 2, 3: 1} {
+		connected := rib.Connected(enbID)
+		count := rib.UECount(enbID)
+		fmt.Printf("  eNB %d: connected=%v ues=%d (want %d)\n", enbID, connected, count, wantUEs)
 		ok = ok && connected && count == wantUEs
 	}
-	epochs := []uint64{s.Nodes[0].Agent.Epoch(), s.Nodes[1].Agent.Epoch()}
-	fmt.Printf("  agent epochs: eNB1=%d (connect+redial) eNB2=%d (connect+2 restarts)\n",
-		epochs[0], epochs[1])
 
 	switch {
 	case !ok:
 		panic("an agent did not recover its pre-failure RIB state")
-	case tl.downs < 3 || tl.ups < 4:
-		panic(fmt.Sprintf("lifecycle dispatch incomplete: %d downs, %d ups", tl.downs, tl.ups))
-	case epochs[0] != 2 || epochs[1] != 3:
-		panic(fmt.Sprintf("unexpected epochs %v", epochs))
+	case sum.AgentDowns < 3:
+		panic(fmt.Sprintf("lifecycle dispatch incomplete: only %d downs", sum.AgentDowns))
+	case sum.AgentUps <= sum.AgentDowns:
+		panic(fmt.Sprintf("agents did not all recover: %d downs, %d ups", sum.AgentDowns, sum.AgentUps))
 	}
-	fmt.Println("\nresilience OK: heartbeat detection, epoch fencing and one-cycle resync all held")
+	fmt.Printf("\nresilience OK: %d downs, %d ups; heartbeat detection, epoch fencing and resync all held\n",
+		sum.AgentDowns, sum.AgentUps)
+	fmt.Printf("digest: %s\n", sum.Digest)
 }

@@ -49,6 +49,7 @@ import (
 	"flexran/internal/epc"
 	"flexran/internal/lte"
 	"flexran/internal/radio"
+	"flexran/internal/scenario"
 	"flexran/internal/sched"
 	"flexran/internal/sim"
 	"flexran/internal/transport"
@@ -181,6 +182,30 @@ type (
 	// VSFProgram is compiled scheduler bytecode pushable over the wire.
 	VSFProgram = vsfdsl.Program
 )
+
+// Declarative scenario types: yamlite documents describing topology, UE
+// population, apps, slicing and fault scripts, runnable via one call.
+// See internal/scenario and the scenarios/ library.
+type (
+	// Scenario is a parsed, validated scenario document.
+	Scenario = scenario.Scenario
+	// ScenarioRuntime is one built (wired, not yet run) scenario instance.
+	ScenarioRuntime = scenario.Runtime
+	// ScenarioResult is a finished run: summary plus live runtime.
+	ScenarioResult = scenario.Result
+	// ScenarioSummary is the deterministic outcome of a scenario run.
+	ScenarioSummary = scenario.Summary
+)
+
+// ParseScenario parses and validates a scenario document.
+func ParseScenario(doc string) (*Scenario, error) { return scenario.Parse(doc) }
+
+// LoadScenario reads and parses a scenario file.
+func LoadScenario(path string) (*Scenario, error) { return scenario.Load(path) }
+
+// LoadNamedScenario finds "<name>.yaml" in the repository's scenarios/
+// library, searching upward from the working directory.
+func LoadNamedScenario(name string) (*Scenario, error) { return scenario.LoadNamed(name) }
 
 // MAC control-module operation names (VSF slots).
 const (

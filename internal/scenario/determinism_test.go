@@ -1,0 +1,139 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// sweepDoc composes most engine features — geo mobility with handovers,
+// a traffic mix, slicing, apps and a fault script — into one compact
+// world whose digest must be invariant across worker-pool sizes.
+const sweepDoc = `
+name: sweep
+run:
+  ttis: 2500
+  attach_ttis: 500
+  seed: 42
+topology:
+  enbs:
+    - id: 1
+      seed: 1
+      x: 0
+      power_dbm: 43
+    - id: 2
+      seed: 2
+      x: 1000
+      power_dbm: 43
+slicing:
+  - enb: all
+    shares: [0.6, 0.4]
+ues:
+  - count: 2
+    enb: 1
+    imsi_base: 100
+    group: 0
+    mobility:
+      model: waypoint
+      path: [[350, 0], [750, 0]]
+      speed_mps: 150
+      speed_step_mps: 50
+      ping_pong: true
+    traffic:
+      - kind: cbr
+        share: 0.5
+        rate_kbps: 400
+      - kind: poisson
+        share: 0.5
+        mean_kbps: 200
+        seed: 5
+  - count: 2
+    enb: 2
+    imsi_base: 200
+    group: 1
+    placement:
+      at: [1100, 50]
+    traffic:
+      - kind: full_buffer
+apps:
+  - kind: mobility
+  - kind: monitor
+    period_tti: 100
+faults:
+  - at: 600
+    kind: link_cut
+    enb: 2
+  - at: 1200
+    kind: link_restore
+    enb: 2
+  - at: 1800
+    kind: agent_restart
+    enb: 1
+`
+
+// TestDigestWorkerInvariance is the scenario engine's determinism gate:
+// the same document must produce identical summaries (and digests) for
+// every worker-pool size. This is the property that lets scenarios/
+// goldens be computed once and compared at any -workers value in CI.
+func TestDigestWorkerInvariance(t *testing.T) {
+	sc, err := Parse(sweepDoc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var ref *Result
+	for _, workers := range []int{1, 2, 4, 8} {
+		res, err := sc.RunWorkers(workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Summary.Workers != workers {
+			t.Fatalf("summary workers = %d, want %d", res.Summary.Workers, workers)
+		}
+		if ref == nil {
+			ref = res
+			if res.Summary.Digest == "" {
+				t.Fatal("empty digest")
+			}
+			continue
+		}
+		if res.Summary.Digest != ref.Summary.Digest {
+			t.Errorf("workers=%d digest %s != serial %s",
+				workers, res.Summary.Digest, ref.Summary.Digest)
+		}
+		// The whole summary minus the worker count must match too.
+		a, b := res.Summary, ref.Summary
+		a.Workers, b.Workers = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("workers=%d summary diverges from serial:\n%+v\nvs\n%+v", workers, a, b)
+		}
+	}
+	if ref.Summary.Handovers == 0 {
+		t.Error("sweep scenario produced no handovers; it no longer covers mobility")
+	}
+	if ref.Summary.AgentDowns == 0 || ref.Summary.AgentUps == 0 {
+		t.Error("sweep scenario produced no lifecycle events; it no longer covers resilience")
+	}
+	if len(ref.Summary.Slices) != 2 {
+		t.Errorf("expected 2 slice aggregates, got %d", len(ref.Summary.Slices))
+	}
+}
+
+// TestRebuildReproduces guards the "Scenario is purely declarative"
+// contract: building and running the same Scenario value twice must give
+// the same digest (generators/channels are freshly constructed each time).
+func TestRebuildReproduces(t *testing.T) {
+	sc, err := Parse(sweepDoc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	a, err := sc.RunWorkers(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sc.RunWorkers(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Summary.Digest != b.Summary.Digest {
+		t.Fatalf("rebuild changed the digest: %s vs %s", a.Summary.Digest, b.Summary.Digest)
+	}
+}

@@ -1,0 +1,1590 @@
+// Package scenario is the declarative workload layer of the platform: it
+// turns a yamlite document — topology, UE population, traffic mix, apps,
+// slicing shares and a fault script — into a fully wired sim.Sim with a
+// master controller and northbound applications, runs it, and reduces the
+// end state to a deterministic Summary plus a stable FNV-1a digest.
+//
+// The paper's pitch is programmability: one platform, many RAN control
+// scenarios. Before this package every workload was a hand-coded Go main;
+// with it a scenario is data. The digest is the regression currency: the
+// TTI engine guarantees bit-for-bit identical worlds for every worker-pool
+// size, so each scenario file ships with a golden digest and any
+// behavioural drift in sim/sched/mobility/resilience code shows up as a
+// digest mismatch in CI — no new Go test required.
+//
+// Document layout (all sections except run/topology are optional):
+//
+//	name: highway-pingpong
+//	description: walkers bouncing between two cells
+//	run:
+//	  ttis: 20000          # TTIs after the attach phase
+//	  attach_ttis: 2000    # attach-phase budget
+//	  seed: 1              # base seed mixed into derived seeds
+//	  workers: 0           # engine pool size (CLI -workers overrides)
+//	topology:
+//	  enbs:
+//	    - id: 1
+//	      x: 0             # with power_dbm, adds a radio-map site
+//	      power_dbm: 43
+//	ues:
+//	  - count: 3
+//	    enb: 1
+//	    imsi_base: 100
+//	    mobility: {model: waypoint, path: [[150, 0], [850, 0]], ...}
+//	    traffic:
+//	      - {kind: cbr, share: 1.0, rate_kbps: 500}
+//	apps:
+//	  - {kind: mobility, policy: strongest}
+//	faults:
+//	  - {at: 500, kind: link_cut, enb: 1}
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"flexran/internal/lte"
+	"flexran/internal/yamlite"
+)
+
+// Defaults applied while parsing.
+const (
+	// DefaultAttachTTIs bounds the attach phase when run.attach_ttis is
+	// absent.
+	DefaultAttachTTIs = 2000
+	// DefaultPingPongWindowTTI is the window within which a UE returning
+	// to the eNodeB it just left counts as a ping-pong handover.
+	DefaultPingPongWindowTTI = 1000
+)
+
+// RunSpec is the "run:" section.
+type RunSpec struct {
+	// TTIs is the measured run length after the attach phase.
+	TTIs int
+	// AttachTTIs bounds the attach phase (0 skips it entirely).
+	AttachTTIs int
+	// Workers is the engine pool size; the CLI -workers flag overrides.
+	Workers int
+	// Seed is mixed into every derived per-UE seed.
+	Seed int64
+	// PingPongWindowTTI classifies return handovers as ping-pongs.
+	PingPongWindowTTI int
+}
+
+// NetemDecl impairs one direction of a control channel.
+type NetemDecl struct {
+	DelayTTI  int
+	JitterTTI int
+	Loss      float64
+	Seed      int64
+}
+
+// ENBDecl declares one eNodeB (or a template repeated Count times by the
+// topology grid generator).
+type ENBDecl struct {
+	ID    lte.ENBID
+	Agent bool
+	Seed  int64
+	// Cells is the number of default 10 MHz cells (ids 0..Cells-1).
+	Cells int
+	// X/Y/PowerDBm place a radio-map site per cell when HasSite.
+	X, Y     float64
+	PowerDBm float64
+	HasSite  bool
+	ToMaster NetemDecl
+	ToAgent  NetemDecl
+	// Policy is a raw policy-reconfiguration document applied to the
+	// agent before the attach phase (e.g. rrc handover knobs).
+	Policy *yamlite.Node
+}
+
+// PointDecl is a scenario-space position in meters.
+type PointDecl struct{ X, Y float64 }
+
+// PlacementDecl positions the UEs of a group.
+type PlacementDecl struct {
+	Kind string // "at", "line", "box"
+	At   PointDecl
+	From PointDecl
+	To   PointDecl
+	Min  PointDecl
+	Max  PointDecl
+	Seed int64
+}
+
+// MobilityDecl selects a motion model for a UE group.
+type MobilityDecl struct {
+	Model        string // "static", "waypoint", "random_waypoint"
+	Path         []PointDecl
+	SpeedMps     float64
+	SpeedStepMps float64 // per-UE speed increment (spreads crossings)
+	PingPong     bool
+	Min, Max     PointDecl
+	Seed         int64
+}
+
+// ChannelDecl selects the channel model of a UE group.
+type ChannelDecl struct {
+	Model string // "auto", "geo", "fixed", "fading", "squarewave", "interference_switched"
+	CQI   int64  // fixed
+	// fading
+	Mean, Rho, Sigma float64
+	Seed             int64
+	// squarewave
+	A, B          int64
+	HalfPeriodTTI int64
+	// interference_switched
+	Clear, Hit     int64
+	InterfererENB  lte.ENBID
+	InterfererCell lte.CellID
+}
+
+// TrafficDecl is one component of a group's traffic mix.
+type TrafficDecl struct {
+	Kind        string // "cbr", "poisson", "onoff", "full_buffer"
+	Share       float64
+	RateKbps    float64
+	MeanKbps    float64
+	PacketBytes int
+	OnTTI       int
+	OffTTI      int
+	StartTTI    int64
+	StopTTI     int64
+	Seed        int64
+}
+
+// UEGroup declares a homogeneous slice of the UE population.
+type UEGroup struct {
+	Count    int
+	ENB      lte.ENBID
+	AllENBs  bool // replicate the group on every eNodeB
+	Cell     lte.CellID
+	IMSIBase uint64
+	Group    int
+	Place    *PlacementDecl
+	Mobility *MobilityDecl
+	Channel  ChannelDecl
+	DL       []TrafficDecl
+	UL       []TrafficDecl
+}
+
+// MasterDecl is the "master:" section. A nil *MasterDecl on the Scenario
+// means "master: none" (standalone eNodeBs).
+type MasterDecl struct {
+	StatsPeriodTTI int
+	SyncPeriodTTI  int
+	EchoPeriodTTI  int
+	EchoMissBudget int
+	NoResync       bool
+	Workers        int
+}
+
+// AppDecl registers one northbound application.
+type AppDecl struct {
+	Kind string // "monitor", "mobility", "eicic", "ransharing"
+
+	// monitor
+	PeriodTTI int
+	// mobility
+	Policy            string // "strongest", "load_balanced"
+	LoadWeight        float64
+	MinMarginDB       float64
+	CommandTimeoutTTI int
+	// ransharing
+	ENB  lte.ENBID
+	Plan []ShareChangeDecl
+	// eicic
+	MacroENB  lte.ENBID
+	MacroCell lte.CellID
+	SmallENBs []lte.ENBID
+	ABS       int
+	Optimized bool
+}
+
+// ShareChangeDecl is one scheduled slice-share reallocation (TTIs are
+// offsets from the start of the measured run, like fault TTIs).
+type ShareChangeDecl struct {
+	At     int64
+	Shares []float64
+}
+
+// SliceDecl installs the slicing scheduler on one (or all) eNodeBs.
+type SliceDecl struct {
+	ENB            lte.ENBID // 0 = every agent eNodeB
+	All            bool
+	Shares         []float64
+	WorkConserving bool
+	Scheduler      string // inner per-group scheduler: "rr" (default), "pf"
+}
+
+// FaultDecl schedules one failure-injection event, At TTIs after the
+// attach phase completes.
+type FaultDecl struct {
+	At   int64
+	Kind string // "link_cut", "link_restore", "agent_restart"
+	ENB  lte.ENBID
+}
+
+// Scenario is a parsed, validated document. It is purely declarative:
+// Build constructs fresh runtime state (generators, channels, apps) on
+// every call, so one Scenario can be run many times — including at
+// different worker counts — with identical results.
+type Scenario struct {
+	Name        string
+	Description string
+	Run         RunSpec
+	ENBs        []ENBDecl
+	UEs         []UEGroup
+	Master      *MasterDecl
+	Apps        []AppDecl
+	Slices      []SliceDecl
+	Faults      []FaultDecl
+}
+
+// Load reads and parses a scenario file.
+func Load(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return Parse(string(data))
+}
+
+// LoadNamed finds "<name>.yaml" in the repository's scenarios/ library,
+// searching upward from the working directory so examples run from the
+// repo root, their own directory, or a test's temp cwd.
+func LoadNamed(name string) (*Scenario, error) {
+	rel := filepath.Join("scenarios", name+".yaml")
+	for _, up := range []string{".", "..", filepath.Join("..", "..")} {
+		path := filepath.Join(up, rel)
+		if _, err := os.Stat(path); err == nil {
+			return Load(path)
+		}
+	}
+	return nil, fmt.Errorf("scenario: %s not found (run from the repository tree)", rel)
+}
+
+// Parse parses and validates a scenario document.
+func Parse(doc string) (*Scenario, error) {
+	root, err := yamlite.Parse(doc)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if root.Kind != yamlite.KindMap {
+		return nil, fmt.Errorf("scenario: document root must be a map")
+	}
+	sc := &Scenario{
+		Run: RunSpec{
+			AttachTTIs:        DefaultAttachTTIs,
+			PingPongWindowTTI: DefaultPingPongWindowTTI,
+		},
+		Master: &MasterDecl{
+			StatsPeriodTTI: 1,
+			SyncPeriodTTI:  1,
+			EchoPeriodTTI:  20,
+			EchoMissBudget: 3,
+		},
+	}
+	for _, key := range root.Keys() {
+		val := root.Get(key)
+		switch key {
+		case "name":
+			sc.Name = val.Str()
+		case "description":
+			sc.Description = val.Str()
+		case "run":
+			if err := sc.parseRun(val); err != nil {
+				return nil, err
+			}
+		case "topology":
+			if err := sc.parseTopology(val); err != nil {
+				return nil, err
+			}
+		case "ues":
+			if err := sc.parseUEs(val); err != nil {
+				return nil, err
+			}
+		case "master":
+			if err := sc.parseMaster(val); err != nil {
+				return nil, err
+			}
+		case "apps":
+			if err := sc.parseApps(val); err != nil {
+				return nil, err
+			}
+		case "slicing":
+			if err := sc.parseSlicing(val); err != nil {
+				return nil, err
+			}
+		case "faults":
+			if err := sc.parseFaults(val); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("scenario: unknown top-level key %q", key)
+		}
+	}
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// ---------------------------------------------------------------------------
+// Section parsers. Every section rejects unknown keys so typos surface as
+// errors instead of silently ignored knobs.
+
+func (sc *Scenario) parseRun(n *yamlite.Node) error {
+	if n == nil || n.Kind != yamlite.KindMap {
+		return fmt.Errorf("scenario: run section must be a map")
+	}
+	for _, key := range n.Keys() {
+		val := n.Get(key)
+		switch key {
+		case "ttis":
+			v, err := posInt(val)
+			if err != nil {
+				return fmt.Errorf("scenario: run.ttis must be a positive integer")
+			}
+			sc.Run.TTIs = int(v)
+		case "seconds":
+			f, err := val.Float()
+			if err != nil || f <= 0 {
+				return fmt.Errorf("scenario: run.seconds must be a positive number")
+			}
+			sc.Run.TTIs = int(f * lte.TTIsPerSecond)
+		case "attach_ttis":
+			v, err := nonNegInt(val)
+			if err != nil {
+				return fmt.Errorf("scenario: run.attach_ttis must be a non-negative integer")
+			}
+			sc.Run.AttachTTIs = int(v)
+		case "workers":
+			v, err := nonNegInt(val)
+			if err != nil {
+				return fmt.Errorf("scenario: run.workers must be a non-negative integer")
+			}
+			sc.Run.Workers = int(v)
+		case "seed":
+			v, err := val.Int()
+			if err != nil {
+				return fmt.Errorf("scenario: run.seed must be an integer")
+			}
+			sc.Run.Seed = v
+		case "pingpong_window_tti":
+			v, err := posInt(val)
+			if err != nil {
+				return fmt.Errorf("scenario: run.pingpong_window_tti must be a positive integer")
+			}
+			sc.Run.PingPongWindowTTI = int(v)
+		default:
+			return fmt.Errorf("scenario: run has no knob %q", key)
+		}
+	}
+	return nil
+}
+
+func (sc *Scenario) parseTopology(n *yamlite.Node) error {
+	if n == nil || n.Kind != yamlite.KindMap {
+		return fmt.Errorf("scenario: topology section must be a map")
+	}
+	for _, key := range n.Keys() {
+		val := n.Get(key)
+		switch key {
+		case "grid":
+			if err := sc.parseGrid(val); err != nil {
+				return err
+			}
+		case "enbs":
+			if val == nil || val.Kind != yamlite.KindSeq {
+				return fmt.Errorf("scenario: topology.enbs must be a sequence")
+			}
+			for i, item := range val.Items() {
+				d, err := parseENB(item, fmt.Sprintf("topology.enbs[%d]", i))
+				if err != nil {
+					return err
+				}
+				sc.ENBs = append(sc.ENBs, d)
+			}
+		default:
+			return fmt.Errorf("scenario: topology has no knob %q", key)
+		}
+	}
+	return nil
+}
+
+// parseGrid expands "topology.grid" into a row-major lattice of
+// single-cell agent eNodeBs with ids 1..N, each carrying one site.
+func (sc *Scenario) parseGrid(n *yamlite.Node) error {
+	if n == nil || n.Kind != yamlite.KindMap {
+		return fmt.Errorf("scenario: topology.grid must be a map")
+	}
+	count, cols := 0, 0
+	spacing, power := 500.0, 43.0
+	var seedBase int64 = 1
+	for _, key := range n.Keys() {
+		val := n.Get(key)
+		switch key {
+		case "enbs":
+			v, err := posInt(val)
+			if err != nil {
+				return fmt.Errorf("scenario: topology.grid.enbs must be a positive integer")
+			}
+			count = int(v)
+		case "cols":
+			v, err := posInt(val)
+			if err != nil {
+				return fmt.Errorf("scenario: topology.grid.cols must be a positive integer")
+			}
+			cols = int(v)
+		case "spacing_m":
+			f, err := val.Float()
+			if err != nil || f <= 0 {
+				return fmt.Errorf("scenario: topology.grid.spacing_m must be a positive number")
+			}
+			spacing = f
+		case "power_dbm":
+			f, err := val.Float()
+			if err != nil {
+				return fmt.Errorf("scenario: topology.grid.power_dbm must be a number")
+			}
+			power = f
+		case "seed_base":
+			v, err := val.Int()
+			if err != nil {
+				return fmt.Errorf("scenario: topology.grid.seed_base must be an integer")
+			}
+			seedBase = v
+		default:
+			return fmt.Errorf("scenario: topology.grid has no knob %q", key)
+		}
+	}
+	if count == 0 {
+		return fmt.Errorf("scenario: topology.grid.enbs is required")
+	}
+	if cols == 0 {
+		cols = int(math.Ceil(math.Sqrt(float64(count))))
+	}
+	for i := 0; i < count; i++ {
+		sc.ENBs = append(sc.ENBs, ENBDecl{
+			ID:    lte.ENBID(i + 1),
+			Agent: true,
+			Seed:  seedBase + int64(i),
+			Cells: 1,
+			X:     float64(i%cols) * spacing,
+			Y:     float64(i/cols) * spacing,
+
+			PowerDBm: power,
+			HasSite:  true,
+		})
+	}
+	return nil
+}
+
+func parseENB(n *yamlite.Node, where string) (ENBDecl, error) {
+	d := ENBDecl{Agent: true, Cells: 1}
+	if n == nil || n.Kind != yamlite.KindMap {
+		return d, fmt.Errorf("scenario: %s must be a map", where)
+	}
+	for _, key := range n.Keys() {
+		val := n.Get(key)
+		switch key {
+		case "id":
+			v, err := posInt(val)
+			if err != nil {
+				return d, fmt.Errorf("scenario: %s.id must be a positive integer", where)
+			}
+			d.ID = lte.ENBID(v)
+		case "agent":
+			b, err := val.Bool()
+			if err != nil {
+				return d, fmt.Errorf("scenario: %s.agent must be a boolean", where)
+			}
+			d.Agent = b
+		case "seed":
+			v, err := val.Int()
+			if err != nil {
+				return d, fmt.Errorf("scenario: %s.seed must be an integer", where)
+			}
+			d.Seed = v
+		case "cells":
+			v, err := posInt(val)
+			if err != nil {
+				return d, fmt.Errorf("scenario: %s.cells must be a positive integer", where)
+			}
+			d.Cells = int(v)
+		case "x":
+			f, err := val.Float()
+			if err != nil {
+				return d, fmt.Errorf("scenario: %s.x must be a number", where)
+			}
+			d.X = f
+		case "y":
+			f, err := val.Float()
+			if err != nil {
+				return d, fmt.Errorf("scenario: %s.y must be a number", where)
+			}
+			d.Y = f
+		case "power_dbm":
+			f, err := val.Float()
+			if err != nil {
+				return d, fmt.Errorf("scenario: %s.power_dbm must be a number", where)
+			}
+			d.PowerDBm = f
+			d.HasSite = true
+		case "to_master":
+			ne, err := parseNetem(val, where+".to_master")
+			if err != nil {
+				return d, err
+			}
+			d.ToMaster = ne
+		case "to_agent":
+			ne, err := parseNetem(val, where+".to_agent")
+			if err != nil {
+				return d, err
+			}
+			d.ToAgent = ne
+		case "policy":
+			if val == nil || val.Kind != yamlite.KindMap {
+				return d, fmt.Errorf("scenario: %s.policy must be a map", where)
+			}
+			d.Policy = val
+		default:
+			return d, fmt.Errorf("scenario: %s has no knob %q", where, key)
+		}
+	}
+	if d.ID == 0 {
+		return d, fmt.Errorf("scenario: %s.id is required", where)
+	}
+	return d, nil
+}
+
+func parseNetem(n *yamlite.Node, where string) (NetemDecl, error) {
+	var d NetemDecl
+	if n == nil || n.Kind != yamlite.KindMap {
+		return d, fmt.Errorf("scenario: %s must be a map", where)
+	}
+	for _, key := range n.Keys() {
+		val := n.Get(key)
+		switch key {
+		case "delay_tti":
+			v, err := nonNegInt(val)
+			if err != nil {
+				return d, fmt.Errorf("scenario: %s.delay_tti must be a non-negative integer", where)
+			}
+			d.DelayTTI = int(v)
+		case "jitter_tti":
+			v, err := nonNegInt(val)
+			if err != nil {
+				return d, fmt.Errorf("scenario: %s.jitter_tti must be a non-negative integer", where)
+			}
+			d.JitterTTI = int(v)
+		case "loss":
+			f, err := val.Float()
+			if err != nil || f < 0 || f > 1 {
+				return d, fmt.Errorf("scenario: %s.loss must be a probability in [0, 1]", where)
+			}
+			d.Loss = f
+		case "seed":
+			v, err := val.Int()
+			if err != nil {
+				return d, fmt.Errorf("scenario: %s.seed must be an integer", where)
+			}
+			d.Seed = v
+		default:
+			return d, fmt.Errorf("scenario: %s has no knob %q", where, key)
+		}
+	}
+	return d, nil
+}
+
+func (sc *Scenario) parseUEs(n *yamlite.Node) error {
+	if n == nil || n.Kind != yamlite.KindSeq {
+		return fmt.Errorf("scenario: ues section must be a sequence")
+	}
+	for i, item := range n.Items() {
+		g, err := parseUEGroup(item, fmt.Sprintf("ues[%d]", i))
+		if err != nil {
+			return err
+		}
+		sc.UEs = append(sc.UEs, g)
+	}
+	return nil
+}
+
+func parseUEGroup(n *yamlite.Node, where string) (UEGroup, error) {
+	g := UEGroup{Count: 1}
+	if n == nil || n.Kind != yamlite.KindMap {
+		return g, fmt.Errorf("scenario: %s must be a map", where)
+	}
+	for _, key := range n.Keys() {
+		val := n.Get(key)
+		switch key {
+		case "count":
+			v, err := posInt(val)
+			if err != nil {
+				return g, fmt.Errorf("scenario: %s.count must be a positive integer", where)
+			}
+			g.Count = int(v)
+		case "enb":
+			if val.Str() == "all" {
+				g.AllENBs = true
+				break
+			}
+			v, err := posInt(val)
+			if err != nil {
+				return g, fmt.Errorf("scenario: %s.enb must be a positive integer or \"all\"", where)
+			}
+			g.ENB = lte.ENBID(v)
+		case "cell":
+			v, err := nonNegInt(val)
+			if err != nil {
+				return g, fmt.Errorf("scenario: %s.cell must be a non-negative integer", where)
+			}
+			g.Cell = lte.CellID(v)
+		case "imsi_base":
+			v, err := posInt(val)
+			if err != nil {
+				return g, fmt.Errorf("scenario: %s.imsi_base must be a positive integer", where)
+			}
+			g.IMSIBase = uint64(v)
+		case "group":
+			v, err := nonNegInt(val)
+			if err != nil {
+				return g, fmt.Errorf("scenario: %s.group must be a non-negative integer", where)
+			}
+			g.Group = int(v)
+		case "placement":
+			p, err := parsePlacement(val, where+".placement")
+			if err != nil {
+				return g, err
+			}
+			g.Place = &p
+		case "mobility":
+			m, err := parseMobility(val, where+".mobility")
+			if err != nil {
+				return g, err
+			}
+			g.Mobility = &m
+		case "channel":
+			c, err := parseChannel(val, where+".channel")
+			if err != nil {
+				return g, err
+			}
+			g.Channel = c
+		case "traffic":
+			mix, err := parseTrafficMix(val, where+".traffic")
+			if err != nil {
+				return g, err
+			}
+			g.DL = mix
+		case "uplink":
+			mix, err := parseTrafficMix(val, where+".uplink")
+			if err != nil {
+				return g, err
+			}
+			g.UL = mix
+		default:
+			return g, fmt.Errorf("scenario: %s has no knob %q", where, key)
+		}
+	}
+	if g.IMSIBase == 0 {
+		return g, fmt.Errorf("scenario: %s.imsi_base is required", where)
+	}
+	if g.ENB == 0 && !g.AllENBs {
+		return g, fmt.Errorf("scenario: %s.enb is required", where)
+	}
+	return g, nil
+}
+
+func parsePoint(n *yamlite.Node, where string) (PointDecl, error) {
+	fs, err := n.Floats()
+	if err != nil || len(fs) != 2 {
+		return PointDecl{}, fmt.Errorf("scenario: %s must be an [x, y] pair", where)
+	}
+	return PointDecl{X: fs[0], Y: fs[1]}, nil
+}
+
+func parsePlacement(n *yamlite.Node, where string) (PlacementDecl, error) {
+	var p PlacementDecl
+	if n == nil || n.Kind != yamlite.KindMap {
+		return p, fmt.Errorf("scenario: %s must be a map", where)
+	}
+	for _, key := range n.Keys() {
+		val := n.Get(key)
+		switch key {
+		case "at":
+			pt, err := parsePoint(val, where+".at")
+			if err != nil {
+				return p, err
+			}
+			p.Kind, p.At = "at", pt
+		case "from":
+			pt, err := parsePoint(val, where+".from")
+			if err != nil {
+				return p, err
+			}
+			p.Kind, p.From = "line", pt
+		case "to":
+			pt, err := parsePoint(val, where+".to")
+			if err != nil {
+				return p, err
+			}
+			p.Kind, p.To = "line", pt
+		case "min":
+			pt, err := parsePoint(val, where+".min")
+			if err != nil {
+				return p, err
+			}
+			p.Kind, p.Min = "box", pt
+		case "max":
+			pt, err := parsePoint(val, where+".max")
+			if err != nil {
+				return p, err
+			}
+			p.Kind, p.Max = "box", pt
+		case "seed":
+			v, err := val.Int()
+			if err != nil {
+				return p, fmt.Errorf("scenario: %s.seed must be an integer", where)
+			}
+			p.Seed = v
+		default:
+			return p, fmt.Errorf("scenario: %s has no knob %q", where, key)
+		}
+	}
+	if p.Kind == "" {
+		return p, fmt.Errorf("scenario: %s needs at/from+to/min+max", where)
+	}
+	return p, nil
+}
+
+func parseMobility(n *yamlite.Node, where string) (MobilityDecl, error) {
+	var m MobilityDecl
+	if n == nil || n.Kind != yamlite.KindMap {
+		return m, fmt.Errorf("scenario: %s must be a map", where)
+	}
+	for _, key := range n.Keys() {
+		val := n.Get(key)
+		switch key {
+		case "model":
+			m.Model = val.Str()
+		case "path":
+			if val == nil || val.Kind != yamlite.KindSeq {
+				return m, fmt.Errorf("scenario: %s.path must be a sequence of [x, y] pairs", where)
+			}
+			for _, it := range val.Items() {
+				pt, err := parsePoint(it, where+".path")
+				if err != nil {
+					return m, err
+				}
+				m.Path = append(m.Path, pt)
+			}
+		case "speed_mps":
+			f, err := val.Float()
+			if err != nil || f < 0 {
+				return m, fmt.Errorf("scenario: %s.speed_mps must be a non-negative number", where)
+			}
+			m.SpeedMps = f
+		case "speed_step_mps":
+			f, err := val.Float()
+			if err != nil {
+				return m, fmt.Errorf("scenario: %s.speed_step_mps must be a number", where)
+			}
+			m.SpeedStepMps = f
+		case "ping_pong":
+			b, err := val.Bool()
+			if err != nil {
+				return m, fmt.Errorf("scenario: %s.ping_pong must be a boolean", where)
+			}
+			m.PingPong = b
+		case "min":
+			pt, err := parsePoint(val, where+".min")
+			if err != nil {
+				return m, err
+			}
+			m.Min = pt
+		case "max":
+			pt, err := parsePoint(val, where+".max")
+			if err != nil {
+				return m, err
+			}
+			m.Max = pt
+		case "seed":
+			v, err := val.Int()
+			if err != nil {
+				return m, fmt.Errorf("scenario: %s.seed must be an integer", where)
+			}
+			m.Seed = v
+		default:
+			return m, fmt.Errorf("scenario: %s has no knob %q", where, key)
+		}
+	}
+	switch m.Model {
+	case "static", "waypoint", "random_waypoint":
+	case "":
+		return m, fmt.Errorf("scenario: %s.model is required", where)
+	default:
+		return m, fmt.Errorf("scenario: %s.model: unknown mobility model %q", where, m.Model)
+	}
+	if m.Model == "waypoint" && len(m.Path) < 2 {
+		return m, fmt.Errorf("scenario: %s.path needs at least 2 waypoints", where)
+	}
+	return m, nil
+}
+
+func parseChannel(n *yamlite.Node, where string) (ChannelDecl, error) {
+	c := ChannelDecl{Model: "auto", Rho: 0.99, Sigma: 1.5}
+	if n == nil || n.Kind != yamlite.KindMap {
+		return c, fmt.Errorf("scenario: %s must be a map", where)
+	}
+	for _, key := range n.Keys() {
+		val := n.Get(key)
+		switch key {
+		case "model":
+			c.Model = val.Str()
+		case "cqi":
+			v, err := cqiVal(val)
+			if err != nil {
+				return c, fmt.Errorf("scenario: %s.cqi must be a CQI in [1, 15]", where)
+			}
+			c.CQI = v
+		case "mean":
+			f, err := val.Float()
+			if err != nil {
+				return c, fmt.Errorf("scenario: %s.mean must be a number", where)
+			}
+			c.Mean = f
+		case "rho":
+			f, err := val.Float()
+			if err != nil || f < 0 || f >= 1 {
+				return c, fmt.Errorf("scenario: %s.rho must be in [0, 1)", where)
+			}
+			c.Rho = f
+		case "sigma":
+			f, err := val.Float()
+			if err != nil || f < 0 {
+				return c, fmt.Errorf("scenario: %s.sigma must be a non-negative number", where)
+			}
+			c.Sigma = f
+		case "seed":
+			v, err := val.Int()
+			if err != nil {
+				return c, fmt.Errorf("scenario: %s.seed must be an integer", where)
+			}
+			c.Seed = v
+		case "a":
+			v, err := cqiVal(val)
+			if err != nil {
+				return c, fmt.Errorf("scenario: %s.a must be a CQI in [1, 15]", where)
+			}
+			c.A = v
+		case "b":
+			v, err := cqiVal(val)
+			if err != nil {
+				return c, fmt.Errorf("scenario: %s.b must be a CQI in [1, 15]", where)
+			}
+			c.B = v
+		case "half_period_tti":
+			v, err := posInt(val)
+			if err != nil {
+				return c, fmt.Errorf("scenario: %s.half_period_tti must be a positive integer", where)
+			}
+			c.HalfPeriodTTI = v
+		case "clear":
+			v, err := cqiVal(val)
+			if err != nil {
+				return c, fmt.Errorf("scenario: %s.clear must be a CQI in [1, 15]", where)
+			}
+			c.Clear = v
+		case "hit":
+			v, err := cqiVal(val)
+			if err != nil {
+				return c, fmt.Errorf("scenario: %s.hit must be a CQI in [1, 15]", where)
+			}
+			c.Hit = v
+		case "interferer_enb":
+			v, err := posInt(val)
+			if err != nil {
+				return c, fmt.Errorf("scenario: %s.interferer_enb must be a positive integer", where)
+			}
+			c.InterfererENB = lte.ENBID(v)
+		case "interferer_cell":
+			v, err := nonNegInt(val)
+			if err != nil {
+				return c, fmt.Errorf("scenario: %s.interferer_cell must be a non-negative integer", where)
+			}
+			c.InterfererCell = lte.CellID(v)
+		default:
+			return c, fmt.Errorf("scenario: %s has no knob %q", where, key)
+		}
+	}
+	switch c.Model {
+	case "auto", "geo":
+	case "fixed":
+		if c.CQI == 0 {
+			return c, fmt.Errorf("scenario: %s.cqi is required for the fixed model", where)
+		}
+	case "fading":
+		if c.Mean == 0 {
+			return c, fmt.Errorf("scenario: %s.mean is required for the fading model", where)
+		}
+	case "squarewave":
+		if c.A == 0 || c.B == 0 || c.HalfPeriodTTI == 0 {
+			return c, fmt.Errorf("scenario: %s needs a, b and half_period_tti for the squarewave model", where)
+		}
+	case "interference_switched":
+		if c.Clear == 0 || c.Hit == 0 || c.InterfererENB == 0 {
+			return c, fmt.Errorf("scenario: %s needs clear, hit and interferer_enb for the interference_switched model", where)
+		}
+	default:
+		return c, fmt.Errorf("scenario: %s.model: unknown channel model %q", where, c.Model)
+	}
+	return c, nil
+}
+
+func parseTrafficMix(n *yamlite.Node, where string) ([]TrafficDecl, error) {
+	if n == nil || n.Kind != yamlite.KindSeq {
+		return nil, fmt.Errorf("scenario: %s must be a sequence", where)
+	}
+	var mix []TrafficDecl
+	for i, item := range n.Items() {
+		d, err := parseTraffic(item, fmt.Sprintf("%s[%d]", where, i))
+		if err != nil {
+			return nil, err
+		}
+		mix = append(mix, d)
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("scenario: %s must not be empty", where)
+	}
+	if len(mix) == 1 && mix[0].Share == 0 {
+		mix[0].Share = 1
+	}
+	sum := 0.0
+	for _, d := range mix {
+		sum += d.Share
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, fmt.Errorf("scenario: %s: shares sum to %.3f, want 1.0", where, sum)
+	}
+	return mix, nil
+}
+
+func parseTraffic(n *yamlite.Node, where string) (TrafficDecl, error) {
+	var d TrafficDecl
+	if n == nil || n.Kind != yamlite.KindMap {
+		return d, fmt.Errorf("scenario: %s must be a map", where)
+	}
+	for _, key := range n.Keys() {
+		val := n.Get(key)
+		switch key {
+		case "kind":
+			d.Kind = val.Str()
+		case "share":
+			f, err := val.Float()
+			if err != nil || f <= 0 || f > 1 {
+				return d, fmt.Errorf("scenario: %s.share must be in (0, 1]", where)
+			}
+			d.Share = f
+		case "rate_kbps":
+			f, err := val.Float()
+			if err != nil || f <= 0 {
+				return d, fmt.Errorf("scenario: %s.rate_kbps must be a positive number", where)
+			}
+			d.RateKbps = f
+		case "mean_kbps":
+			f, err := val.Float()
+			if err != nil || f <= 0 {
+				return d, fmt.Errorf("scenario: %s.mean_kbps must be a positive number", where)
+			}
+			d.MeanKbps = f
+		case "packet_bytes":
+			v, err := posInt(val)
+			if err != nil {
+				return d, fmt.Errorf("scenario: %s.packet_bytes must be a positive integer", where)
+			}
+			d.PacketBytes = int(v)
+		case "on_tti":
+			v, err := posInt(val)
+			if err != nil {
+				return d, fmt.Errorf("scenario: %s.on_tti must be a positive integer", where)
+			}
+			d.OnTTI = int(v)
+		case "off_tti":
+			v, err := posInt(val)
+			if err != nil {
+				return d, fmt.Errorf("scenario: %s.off_tti must be a positive integer", where)
+			}
+			d.OffTTI = int(v)
+		case "start_tti":
+			v, err := nonNegInt(val)
+			if err != nil {
+				return d, fmt.Errorf("scenario: %s.start_tti must be a non-negative integer", where)
+			}
+			d.StartTTI = v
+		case "stop_tti":
+			v, err := nonNegInt(val)
+			if err != nil {
+				return d, fmt.Errorf("scenario: %s.stop_tti must be a non-negative integer", where)
+			}
+			d.StopTTI = v
+		case "seed":
+			v, err := val.Int()
+			if err != nil {
+				return d, fmt.Errorf("scenario: %s.seed must be an integer", where)
+			}
+			d.Seed = v
+		default:
+			return d, fmt.Errorf("scenario: %s has no knob %q", where, key)
+		}
+	}
+	switch d.Kind {
+	case "cbr":
+		if d.RateKbps == 0 {
+			return d, fmt.Errorf("scenario: %s.rate_kbps is required for cbr", where)
+		}
+	case "poisson":
+		if d.MeanKbps == 0 {
+			return d, fmt.Errorf("scenario: %s.mean_kbps is required for poisson", where)
+		}
+	case "onoff":
+		if d.RateKbps == 0 || d.OnTTI == 0 || d.OffTTI == 0 {
+			return d, fmt.Errorf("scenario: %s needs rate_kbps, on_tti and off_tti for onoff", where)
+		}
+	case "full_buffer":
+	case "":
+		return d, fmt.Errorf("scenario: %s.kind is required", where)
+	default:
+		return d, fmt.Errorf("scenario: %s: unknown traffic kind %q", where, d.Kind)
+	}
+	return d, nil
+}
+
+func (sc *Scenario) parseMaster(n *yamlite.Node) error {
+	if n != nil && n.Kind == yamlite.KindScalar && n.Str() == "none" {
+		sc.Master = nil
+		return nil
+	}
+	if n == nil || n.Kind != yamlite.KindMap {
+		return fmt.Errorf("scenario: master section must be a map or \"none\"")
+	}
+	for _, key := range n.Keys() {
+		val := n.Get(key)
+		switch key {
+		case "stats_period_tti":
+			v, err := nonNegInt(val)
+			if err != nil {
+				return fmt.Errorf("scenario: master.stats_period_tti must be a non-negative integer")
+			}
+			sc.Master.StatsPeriodTTI = int(v)
+		case "sync_period_tti":
+			v, err := nonNegInt(val)
+			if err != nil {
+				return fmt.Errorf("scenario: master.sync_period_tti must be a non-negative integer")
+			}
+			sc.Master.SyncPeriodTTI = int(v)
+		case "echo_period_tti":
+			v, err := nonNegInt(val)
+			if err != nil {
+				return fmt.Errorf("scenario: master.echo_period_tti must be a non-negative integer")
+			}
+			sc.Master.EchoPeriodTTI = int(v)
+		case "echo_miss_budget":
+			v, err := nonNegInt(val)
+			if err != nil {
+				return fmt.Errorf("scenario: master.echo_miss_budget must be a non-negative integer")
+			}
+			sc.Master.EchoMissBudget = int(v)
+		case "no_resync":
+			b, err := val.Bool()
+			if err != nil {
+				return fmt.Errorf("scenario: master.no_resync must be a boolean")
+			}
+			sc.Master.NoResync = b
+		case "workers":
+			v, err := nonNegInt(val)
+			if err != nil {
+				return fmt.Errorf("scenario: master.workers must be a non-negative integer")
+			}
+			sc.Master.Workers = int(v)
+		default:
+			return fmt.Errorf("scenario: master has no knob %q", key)
+		}
+	}
+	return nil
+}
+
+func (sc *Scenario) parseApps(n *yamlite.Node) error {
+	if n == nil || n.Kind != yamlite.KindSeq {
+		return fmt.Errorf("scenario: apps section must be a sequence")
+	}
+	for i, item := range n.Items() {
+		a, err := parseApp(item, fmt.Sprintf("apps[%d]", i))
+		if err != nil {
+			return err
+		}
+		sc.Apps = append(sc.Apps, a)
+	}
+	return nil
+}
+
+func parseApp(n *yamlite.Node, where string) (AppDecl, error) {
+	a := AppDecl{
+		PeriodTTI:         100,
+		Policy:            "strongest",
+		CommandTimeoutTTI: 200,
+		ABS:               4,
+	}
+	if n == nil || n.Kind != yamlite.KindMap {
+		return a, fmt.Errorf("scenario: %s must be a map", where)
+	}
+	for _, key := range n.Keys() {
+		val := n.Get(key)
+		switch key {
+		case "kind":
+			a.Kind = val.Str()
+		case "period_tti":
+			v, err := posInt(val)
+			if err != nil {
+				return a, fmt.Errorf("scenario: %s.period_tti must be a positive integer", where)
+			}
+			a.PeriodTTI = int(v)
+		case "policy":
+			switch val.Str() {
+			case "strongest", "load_balanced":
+				a.Policy = val.Str()
+			default:
+				return a, fmt.Errorf("scenario: %s.policy: unknown target policy %q", where, val.Str())
+			}
+		case "load_weight":
+			f, err := val.Float()
+			if err != nil || f < 0 {
+				return a, fmt.Errorf("scenario: %s.load_weight must be a non-negative number", where)
+			}
+			a.LoadWeight = f
+		case "min_margin_db":
+			f, err := val.Float()
+			if err != nil || f < 0 {
+				return a, fmt.Errorf("scenario: %s.min_margin_db must be a non-negative number", where)
+			}
+			a.MinMarginDB = f
+		case "command_timeout_tti":
+			v, err := posInt(val)
+			if err != nil {
+				return a, fmt.Errorf("scenario: %s.command_timeout_tti must be a positive integer", where)
+			}
+			a.CommandTimeoutTTI = int(v)
+		case "enb":
+			v, err := posInt(val)
+			if err != nil {
+				return a, fmt.Errorf("scenario: %s.enb must be a positive integer", where)
+			}
+			a.ENB = lte.ENBID(v)
+		case "plan":
+			if val == nil || val.Kind != yamlite.KindSeq {
+				return a, fmt.Errorf("scenario: %s.plan must be a sequence", where)
+			}
+			for j, it := range val.Items() {
+				ch, err := parseShareChange(it, fmt.Sprintf("%s.plan[%d]", where, j))
+				if err != nil {
+					return a, err
+				}
+				a.Plan = append(a.Plan, ch)
+			}
+		case "macro_enb":
+			v, err := posInt(val)
+			if err != nil {
+				return a, fmt.Errorf("scenario: %s.macro_enb must be a positive integer", where)
+			}
+			a.MacroENB = lte.ENBID(v)
+		case "macro_cell":
+			v, err := nonNegInt(val)
+			if err != nil {
+				return a, fmt.Errorf("scenario: %s.macro_cell must be a non-negative integer", where)
+			}
+			a.MacroCell = lte.CellID(v)
+		case "small_enbs":
+			if val == nil || val.Kind != yamlite.KindSeq {
+				return a, fmt.Errorf("scenario: %s.small_enbs must be a sequence", where)
+			}
+			for _, it := range val.Items() {
+				v, err := posInt(it)
+				if err != nil {
+					return a, fmt.Errorf("scenario: %s.small_enbs must hold positive integers", where)
+				}
+				a.SmallENBs = append(a.SmallENBs, lte.ENBID(v))
+			}
+		case "abs":
+			v, err := posInt(val)
+			if err != nil || v > 9 {
+				return a, fmt.Errorf("scenario: %s.abs must be in [1, 9]", where)
+			}
+			a.ABS = int(v)
+		case "optimized":
+			b, err := val.Bool()
+			if err != nil {
+				return a, fmt.Errorf("scenario: %s.optimized must be a boolean", where)
+			}
+			a.Optimized = b
+		default:
+			return a, fmt.Errorf("scenario: %s has no knob %q", where, key)
+		}
+	}
+	switch a.Kind {
+	case "monitor", "mobility":
+	case "ransharing":
+		if a.ENB == 0 {
+			return a, fmt.Errorf("scenario: %s.enb is required for ransharing", where)
+		}
+	case "eicic":
+		if a.MacroENB == 0 || len(a.SmallENBs) == 0 {
+			return a, fmt.Errorf("scenario: %s needs macro_enb and small_enbs for eicic", where)
+		}
+	case "":
+		return a, fmt.Errorf("scenario: %s.kind is required", where)
+	default:
+		return a, fmt.Errorf("scenario: %s: unknown app kind %q", where, a.Kind)
+	}
+	return a, nil
+}
+
+func parseShareChange(n *yamlite.Node, where string) (ShareChangeDecl, error) {
+	var ch ShareChangeDecl
+	if n == nil || n.Kind != yamlite.KindMap {
+		return ch, fmt.Errorf("scenario: %s must be a map", where)
+	}
+	for _, key := range n.Keys() {
+		val := n.Get(key)
+		switch key {
+		case "at":
+			v, err := nonNegInt(val)
+			if err != nil {
+				return ch, fmt.Errorf("scenario: %s.at must be a non-negative integer", where)
+			}
+			ch.At = v
+		case "shares":
+			fs, err := val.Floats()
+			if err != nil || len(fs) == 0 {
+				return ch, fmt.Errorf("scenario: %s.shares must be a float sequence", where)
+			}
+			ch.Shares = fs
+		default:
+			return ch, fmt.Errorf("scenario: %s has no knob %q", where, key)
+		}
+	}
+	if ch.Shares == nil {
+		return ch, fmt.Errorf("scenario: %s.shares is required", where)
+	}
+	return ch, nil
+}
+
+func (sc *Scenario) parseSlicing(n *yamlite.Node) error {
+	if n == nil || n.Kind != yamlite.KindSeq {
+		return fmt.Errorf("scenario: slicing section must be a sequence")
+	}
+	for i, item := range n.Items() {
+		where := fmt.Sprintf("slicing[%d]", i)
+		d := SliceDecl{Scheduler: "rr"}
+		if item == nil || item.Kind != yamlite.KindMap {
+			return fmt.Errorf("scenario: %s must be a map", where)
+		}
+		for _, key := range item.Keys() {
+			val := item.Get(key)
+			switch key {
+			case "enb":
+				if val.Str() == "all" {
+					d.All = true
+					break
+				}
+				v, err := posInt(val)
+				if err != nil {
+					return fmt.Errorf("scenario: %s.enb must be a positive integer or \"all\"", where)
+				}
+				d.ENB = lte.ENBID(v)
+			case "shares":
+				fs, err := val.Floats()
+				if err != nil || len(fs) == 0 {
+					return fmt.Errorf("scenario: %s.shares must be a float sequence", where)
+				}
+				d.Shares = fs
+			case "work_conserving":
+				b, err := val.Bool()
+				if err != nil {
+					return fmt.Errorf("scenario: %s.work_conserving must be a boolean", where)
+				}
+				d.WorkConserving = b
+			case "scheduler":
+				switch val.Str() {
+				case "rr", "pf":
+					d.Scheduler = val.Str()
+				default:
+					return fmt.Errorf("scenario: %s.scheduler: unknown scheduler %q", where, val.Str())
+				}
+			default:
+				return fmt.Errorf("scenario: %s has no knob %q", where, key)
+			}
+		}
+		if d.Shares == nil {
+			return fmt.Errorf("scenario: %s.shares is required", where)
+		}
+		if d.ENB == 0 && !d.All {
+			return fmt.Errorf("scenario: %s.enb is required (an id or \"all\")", where)
+		}
+		sum := 0.0
+		for _, f := range d.Shares {
+			if f < 0 || f > 1 {
+				return fmt.Errorf("scenario: %s.shares must hold fractions in [0, 1]", where)
+			}
+			sum += f
+		}
+		if sum > 1+1e-9 {
+			return fmt.Errorf("scenario: %s.shares sum to %.3f, want <= 1.0", where, sum)
+		}
+		sc.Slices = append(sc.Slices, d)
+	}
+	return nil
+}
+
+func (sc *Scenario) parseFaults(n *yamlite.Node) error {
+	if n == nil || n.Kind != yamlite.KindSeq {
+		return fmt.Errorf("scenario: faults section must be a sequence")
+	}
+	for i, item := range n.Items() {
+		where := fmt.Sprintf("faults[%d]", i)
+		var d FaultDecl
+		if item == nil || item.Kind != yamlite.KindMap {
+			return fmt.Errorf("scenario: %s must be a map", where)
+		}
+		for _, key := range item.Keys() {
+			val := item.Get(key)
+			switch key {
+			case "at":
+				v, err := nonNegInt(val)
+				if err != nil {
+					return fmt.Errorf("scenario: %s.at must be a non-negative integer", where)
+				}
+				d.At = v
+			case "kind":
+				switch val.Str() {
+				case "link_cut", "link_restore", "agent_restart":
+					d.Kind = val.Str()
+				default:
+					return fmt.Errorf("scenario: %s: unknown fault kind %q", where, val.Str())
+				}
+			case "enb":
+				v, err := posInt(val)
+				if err != nil {
+					return fmt.Errorf("scenario: %s.enb must be a positive integer", where)
+				}
+				d.ENB = lte.ENBID(v)
+			default:
+				return fmt.Errorf("scenario: %s has no knob %q", where, key)
+			}
+		}
+		if d.Kind == "" {
+			return fmt.Errorf("scenario: %s.kind is required", where)
+		}
+		if d.ENB == 0 {
+			return fmt.Errorf("scenario: %s.enb is required", where)
+		}
+		sc.Faults = append(sc.Faults, d)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Cross-section validation.
+
+func (sc *Scenario) validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("scenario: name is required")
+	}
+	if sc.Run.TTIs == 0 {
+		return fmt.Errorf("scenario: run.ttis is required")
+	}
+	if len(sc.ENBs) == 0 {
+		return fmt.Errorf("scenario: topology declares no eNodeBs")
+	}
+	byID := map[lte.ENBID]*ENBDecl{}
+	for i := range sc.ENBs {
+		d := &sc.ENBs[i]
+		if byID[d.ID] != nil {
+			return fmt.Errorf("scenario: duplicate eNodeB id %d", d.ID)
+		}
+		byID[d.ID] = d
+	}
+	hasMap := false
+	for i := range sc.ENBs {
+		if sc.ENBs[i].HasSite {
+			hasMap = true
+		}
+	}
+	imsis := map[uint64]bool{}
+	for i := range sc.UEs {
+		g := &sc.UEs[i]
+		where := fmt.Sprintf("ues[%d]", i)
+		targets := []*ENBDecl{byID[g.ENB]}
+		if g.AllENBs {
+			targets = targets[:0]
+			for j := range sc.ENBs {
+				targets = append(targets, &sc.ENBs[j])
+			}
+		} else if targets[0] == nil {
+			return fmt.Errorf("scenario: %s.enb: unknown eNodeB %d", where, g.ENB)
+		}
+		for _, t := range targets {
+			if int(g.Cell) >= t.Cells {
+				return fmt.Errorf("scenario: %s.cell: eNodeB %d has no cell %d", where, t.ID, g.Cell)
+			}
+		}
+		n := g.Count
+		if g.AllENBs {
+			n *= len(sc.ENBs)
+		}
+		for k := 0; k < n; k++ {
+			imsi := g.IMSIBase + uint64(k)
+			if imsis[imsi] {
+				return fmt.Errorf("scenario: %s: IMSI %d collides with another group", where, imsi)
+			}
+			imsis[imsi] = true
+		}
+		// Resolve "auto" the same way the builder will: geo with a radio
+		// map, fixed without one — so every geo-channel constraint below
+		// covers both spellings.
+		model := g.Channel.Model
+		if model == "auto" || model == "" {
+			if hasMap {
+				model = "geo"
+			} else {
+				model = "fixed"
+			}
+		}
+		switch model {
+		case "geo":
+			if !hasMap {
+				return fmt.Errorf("scenario: %s: the geo channel model needs radio-map sites (power_dbm on eNodeBs)", where)
+			}
+			// A siteless serving eNodeB yields CQI 0 forever — the UE
+			// would silently never attach.
+			for _, t := range targets {
+				if !t.HasSite {
+					return fmt.Errorf("scenario: %s: eNodeB %d has no radio-map site for the geo channel", where, t.ID)
+				}
+			}
+			if g.Mobility == nil && g.Place == nil {
+				return fmt.Errorf("scenario: %s needs a placement or mobility model for the geo channel", where)
+			}
+		case "interference_switched":
+			itf := byID[g.Channel.InterfererENB]
+			if itf == nil {
+				return fmt.Errorf("scenario: %s.channel.interferer_enb: unknown eNodeB %d", where, g.Channel.InterfererENB)
+			}
+			if int(g.Channel.InterfererCell) >= itf.Cells {
+				return fmt.Errorf("scenario: %s.channel.interferer_cell: eNodeB %d has no cell %d", where, g.Channel.InterfererENB, g.Channel.InterfererCell)
+			}
+		}
+		if g.Mobility != nil && g.Mobility.Model != "static" && model == "fixed" {
+			return fmt.Errorf("scenario: %s: a moving UE needs a geo channel, not %q", where, model)
+		}
+		if len(g.DL) == 0 && len(g.UL) == 0 {
+			return fmt.Errorf("scenario: %s declares no traffic", where)
+		}
+	}
+	for i, a := range sc.Apps {
+		where := fmt.Sprintf("apps[%d]", i)
+		if sc.Master == nil {
+			return fmt.Errorf("scenario: %s: apps need a master (remove \"master: none\")", where)
+		}
+		switch a.Kind {
+		case "ransharing":
+			if byID[a.ENB] == nil {
+				return fmt.Errorf("scenario: %s.enb: unknown eNodeB %d", where, a.ENB)
+			}
+		case "eicic":
+			if byID[a.MacroENB] == nil {
+				return fmt.Errorf("scenario: %s.macro_enb: unknown eNodeB %d", where, a.MacroENB)
+			}
+			for _, id := range a.SmallENBs {
+				if byID[id] == nil {
+					return fmt.Errorf("scenario: %s.small_enbs: unknown eNodeB %d", where, id)
+				}
+			}
+		}
+	}
+	for i, d := range sc.Slices {
+		where := fmt.Sprintf("slicing[%d]", i)
+		if !d.All {
+			t := byID[d.ENB]
+			if t == nil {
+				return fmt.Errorf("scenario: %s.enb: unknown eNodeB %d", where, d.ENB)
+			}
+			if !t.Agent {
+				return fmt.Errorf("scenario: %s: eNodeB %d has no agent to slice", where, d.ENB)
+			}
+		}
+	}
+	for i, f := range sc.Faults {
+		where := fmt.Sprintf("faults[%d]", i)
+		if sc.Master == nil {
+			return fmt.Errorf("scenario: %s: faults need a master (remove \"master: none\")", where)
+		}
+		t := byID[f.ENB]
+		if t == nil {
+			return fmt.Errorf("scenario: %s.enb: unknown eNodeB %d", where, f.ENB)
+		}
+		if !t.Agent {
+			return fmt.Errorf("scenario: %s: eNodeB %d has no agent to fault", where, f.ENB)
+		}
+		if f.At >= int64(sc.Run.TTIs) {
+			return fmt.Errorf("scenario: %s: at TTI %d beyond run length %d", where, f.At, sc.Run.TTIs)
+		}
+	}
+	// eNodeBs must be declared in a stable id order for deterministic
+	// engine sharding regardless of map iteration anywhere upstream.
+	sorted := sort.SliceIsSorted(sc.ENBs, func(i, j int) bool { return sc.ENBs[i].ID < sc.ENBs[j].ID })
+	if !sorted {
+		sort.SliceStable(sc.ENBs, func(i, j int) bool { return sc.ENBs[i].ID < sc.ENBs[j].ID })
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Scalar helpers.
+
+func posInt(n *yamlite.Node) (int64, error) {
+	v, err := n.Int()
+	if err != nil {
+		return 0, err
+	}
+	if v <= 0 {
+		return 0, errors.New("not positive")
+	}
+	return v, nil
+}
+
+func nonNegInt(n *yamlite.Node) (int64, error) {
+	v, err := n.Int()
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 {
+		return 0, errors.New("negative")
+	}
+	return v, nil
+}
+
+func cqiVal(n *yamlite.Node) (int64, error) {
+	v, err := n.Int()
+	if err != nil {
+		return 0, err
+	}
+	if v < 1 || v > int64(lte.MaxCQI) {
+		return 0, errors.New("out of range")
+	}
+	return v, nil
+}

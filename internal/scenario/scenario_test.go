@@ -1,0 +1,336 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flexran/internal/ue"
+)
+
+// minimalDoc is a valid single-eNodeB scenario the error table mutates.
+const minimalDoc = `
+name: t
+run:
+  ttis: 100
+topology:
+  enbs:
+    - id: 1
+ues:
+  - count: 2
+    enb: 1
+    imsi_base: 100
+    channel:
+      model: fixed
+      cqi: 10
+    traffic:
+      - kind: cbr
+        rate_kbps: 100
+`
+
+func TestParseMinimal(t *testing.T) {
+	sc, err := Parse(minimalDoc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if sc.Name != "t" || sc.Run.TTIs != 100 || len(sc.ENBs) != 1 || len(sc.UEs) != 1 {
+		t.Fatalf("unexpected parse result: %+v", sc)
+	}
+	if sc.Run.AttachTTIs != DefaultAttachTTIs {
+		t.Fatalf("attach_ttis default = %d, want %d", sc.Run.AttachTTIs, DefaultAttachTTIs)
+	}
+	if sc.Master == nil || sc.Master.StatsPeriodTTI != 1 {
+		t.Fatalf("master defaults not applied: %+v", sc.Master)
+	}
+}
+
+// TestValidationErrors pins the exact error text of every declarative
+// misconfiguration the parser guards against: the messages are the user
+// interface of the scenario engine.
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{
+			name: "unknown top-level key",
+			doc:  "name: t\nbogus: 1\nrun:\n  ttis: 10\n",
+			want: `scenario: unknown top-level key "bogus"`,
+		},
+		{
+			name: "missing name",
+			doc:  "run:\n  ttis: 10\ntopology:\n  enbs:\n    - id: 1\n",
+			want: "scenario: name is required",
+		},
+		{
+			name: "missing run ttis",
+			doc:  "name: t\ntopology:\n  enbs:\n    - id: 1\n",
+			want: "scenario: run.ttis is required",
+		},
+		{
+			name: "non-positive ttis",
+			doc:  "name: t\nrun:\n  ttis: 0\n",
+			want: "scenario: run.ttis must be a positive integer",
+		},
+		{
+			name: "no eNodeBs",
+			doc:  "name: t\nrun:\n  ttis: 10\n",
+			want: "scenario: topology declares no eNodeBs",
+		},
+		{
+			name: "unknown run knob",
+			doc:  "name: t\nrun:\n  ttis: 10\n  warp_factor: 9\n",
+			want: `scenario: run has no knob "warp_factor"`,
+		},
+		{
+			name: "duplicate eNodeB id",
+			doc:  "name: t\nrun:\n  ttis: 10\ntopology:\n  enbs:\n    - id: 1\n    - id: 1\n",
+			want: "scenario: duplicate eNodeB id 1",
+		},
+		{
+			name: "unknown app kind",
+			doc: minimalDoc + `
+apps:
+  - kind: chaos-monkey
+`,
+			want: `scenario: apps[0]: unknown app kind "chaos-monkey"`,
+		},
+		{
+			name: "traffic shares not summing to 1",
+			doc: strings.Replace(minimalDoc, `    traffic:
+      - kind: cbr
+        rate_kbps: 100
+`, `    traffic:
+      - kind: cbr
+        share: 0.5
+        rate_kbps: 100
+      - kind: full_buffer
+        share: 0.4
+`, 1),
+			want: "scenario: ues[0].traffic: shares sum to 0.900, want 1.0",
+		},
+		{
+			name: "unknown traffic kind",
+			doc: strings.Replace(minimalDoc, "kind: cbr\n        rate_kbps: 100",
+				"kind: torrent", 1),
+			want: `scenario: ues[0].traffic[0]: unknown traffic kind "torrent"`,
+		},
+		{
+			name: "fault beyond run length",
+			doc: minimalDoc + `
+faults:
+  - at: 500
+    kind: link_cut
+    enb: 1
+`,
+			want: "scenario: faults[0]: at TTI 500 beyond run length 100",
+		},
+		{
+			name: "fault on unknown eNodeB",
+			doc: minimalDoc + `
+faults:
+  - at: 50
+    kind: link_cut
+    enb: 9
+`,
+			want: "scenario: faults[0].enb: unknown eNodeB 9",
+		},
+		{
+			name: "unknown fault kind",
+			doc: minimalDoc + `
+faults:
+  - at: 50
+    kind: emp_blast
+    enb: 1
+`,
+			want: `scenario: faults[0]: unknown fault kind "emp_blast"`,
+		},
+		{
+			name: "UE group on unknown eNodeB",
+			doc:  strings.Replace(minimalDoc, "enb: 1\n    imsi_base: 100", "enb: 7\n    imsi_base: 100", 1),
+			want: "scenario: ues[0].enb: unknown eNodeB 7",
+		},
+		{
+			name: "IMSI collision between groups",
+			doc: minimalDoc + `  - count: 1
+    enb: 1
+    imsi_base: 101
+    channel:
+      model: fixed
+      cqi: 5
+    traffic:
+      - kind: full_buffer
+`,
+			want: "scenario: ues[1]: IMSI 101 collides with another group",
+		},
+		{
+			name: "unknown channel model",
+			doc: strings.Replace(minimalDoc, "model: fixed\n      cqi: 10",
+				"model: quantum", 1),
+			want: `scenario: ues[0].channel.model: unknown channel model "quantum"`,
+		},
+		{
+			name: "geo channel without radio map",
+			doc: strings.Replace(minimalDoc, "model: fixed\n      cqi: 10",
+				"model: geo", 1),
+			want: "scenario: ues[0]: the geo channel model needs radio-map sites (power_dbm on eNodeBs)",
+		},
+		{
+			name: "explicit geo channel on a siteless eNodeB",
+			doc: strings.Replace(strings.Replace(minimalDoc,
+				"    - id: 1", "    - id: 1\n    - id: 2\n      power_dbm: 43", 1),
+				`    channel:
+      model: fixed
+      cqi: 10`, `    placement:
+      at: [10, 10]
+    channel:
+      model: geo`, 1),
+			want: "scenario: ues[0]: eNodeB 1 has no radio-map site for the geo channel",
+		},
+		{
+			name: "auto channel on enb all with a siteless eNodeB",
+			doc: strings.Replace(strings.Replace(minimalDoc,
+				"    - id: 1", "    - id: 1\n    - id: 2\n      power_dbm: 43", 1),
+				`    enb: 1
+    imsi_base: 100
+    channel:
+      model: fixed
+      cqi: 10`, `    enb: all
+    imsi_base: 100
+    placement:
+      at: [10, 10]`, 1),
+			want: "scenario: ues[0]: eNodeB 1 has no radio-map site for the geo channel",
+		},
+		{
+			name: "moving UE on a fixed channel",
+			doc: strings.Replace(minimalDoc, "    channel:", `    mobility:
+      model: random_waypoint
+      speed_mps: 10
+    channel:`, 1),
+			want: `scenario: ues[0]: a moving UE needs a geo channel, not "fixed"`,
+		},
+		{
+			name: "unknown mobility model",
+			doc: strings.Replace(minimalDoc, "    channel:", `    mobility:
+      model: teleport
+    channel:`, 1),
+			want: `scenario: ues[0].mobility.model: unknown mobility model "teleport"`,
+		},
+		{
+			name: "app without master",
+			doc: minimalDoc + `master: none
+apps:
+  - kind: monitor
+`,
+			want: `scenario: apps[0]: apps need a master (remove "master: none")`,
+		},
+		{
+			name: "slicing shares over 1",
+			doc: minimalDoc + `slicing:
+  - enb: 1
+    shares: [0.8, 0.7]
+`,
+			want: "scenario: slicing[0].shares sum to 1.500, want <= 1.0",
+		},
+		{
+			name: "slicing on unknown eNodeB",
+			doc: minimalDoc + `slicing:
+  - enb: 3
+    shares: [0.5, 0.5]
+`,
+			want: "scenario: slicing[0].enb: unknown eNodeB 3",
+		},
+		{
+			name: "ransharing without enb",
+			doc: minimalDoc + `apps:
+  - kind: ransharing
+    plan:
+      - at: 10
+        shares: [0.5, 0.5]
+`,
+			want: "scenario: apps[0].enb is required for ransharing",
+		},
+		{
+			name: "netem loss out of range",
+			doc: strings.Replace(minimalDoc, "    - id: 1", `    - id: 1
+      to_master:
+        loss: 1.5`, 1),
+			want: "scenario: topology.enbs[0].to_master.loss must be a probability in [0, 1]",
+		},
+		{
+			name: "cqi out of range",
+			doc:  strings.Replace(minimalDoc, "cqi: 10", "cqi: 19", 1),
+			want: "scenario: ues[0].channel.cqi must be a CQI in [1, 15]",
+		},
+		{
+			name: "group without traffic",
+			doc: strings.Replace(minimalDoc, `    traffic:
+      - kind: cbr
+        rate_kbps: 100
+`, "", 1),
+			want: "scenario: ues[0] declares no traffic",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.doc)
+			if err == nil {
+				t.Fatalf("Parse accepted invalid document")
+			}
+			if err.Error() != tc.want {
+				t.Fatalf("error = %q\n      want %q", err.Error(), tc.want)
+			}
+		})
+	}
+}
+
+// TestTrafficMixAssignment checks the deterministic largest-prefix
+// assignment of mix components to UE indices.
+func TestTrafficMixAssignment(t *testing.T) {
+	mix := []TrafficDecl{
+		{Kind: "cbr", Share: 0.5, RateKbps: 100},
+		{Kind: "full_buffer", Share: 0.3},
+		{Kind: "onoff", Share: 0.2, RateKbps: 50, OnTTI: 10, OffTTI: 10},
+	}
+	counts := map[string]int{}
+	for i := 0; i < 10; i++ {
+		switch buildGenerator(mix, 1, uint64(i), i, 10).(type) {
+		case *ue.CBR:
+			counts["cbr"]++
+		case *ue.FullBuffer:
+			counts["full_buffer"]++
+		case *ue.OnOff:
+			counts["onoff"]++
+		default:
+			counts["other"]++
+		}
+	}
+	if counts["cbr"] != 5 || counts["full_buffer"] != 3 || counts["onoff"] != 2 {
+		t.Fatalf("mix assignment = %v, want map[cbr:5 full_buffer:3 onoff:2]", counts)
+	}
+}
+
+// TestScenarioFilesValidate parses every shipped scenario file: the
+// library must never drift out of sync with the parser.
+func TestScenarioFilesValidate(t *testing.T) {
+	dir := filepath.Join("..", "..", "scenarios")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Skipf("no scenarios directory: %v", err)
+	}
+	seen := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".yaml" {
+			continue
+		}
+		seen++
+		if _, err := Load(filepath.Join(dir, e.Name())); err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+		}
+	}
+	if seen == 0 {
+		t.Fatal("scenarios directory holds no .yaml files")
+	}
+}

@@ -454,6 +454,10 @@ func parseScalarOrInline(text string) (*Node, error) {
 	case len(text) >= 2 && text[0] == '\'' && text[len(text)-1] == '\'':
 		n.scalar = strings.ReplaceAll(text[1:len(text)-1], "''", "'")
 		n.quoted = true
+	case len(text) > 0 && (text[0] == '"' || text[0] == '\''):
+		// A leading quote without a matching closer would otherwise be
+		// swallowed as a literal scalar — surface the typo instead.
+		return nil, fmt.Errorf("bad quoted string %s", text)
 	default:
 		n.scalar = text
 	}

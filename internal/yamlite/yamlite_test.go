@@ -278,3 +278,123 @@ func TestDeepNesting(t *testing.T) {
 		t.Error("missing path should yield nil")
 	}
 }
+
+// TestParseErrorMessages pins the exact diagnostics of every parse
+// failure mode: line numbers and reasons are the user interface of the
+// policy/scenario pipeline, so regressions here break operator-facing
+// errors even when parsing itself still fails "correctly".
+func TestParseErrorMessages(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{
+			name: "tab indentation",
+			doc:  "a:\n\tb: 1",
+			want: "yamlite: line 2: tabs are not allowed in indentation",
+		},
+		{
+			name: "duplicate key",
+			doc:  "a: 1\na: 2",
+			want: `yamlite: line 2: duplicate key "a"`,
+		},
+		{
+			name: "duplicate nested key",
+			doc:  "m:\n  x: 1\n  x: 2",
+			want: `yamlite: line 3: duplicate key "x"`,
+		},
+		{
+			name: "bad indentation inside map",
+			doc:  "a: 1\n   b: 2",
+			want: "yamlite: line 2: unexpected indentation",
+		},
+		{
+			name: "seq item then map entry at one level",
+			doc:  "a:\n  - x\n  b: 1",
+			want: "yamlite: line 3: expected sequence item",
+		},
+		{
+			name: "map entry then seq item at one level",
+			doc:  "a:\n  b: 1\n  - x",
+			want: "yamlite: line 3: expected 'key:' entry",
+		},
+		{
+			name: "unterminated inline sequence",
+			doc:  "a: [1, 2",
+			want: `yamlite: line 1: unterminated inline sequence "[1, 2"`,
+		},
+		{
+			name: "bad quoted string",
+			doc:  `a: "unclosed`,
+			want: `yamlite: line 1: bad quoted string "unclosed`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.doc)
+			if err == nil {
+				t.Fatalf("Parse(%q) should fail", tc.doc)
+			}
+			if err.Error() != tc.want {
+				t.Fatalf("error = %q\n      want %q", err.Error(), tc.want)
+			}
+		})
+	}
+}
+
+// TestScalarTypeMismatches covers the typed accessors' error paths: every
+// scenario/policy knob funnels through these, so a wrong value must fail
+// loudly rather than zero-fill.
+func TestScalarTypeMismatches(t *testing.T) {
+	root, err := Parse("num: 7\nstr: hello\nseq: [1, oops]\nmap:\n  k: v\nflag: maybe\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Get("str").Int(); err == nil {
+		t.Error("Int on a non-numeric scalar should fail")
+	}
+	if _, err := root.Get("str").Float(); err == nil {
+		t.Error("Float on a non-numeric scalar should fail")
+	}
+	if _, err := root.Get("map").Int(); err == nil {
+		t.Error("Int on a map should fail")
+	}
+	if _, err := root.Get("seq").Float(); err == nil {
+		t.Error("Float on a sequence should fail")
+	}
+	if _, err := root.Get("seq").Floats(); err == nil {
+		t.Error("Floats over a sequence with a non-float item should fail")
+	}
+	if _, err := root.Get("num").Strings(); err == nil {
+		t.Error("Strings on a scalar should fail")
+	}
+	if _, err := root.Get("flag").Bool(); err == nil {
+		t.Error("Bool on a non-boolean scalar should fail")
+	}
+	if got := root.Get("flag").Str(); got != "maybe" {
+		t.Errorf("Str = %q, want \"maybe\"", got)
+	}
+	if _, err := root.Get("missing").Int(); err == nil {
+		t.Error("Int on a missing node should fail")
+	}
+	if _, err := root.Get("missing").Bool(); err == nil {
+		t.Error("Bool on a missing node should fail")
+	}
+}
+
+// TestEmptyInlineElements: empty elements of an inline sequence (trailing
+// comma, double comma) stay empty scalars — the unterminated-quote guard
+// must not touch them (regression: it used to index text[0] blindly).
+func TestEmptyInlineElements(t *testing.T) {
+	for _, doc := range []string{"a: [1, 2,]", "a: [1,,2]", "a: [ ]"} {
+		root, err := Parse(doc)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", doc, err)
+			continue
+		}
+		if root.Get("a").Kind != KindSeq {
+			t.Errorf("Parse(%q): a is not a sequence", doc)
+		}
+	}
+}
