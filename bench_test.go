@@ -416,6 +416,78 @@ func BenchmarkHandoverScenario(b *testing.B) {
 	b.ReportMetric(float64(len(s.Handovers())-base)/float64(b.N)*1000, "handovers/ksf")
 }
 
+// newSparseSim builds the sparse-activity scale scenario behind the idle
+// fast-forward benchmarks: 4096 masterless eNodeBs with two silent UEs
+// each, plus one always-on CBR UE at every 100th eNodeB — so 1% of the
+// fleet has work in any subframe and the other 99% is provably idle.
+func newSparseSim(noFF bool) *flexran.Sim {
+	var enbs []flexran.ENBSpec
+	for e := 0; e < 4096; e++ {
+		spec := flexran.ENBSpec{ID: flexran.ENBID(e + 1), Seed: int64(e + 1)}
+		for u := 0; u < 2; u++ {
+			spec.UEs = append(spec.UEs, flexran.UESpec{
+				IMSI:    uint64(e*10 + u + 1),
+				Channel: flexran.FixedChannel(flexran.CQI(6 + (e+u)%9)),
+			})
+		}
+		if e%100 == 0 {
+			spec.UEs = append(spec.UEs, flexran.UESpec{
+				IMSI:    uint64(e*10 + 9),
+				Channel: flexran.FixedChannel(12),
+				DL:      flexran.NewCBR(400),
+			})
+		}
+		enbs = append(enbs, spec)
+	}
+	s := flexran.MustNewSim(flexran.SimConfig{NoFastForward: noFF}, enbs...)
+	s.WaitAttached(2000)
+	return s
+}
+
+// BenchmarkSimTTISparse measures one TTI over 4096 eNodeBs with 1% of
+// them active: the idle fast-forward engine skips the sleeping 99%, so
+// the cost is the sleep bookkeeping plus ~41 real eNodeB steps. Compare
+// BenchmarkSimTTISparseNoSkip — the same world with the engine disabled —
+// for the speedup the skip machinery buys at scale.
+func BenchmarkSimTTISparse(b *testing.B) {
+	s := newSparseSim(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+// BenchmarkSimTTISparseNoSkip is the no-skip baseline of the sparse-scale
+// pair: every one of the 4096 eNodeBs steps every subframe.
+func BenchmarkSimTTISparseNoSkip(b *testing.B) {
+	s := newSparseSim(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+// BenchmarkIMSILookup measures the per-subscriber O(1) report path on a
+// 10,000-UE eNodeB: the compact IMSI→slot map plus a struct-of-arrays
+// snapshot gather, the lookup the EPC accounting sweep performs per
+// subscriber at scale.
+func BenchmarkIMSILookup(b *testing.B) {
+	e := enb.New(enb.Config{ID: 1, Seed: 1})
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if _, err := e.AddUE(enb.UEParams{IMSI: uint64(i + 1), Cell: 0, Channel: radio.Fixed(10)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, ok := e.UEReportByIMSI(uint64(i%n + 1))
+		if !ok || r.IMSI != uint64(i%n+1) {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
 // BenchmarkSimTTIParallel sweeps the sharded TTI engine's worker-pool
 // size over the 64-eNodeB scenario. workers=1 is the serial engine
 // baseline; the speedup at higher counts is the Fig. 8-style scaling

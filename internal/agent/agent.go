@@ -471,6 +471,53 @@ func (a *Agent) rebuildSubList() {
 // onSubframe is the agent's TTI tick (installed as an eNodeB hook): it
 // retransmits an unacknowledged Hello, then emits subframe-sync triggers
 // and due statistics reports.
+// NextWork returns the earliest subframe >= from at which onSubframe would
+// do observable work: a pending Hello retransmission, a subframe-sync
+// trigger, or a subscription report. lte.NeverSF means the agent is fully
+// quiescent and its eNodeB may be fast-forwarded past its control ticks.
+// Triggered subscriptions rebuild and hash a report every TTI (the report
+// content depends on the decaying rate averages), so their presence pins
+// the agent awake.
+func (a *Agent) NextWork(from lte.Subframe) lte.Subframe {
+	next := lte.NeverSF
+	if p := a.mgmt.SyncPeriod(); p > 0 {
+		pp := lte.Subframe(p)
+		if w := from + (pp-from%pp)%pp; w < next {
+			next = w
+		}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if retry := a.helloRetry(); retry > 0 && a.send != nil && !a.helloAcked {
+		w := a.lastHello + lte.Subframe(retry)
+		if w < from {
+			w = from
+		}
+		if w < next {
+			next = w
+		}
+	}
+	for _, s := range a.subList {
+		switch s.req.Mode {
+		case protocol.StatsPeriodic:
+			period := lte.Subframe(s.req.PeriodTTI)
+			if period == 0 {
+				continue
+			}
+			w := from
+			if delta := (from - s.started) % period; delta != 0 {
+				w = from + period - delta
+			}
+			if w < next {
+				next = w
+			}
+		case protocol.StatsTriggered:
+			return from
+		}
+	}
+	return next
+}
+
 func (a *Agent) onSubframe(sf lte.Subframe) {
 	if retry := a.helloRetry(); retry > 0 {
 		a.mu.Lock()

@@ -256,6 +256,17 @@ type Master struct {
 	enbScratch  []lte.ENBID
 	slotScratch [][]int
 	slotIdx     map[lte.ENBID]int
+
+	// Per-tick scratch for the session/app snapshots and the batch/sink
+	// arrays, reused across cycles: at controller scale (thousands of
+	// attached agents, most idle) rebuilding these four arrays every TTI
+	// dominated Tick's allocation profile. Entries are overwritten each
+	// cycle before use; sink sub-slices are truncated in place so their
+	// capacity survives.
+	sessScratch  []*session
+	appScratch   []appEntry
+	batchScratch [][]*protocol.Message
+	sinkScratch  []tickSink
 }
 
 // NewMaster builds a master controller.
@@ -427,8 +438,10 @@ func (m *Master) Send(enb lte.ENBID, p protocol.Payload) error {
 // simulated subframe.
 func (m *Master) Tick() {
 	m.mu.Lock()
-	sessions := append([]*session(nil), m.ingest...)
-	apps := append([]appEntry(nil), m.apps...)
+	sessions := append(m.sessScratch[:0], m.ingest...)
+	m.sessScratch = sessions
+	apps := append(m.appScratch[:0], m.apps...)
+	m.appScratch = apps
 	// Liveness transitions queued since the last cycle (transport closes)
 	// dispatch before anything this cycle's updater produces.
 	life := m.pendingLife
@@ -437,11 +450,31 @@ func (m *Master) Tick() {
 
 	// --- RIB Updater slot ---
 	t0 := time.Now()
-	batches := make([][]*protocol.Message, len(sessions))
+	batches := m.batchScratch
+	if cap(batches) < len(sessions) {
+		batches = make([][]*protocol.Message, len(sessions))
+	} else {
+		batches = batches[:len(sessions)]
+	}
+	m.batchScratch = batches
 	for i, s := range sessions {
 		batches[i] = s.drain()
 	}
-	sinks := make([]tickSink, len(sessions))
+	sinks := m.sinkScratch
+	if cap(sinks) >= len(sessions) {
+		sinks = sinks[:len(sessions)]
+	} else {
+		sinks = append(sinks[:cap(sinks)], make([]tickSink, len(sessions)-cap(sinks))...)
+	}
+	m.sinkScratch = sinks
+	for i := range sinks {
+		sk := &sinks[i]
+		sk.events = sk.events[:0]
+		sk.meas = sk.meas[:0]
+		sk.hos = sk.hos[:0]
+		sk.acks = sk.acks[:0]
+		sk.life = sk.life[:0]
+	}
 	slots := m.updaterSlots(sessions, batches)
 	conc.ForEach(m.opts.Workers, len(slots), func(j int) {
 		for _, i := range slots[j] {
@@ -550,6 +583,13 @@ func (m *Master) updaterSlots(sessions []*session, batches [][]*protocol.Message
 	}
 	slots := m.slotScratch[:0]
 	for i := range sessions {
+		if len(batches[i]) == 0 {
+			// Nothing to apply: an idle session needs no updater slot. The
+			// fence/heartbeat/prune paths iterate the session list directly,
+			// so skipping here only trims the parallel fan-out (and, at
+			// scale, the slot bookkeeping for thousands of quiet agents).
+			continue
+		}
 		enb := enbs[i]
 		if enb == 0 && len(batches[i]) > 0 {
 			enb = batches[i][0].ENB

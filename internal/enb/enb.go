@@ -13,6 +13,13 @@
 // delivering transport blocks, reporting state); every *decision* enters
 // through the Hooks structure. A vanilla eNodeB installs local default
 // schedulers; a FlexRAN eNodeB hands the hooks to an agent.
+//
+// UE state is held in a struct-of-arrays layout: the fields every TTI
+// touches (CQI, queues, averaging, HARQ bookkeeping) live in dense parallel
+// lanes indexed by a compact slot id, while the rarely-touched remainder
+// (identity, attach supervision, DRX) sits in a parallel cold array. Slots
+// are recycled through a free list on detach/handover, and two compact maps
+// (RNTI→slot, IMSI→slot) provide O(1) lookups without per-UE heap objects.
 package enb
 
 import (
@@ -90,38 +97,45 @@ type drx struct {
 	onDuration int
 }
 
-// ue is the per-UE data-plane context.
-type ue struct {
-	rnti   lte.RNTI
-	params UEParams
-	state  UEState
-	cqi    lte.CQI
-	attach struct {
-		sigPending int
-		deadline   lte.Subframe
-		attempts   int
-	}
+// hotState holds the per-TTI-touched UE fields as parallel lanes indexed
+// by slot id. Everything the subframe loop reads or writes per UE lives
+// here, contiguous per eNodeB, so the TTI sweep walks dense arrays instead
+// of chasing map buckets and per-UE heap objects.
+//
+// Ownership contract: lanes are owned by the eNodeB's single-threaded
+// driver (simulation shard or agent runtime); slot ids are private and
+// never escape the package. A freed slot is fully zeroed by resetSlot
+// before it returns to the free list — allocSlot relies on that (and so
+// does recycled-slot correctness: stale CQI/queue lanes must never leak
+// into a new UE).
+type hotState struct {
+	rnti       []lte.RNTI
+	state      []UEState
+	cqi        []lte.CQI
+	dlQueue    []int   // RLC transmission queue, bytes
+	ulQueue    []int   // buffer status, bytes
+	sigPending []int   // pending attach signaling, bytes
+	retxDL     []int32 // consecutive HARQ failures (chase combining state)
+	retxUL     []int32
+	ttiDL      []int32 // per-TTI delivery accounting (reset each Step)
+	ttiUL      []int32
+	avgDL      []float64 // PF average rate (EWMA), kbit/s
+	avgUL      []float64
+	lastSched  []lte.Subframe
+}
 
-	dlQueue int // RLC transmission queue, bytes
-	ulQueue int // buffer status, bytes
-
+// coldState is the rarely-touched remainder of a UE slot: identity and
+// channel binding, attach supervision, DRX, and cumulative counters that
+// only move when the UE is actually scheduled.
+type coldState struct {
+	params      UEParams
+	deadline    lte.Subframe // attach deadline
+	attempts    int          // attach attempts
+	drx         drx
 	dlDelivered uint64 // cumulative goodput, bytes
 	ulDelivered uint64
 	dlDropped   uint64 // queue-cap drops
-
-	avgDLKbps float64 // PF average rate (EWMA)
-	avgULKbps float64
-
-	pendingRetxDL int // consecutive HARQ failures (chase combining state)
-	pendingRetxUL int
-	harqRetx      uint32 // cumulative retransmissions
-
-	lastSched lte.Subframe
-	drx       drx
-
-	// per-TTI delivery accounting (reset each Step).
-	ttiDLBytes int
-	ttiULBytes int
+	harqRetx    uint32 // cumulative retransmissions
 }
 
 // cell is one carrier of the eNodeB.
@@ -184,11 +198,24 @@ type ENB struct {
 	// at construction, so the snapshot and scheduling paths iterate this
 	// cached list instead of re-sorting the map every TTI.
 	cellList []*cell
-	ues      map[lte.RNTI]*ue
-	// order is the UE iteration order, kept sorted by RNTI incrementally
-	// (insertion keeps the invariant; removal preserves it), so per-TTI
-	// snapshots never re-sort.
-	order []lte.RNTI
+
+	hot  hotState
+	cold []coldState
+	// order is the live slots in ascending RNTI order, kept sorted
+	// incrementally (insertion keeps the invariant; removal preserves it),
+	// so per-TTI sweeps never re-sort and never touch a map.
+	order      []int32
+	slotOf     map[lte.RNTI]int32
+	slotByIMSI map[uint64]int32
+	free       []int32 // recycled slots (fully zeroed)
+
+	// unsteady counts live UEs whose channel model does not declare a
+	// constant CQI; while nonzero the eNodeB can never be fast-forwarded
+	// (the per-TTI CQI refresh is observable). measurers counts live UEs
+	// whose channel supports L3 measurements, gating the measurement-wake
+	// contribution of NextWake.
+	unsteady  int
+	measurers int
 
 	sf       lte.Subframe
 	hooks    Hooks
@@ -220,11 +247,12 @@ func New(cfg Config) *ENB {
 		cfg.Cells = []protocol.CellConfig{DefaultCell(0)}
 	}
 	e := &ENB{
-		cfg:      cfg,
-		cells:    map[lte.CellID]*cell{},
-		ues:      map[lte.RNTI]*ue{},
-		rnd:      rand.New(rand.NewSource(cfg.Seed + 1)),
-		nextRNTI: lte.FirstUERNTI,
+		cfg:        cfg,
+		cells:      map[lte.CellID]*cell{},
+		slotOf:     map[lte.RNTI]int32{},
+		slotByIMSI: map[uint64]int32{},
+		rnd:        rand.New(rand.NewSource(cfg.Seed + 1)),
+		nextRNTI:   lte.FirstUERNTI,
 	}
 	for _, cc := range cfg.Cells {
 		e.cells[cc.Cell] = &cell{cfg: cc, prbs: cc.Bandwidth.PRBs()}
@@ -299,6 +327,64 @@ func (e *ENB) SetMuted(cellID lte.CellID, muted func(sf lte.Subframe) bool) erro
 	return nil
 }
 
+// allocSlot returns a fully zeroed slot id, reusing the free list before
+// growing every lane in lockstep.
+func (e *ENB) allocSlot() int32 {
+	if n := len(e.free); n > 0 {
+		s := e.free[n-1]
+		e.free = e.free[:n-1]
+		return s
+	}
+	h := &e.hot
+	h.rnti = append(h.rnti, 0)
+	h.state = append(h.state, 0)
+	h.cqi = append(h.cqi, 0)
+	h.dlQueue = append(h.dlQueue, 0)
+	h.ulQueue = append(h.ulQueue, 0)
+	h.sigPending = append(h.sigPending, 0)
+	h.retxDL = append(h.retxDL, 0)
+	h.retxUL = append(h.retxUL, 0)
+	h.ttiDL = append(h.ttiDL, 0)
+	h.ttiUL = append(h.ttiUL, 0)
+	h.avgDL = append(h.avgDL, 0)
+	h.avgUL = append(h.avgUL, 0)
+	h.lastSched = append(h.lastSched, 0)
+	e.cold = append(e.cold, coldState{})
+	return int32(len(h.rnti) - 1)
+}
+
+// resetSlot zeroes every hot lane and the cold record of a slot. Called on
+// every free: slot reuse after detach/handover must never leak the previous
+// occupant's CQI, queues, averages or HARQ state into the next UE.
+func (e *ENB) resetSlot(s int32) {
+	h := &e.hot
+	h.rnti[s] = 0
+	h.state[s] = 0
+	h.cqi[s] = 0
+	h.dlQueue[s] = 0
+	h.ulQueue[s] = 0
+	h.sigPending[s] = 0
+	h.retxDL[s] = 0
+	h.retxUL[s] = 0
+	h.ttiDL[s] = 0
+	h.ttiUL[s] = 0
+	h.avgDL[s] = 0
+	h.avgUL[s] = 0
+	h.lastSched[s] = 0
+	e.cold[s] = coldState{}
+}
+
+// trackChannel maintains the unsteady/measurers counters as UEs come and
+// go (delta is +1 on add, -1 on remove).
+func (e *ENB) trackChannel(ch radio.Model, delta int) {
+	if c, ok := ch.(radio.ConstantCQI); !ok || !c.ConstantCQI() {
+		e.unsteady += delta
+	}
+	if _, ok := ch.(radio.NeighborMeasurer); ok {
+		e.measurers += delta
+	}
+}
+
 // AddUE starts the attach procedure for a new UE and returns its RNTI.
 func (e *ENB) AddUE(p UEParams) (lte.RNTI, error) {
 	if _, ok := e.cells[p.Cell]; !ok {
@@ -309,31 +395,41 @@ func (e *ENB) AddUE(p UEParams) (lte.RNTI, error) {
 	}
 	rnti := e.nextRNTI
 	e.nextRNTI++
-	u := &ue{rnti: rnti, params: p, state: StateAttaching}
-	u.attach.sigPending = e.cfg.AttachSignalingBytes
-	u.attach.deadline = e.sf + lte.Subframe(e.cfg.AttachTimeoutTTI)
-	u.attach.attempts = 1
-	e.ues[rnti] = u
-	e.insertOrdered(rnti)
+	s := e.allocSlot()
+	e.hot.rnti[s] = rnti
+	e.hot.state[s] = StateAttaching
+	e.hot.sigPending[s] = e.cfg.AttachSignalingBytes
+	c := &e.cold[s]
+	c.params = p
+	c.deadline = e.sf + lte.Subframe(e.cfg.AttachTimeoutTTI)
+	c.attempts = 1
+	e.slotOf[rnti] = s
+	e.slotByIMSI[p.IMSI] = s
+	e.insertOrdered(s)
+	e.trackChannel(p.Channel, 1)
 	e.event(protocol.UEEventRandomAccess, rnti, p.Cell)
 	return rnti, nil
 }
 
 // RemoveUE detaches a UE.
 func (e *ENB) RemoveUE(rnti lte.RNTI) {
-	u, ok := e.ues[rnti]
+	s, ok := e.slotOf[rnti]
 	if !ok {
 		return
 	}
-	u.state = StateDetached
-	delete(e.ues, rnti)
-	for i, r := range e.order {
-		if r == rnti {
+	cellID := e.cold[s].params.Cell
+	e.trackChannel(e.cold[s].params.Channel, -1)
+	delete(e.slotOf, rnti)
+	delete(e.slotByIMSI, e.cold[s].params.IMSI)
+	for i, os := range e.order {
+		if os == s {
 			e.order = append(e.order[:i], e.order[i+1:]...)
 			break
 		}
 	}
-	e.event(protocol.UEEventDetach, rnti, u.params.Cell)
+	e.resetSlot(s)
+	e.free = append(e.free, s)
+	e.event(protocol.UEEventDetach, rnti, cellID)
 }
 
 // HandoverState is the UE context transferred between eNodeBs during a
@@ -362,21 +458,22 @@ type HandoverState struct {
 // for forwarding; like RemoveUE it raises a detach event (the source
 // agent's notification that the UE left this cell).
 func (e *ENB) ReleaseUE(rnti lte.RNTI) (HandoverState, bool) {
-	u, ok := e.ues[rnti]
+	s, ok := e.slotOf[rnti]
 	if !ok {
 		return HandoverState{}, false
 	}
+	c := &e.cold[s]
 	st := HandoverState{
-		Params:      u.params,
-		DLQueue:     u.dlQueue,
-		ULQueue:     u.ulQueue,
-		DLDelivered: u.dlDelivered,
-		ULDelivered: u.ulDelivered,
-		DLDropped:   u.dlDropped,
-		HARQRetx:    u.harqRetx,
-		AttachTries: u.attach.attempts,
-		AvgDLKbps:   u.avgDLKbps,
-		AvgULKbps:   u.avgULKbps,
+		Params:      c.params,
+		DLQueue:     e.hot.dlQueue[s],
+		ULQueue:     e.hot.ulQueue[s],
+		DLDelivered: c.dlDelivered,
+		ULDelivered: c.ulDelivered,
+		DLDropped:   c.dlDropped,
+		HARQRetx:    c.harqRetx,
+		AttachTries: c.attempts,
+		AvgDLKbps:   e.hot.avgDL[s],
+		AvgULKbps:   e.hot.avgUL[s],
 	}
 	e.RemoveUE(rnti)
 	return st, true
@@ -395,18 +492,25 @@ func (e *ENB) AdmitUE(st HandoverState) (lte.RNTI, error) {
 	}
 	rnti := e.nextRNTI
 	e.nextRNTI++
-	u := &ue{rnti: rnti, params: st.Params, state: StateConnected}
-	u.attach.attempts = st.AttachTries
-	u.dlQueue = min(st.DLQueue, e.cfg.DLQueueCap)
-	u.dlDropped = st.DLDropped + uint64(st.DLQueue-u.dlQueue)
-	u.ulQueue = st.ULQueue
-	u.dlDelivered = st.DLDelivered
-	u.ulDelivered = st.ULDelivered
-	u.harqRetx = st.HARQRetx
-	u.avgDLKbps = st.AvgDLKbps
-	u.avgULKbps = st.AvgULKbps
-	e.ues[rnti] = u
-	e.insertOrdered(rnti)
+	s := e.allocSlot()
+	e.hot.rnti[s] = rnti
+	e.hot.state[s] = StateConnected
+	dlQueue := min(st.DLQueue, e.cfg.DLQueueCap)
+	e.hot.dlQueue[s] = dlQueue
+	e.hot.ulQueue[s] = st.ULQueue
+	e.hot.avgDL[s] = st.AvgDLKbps
+	e.hot.avgUL[s] = st.AvgULKbps
+	c := &e.cold[s]
+	c.params = st.Params
+	c.attempts = st.AttachTries
+	c.dlDelivered = st.DLDelivered
+	c.ulDelivered = st.ULDelivered
+	c.dlDropped = st.DLDropped + uint64(st.DLQueue-dlQueue)
+	c.harqRetx = st.HARQRetx
+	e.slotOf[rnti] = s
+	e.slotByIMSI[st.Params.IMSI] = s
+	e.insertOrdered(s)
+	e.trackChannel(st.Params.Channel, 1)
 	e.event(protocol.UEEventAttach, rnti, st.Params.Cell)
 	return rnti, nil
 }
@@ -414,48 +518,48 @@ func (e *ENB) AdmitUE(st HandoverState) (lte.RNTI, error) {
 // SetDRX configures discontinuous reception for a UE (Table 1 "DRX
 // commands"). cycleTTI 0 disables DRX.
 func (e *ENB) SetDRX(rnti lte.RNTI, cycleTTI, onDuration int) error {
-	u, ok := e.ues[rnti]
+	s, ok := e.slotOf[rnti]
 	if !ok {
 		return fmt.Errorf("enb: unknown UE %d", rnti)
 	}
 	if cycleTTI <= 0 {
-		u.drx = drx{}
+		e.cold[s].drx = drx{}
 		return nil
 	}
 	if onDuration <= 0 || onDuration > cycleTTI {
 		return fmt.Errorf("enb: invalid DRX on-duration %d for cycle %d", onDuration, cycleTTI)
 	}
-	u.drx = drx{enabled: true, cycleTTI: cycleTTI, onDuration: onDuration}
+	e.cold[s].drx = drx{enabled: true, cycleTTI: cycleTTI, onDuration: onDuration}
 	return nil
 }
 
 // DLEnqueue adds downlink bytes for a UE (the EPC injection path).
 // It returns the bytes accepted after the queue cap.
 func (e *ENB) DLEnqueue(rnti lte.RNTI, bytes int) int {
-	u, ok := e.ues[rnti]
+	s, ok := e.slotOf[rnti]
 	if !ok || bytes <= 0 {
 		return 0
 	}
-	room := e.cfg.DLQueueCap - u.dlQueue
+	room := e.cfg.DLQueueCap - e.hot.dlQueue[s]
 	if bytes > room {
-		u.dlDropped += uint64(bytes - room)
+		e.cold[s].dlDropped += uint64(bytes - room)
 		bytes = room
 	}
-	u.dlQueue += bytes
+	e.hot.dlQueue[s] += bytes
 	return bytes
 }
 
 // ULEnqueue adds uplink bytes at the UE (its traffic generator). The first
 // byte after an empty buffer raises a scheduling-request event.
 func (e *ENB) ULEnqueue(rnti lte.RNTI, bytes int) int {
-	u, ok := e.ues[rnti]
+	s, ok := e.slotOf[rnti]
 	if !ok || bytes <= 0 {
 		return 0
 	}
-	if u.ulQueue == 0 {
-		e.event(protocol.UEEventSchedulingRequest, rnti, u.params.Cell)
+	if e.hot.ulQueue[s] == 0 {
+		e.event(protocol.UEEventSchedulingRequest, rnti, e.cold[s].params.Cell)
 	}
-	u.ulQueue += bytes
+	e.hot.ulQueue[s] += bytes
 	return bytes
 }
 
@@ -468,17 +572,18 @@ func (e *ENB) event(ev protocol.UEEventType, rnti lte.RNTI, cellID lte.CellID) {
 // Step executes the current subframe and advances the clock by one TTI.
 func (e *ENB) Step() {
 	sf := e.sf
+	h := &e.hot
 
 	// 1. Channel refresh and attach supervision.
-	for _, rnti := range e.order {
-		u := e.ues[rnti]
-		u.cqi = u.params.Channel.CQI(sf)
-		if u.state == StateAttaching && sf >= u.attach.deadline {
+	for _, s := range e.order {
+		c := &e.cold[s]
+		h.cqi[s] = c.params.Channel.CQI(sf)
+		if h.state[s] == StateAttaching && sf >= c.deadline {
 			// Attach timed out: restart the procedure (the UE retries).
-			u.attach.sigPending = e.cfg.AttachSignalingBytes
-			u.attach.deadline = sf + lte.Subframe(e.cfg.AttachTimeoutTTI)
-			u.attach.attempts++
-			e.event(protocol.UEEventRandomAccess, rnti, u.params.Cell)
+			h.sigPending[s] = e.cfg.AttachSignalingBytes
+			c.deadline = sf + lte.Subframe(e.cfg.AttachTimeoutTTI)
+			c.attempts++
+			e.event(protocol.UEEventRandomAccess, h.rnti[s], c.params.Cell)
 		}
 	}
 
@@ -487,44 +592,37 @@ func (e *ENB) Step() {
 	if e.hooks.OnSubframe != nil {
 		e.hooks.OnSubframe(sf)
 	}
-	if e.hooks.OnMeasurement != nil && int(sf)%e.cfg.MeasPeriodTTI == 0 {
-		for _, rnti := range e.order {
-			u := e.ues[rnti]
-			if u.state != StateConnected {
+	if e.hooks.OnMeasurement != nil && e.measurers > 0 && int(sf)%e.cfg.MeasPeriodTTI == 0 {
+		for _, s := range e.order {
+			if h.state[s] != StateConnected {
 				continue
 			}
-			nm, ok := u.params.Channel.(radio.NeighborMeasurer)
+			nm, ok := e.cold[s].params.Channel.(radio.NeighborMeasurer)
 			if !ok {
 				continue
 			}
 			serving, neighbors := nm.Measure(sf)
-			e.hooks.OnMeasurement(rnti, u.params.Cell, serving, neighbors)
+			e.hooks.OnMeasurement(h.rnti[s], e.cold[s].params.Cell, serving, neighbors)
 		}
 	}
 
 	// 3. Per-cell scheduling and transmission.
-	for _, rnti := range e.order {
-		e.ues[rnti].ttiDLBytes = 0
-		e.ues[rnti].ttiULBytes = 0
+	for _, s := range e.order {
+		h.ttiDL[s] = 0
+		h.ttiUL[s] = 0
 	}
 	for _, c := range e.sortedCells() {
 		e.runCell(c, sf)
 	}
 
 	// 4. Rate averaging for PF (updated every TTI, ~100 ms horizon).
-	for _, rnti := range e.order {
-		u := e.ues[rnti]
-		u.avgDLKbps = updateAvg(u.avgDLKbps, u.lastDLBits(sf))
-		u.avgULKbps = updateAvg(u.avgULKbps, u.lastULBits(sf))
+	for _, s := range e.order {
+		h.avgDL[s] = updateAvg(h.avgDL[s], float64(h.ttiDL[s])*8)
+		h.avgUL[s] = updateAvg(h.avgUL[s], float64(h.ttiUL[s])*8)
 	}
 
 	e.sf++
 }
-
-// lastDLBits/lastULBits report this subframe's delivered bits; they rely
-// on delivery bookkeeping done in runCell via the perTTI fields.
-func (u *ue) lastDLBits(lte.Subframe) float64 { return float64(u.ttiDLBytes) * 8 }
-func (u *ue) lastULBits(lte.Subframe) float64 { return float64(u.ttiULBytes) * 8 }
 
 func updateAvg(avgKbps, bitsThisTTI float64) float64 {
 	const alpha = 0.01      // ~100 TTI averaging horizon
@@ -534,19 +632,20 @@ func updateAvg(avgKbps, bitsThisTTI float64) float64 {
 
 func (e *ENB) sortedCells() []*cell { return e.cellList }
 
-// insertOrdered adds rnti to the order slice keeping it sorted. RNTIs are
-// assigned monotonically, so the common case is an append; the binary
-// search guards the invariant regardless.
-func (e *ENB) insertOrdered(rnti lte.RNTI) {
+// insertOrdered adds a slot to the order slice keeping it sorted by RNTI.
+// RNTIs are assigned monotonically, so the common case is an append; the
+// binary search guards the invariant regardless.
+func (e *ENB) insertOrdered(s int32) {
+	rnti := e.hot.rnti[s]
 	n := len(e.order)
-	if n == 0 || e.order[n-1] < rnti {
-		e.order = append(e.order, rnti)
+	if n == 0 || e.hot.rnti[e.order[n-1]] < rnti {
+		e.order = append(e.order, s)
 		return
 	}
-	i := sort.Search(n, func(i int) bool { return e.order[i] >= rnti })
+	i := sort.Search(n, func(i int) bool { return e.hot.rnti[e.order[i]] >= rnti })
 	e.order = append(e.order, 0)
 	copy(e.order[i+1:], e.order[i:])
-	e.order[i] = rnti
+	e.order[i] = s
 }
 
 func (e *ENB) runCell(c *cell, sf lte.Subframe) {
@@ -578,39 +677,40 @@ func (e *ENB) runCell(c *cell, sf lte.Subframe) {
 // schedInput call; schedulers must not retain in.UEs past Schedule.
 func (e *ENB) schedInput(c *cell, sf lte.Subframe, dir lte.Direction) sched.Input {
 	in := sched.Input{SF: sf, Dir: dir, TotalPRB: c.prbs, UEs: e.schedUEs[:0]}
-	for _, rnti := range e.order {
-		u := e.ues[rnti]
-		if u.params.Cell != c.cfg.Cell || u.state == StateDetached {
+	h := &e.hot
+	for _, s := range e.order {
+		cold := &e.cold[s]
+		if cold.params.Cell != c.cfg.Cell || h.state[s] == StateDetached {
 			continue
 		}
-		if u.drx.enabled && int(sf)%u.drx.cycleTTI >= u.drx.onDuration {
+		if cold.drx.enabled && int(sf)%cold.drx.cycleTTI >= cold.drx.onDuration {
 			continue // DRX sleep
 		}
 		var queue int
 		var avg float64
 		if dir == lte.Downlink {
-			queue = u.dlQueue
-			avg = u.avgDLKbps
-			if u.state == StateAttaching {
-				queue = u.attach.sigPending // signaling drains first
+			queue = h.dlQueue[s]
+			avg = h.avgDL[s]
+			if h.state[s] == StateAttaching {
+				queue = h.sigPending[s] // signaling drains first
 			}
 		} else {
-			if u.state != StateConnected {
+			if h.state[s] != StateConnected {
 				continue // no UL data before attach completes
 			}
-			queue = u.ulQueue
-			avg = u.avgULKbps
+			queue = h.ulQueue[s]
+			avg = h.avgUL[s]
 		}
 		if queue == 0 {
 			continue
 		}
 		in.UEs = append(in.UEs, sched.UEInfo{
-			RNTI:        rnti,
-			CQI:         u.cqi,
+			RNTI:        h.rnti[s],
+			CQI:         h.cqi[s],
 			QueueBytes:  queue,
 			AvgRateKbps: avg,
-			LastSched:   u.lastSched,
-			Group:       u.params.Group,
+			LastSched:   h.lastSched[s],
+			Group:       cold.params.Group,
 		})
 	}
 	e.schedUEs = in.UEs[:0] // keep grown capacity for the next snapshot
@@ -622,7 +722,7 @@ func (e *ENB) schedInput(c *cell, sf lte.Subframe, dir lte.Direction) sched.Inpu
 func (e *ENB) apply(c *cell, sf lte.Subframe, dir lte.Direction, allocs []sched.Alloc, budget int) int {
 	used := 0
 	for _, a := range allocs {
-		u, ok := e.ues[a.RNTI]
+		s, ok := e.slotOf[a.RNTI]
 		if !ok || a.RBCount <= 0 {
 			continue
 		}
@@ -633,60 +733,61 @@ func (e *ENB) apply(c *cell, sf lte.Subframe, dir lte.Direction, allocs []sched.
 			}
 		}
 		used += a.RBCount
-		e.transmit(u, sf, dir, a)
+		e.transmit(s, sf, dir, a)
 	}
 	return used
 }
 
 // transmit delivers one transport block with HARQ error behaviour.
-func (e *ENB) transmit(u *ue, sf lte.Subframe, dir lte.Direction, a sched.Alloc) {
+func (e *ENB) transmit(s int32, sf lte.Subframe, dir lte.Direction, a sched.Alloc) {
 	chosen := lte.CQIForMCS(a.MCS)
 	tbs := lte.TBSBytes(dir, chosen, a.RBCount)
 	if tbs == 0 {
 		return
 	}
-	retx := u.pendingRetxDL
+	h := &e.hot
+	retx := int(h.retxDL[s])
 	if dir == lte.Uplink {
-		retx = u.pendingRetxUL
+		retx = int(h.retxUL[s])
 	}
-	p := lte.BLER(chosen, u.cqi, retx)
+	p := lte.BLER(chosen, h.cqi[s], retx)
 	if e.rnd.Float64() < p {
 		// Transport block lost; HARQ keeps the data queued.
-		u.harqRetx++
+		e.cold[s].harqRetx++
 		if retx < lte.MaxHARQRetx {
 			retx++
 		}
 		if dir == lte.Downlink {
-			u.pendingRetxDL = retx
+			h.retxDL[s] = int32(retx)
 		} else {
-			u.pendingRetxUL = retx
+			h.retxUL[s] = int32(retx)
 		}
 		return
 	}
 	if dir == lte.Downlink {
-		u.pendingRetxDL = 0
-		if u.state == StateAttaching {
+		h.retxDL[s] = 0
+		if h.state[s] == StateAttaching {
 			// Signaling is delivered ahead of user data.
-			sig := min(tbs, u.attach.sigPending)
-			u.attach.sigPending -= sig
+			sig := min(tbs, h.sigPending[s])
+			h.sigPending[s] -= sig
 			tbs -= sig
-			if u.attach.sigPending == 0 {
-				u.state = StateConnected
-				e.event(protocol.UEEventAttach, u.rnti, u.params.Cell)
+			if h.sigPending[s] == 0 {
+				h.state[s] = StateConnected
+				e.event(protocol.UEEventAttach, h.rnti[s], e.cold[s].params.Cell)
 			}
 		}
-		data := min(tbs, u.dlQueue)
-		u.dlQueue -= data
-		u.dlDelivered += uint64(data)
-		u.ttiDLBytes += data
+		data := min(tbs, h.dlQueue[s])
+		h.dlQueue[s] -= data
+		e.cold[s].dlDelivered += uint64(data)
+		h.ttiDL[s] += int32(data)
 	} else {
-		u.pendingRetxUL = 0
-		data := min(tbs, u.ulQueue)
-		u.ulQueue -= data
-		u.ulDelivered += uint64(data)
-		u.ttiULBytes += data
+		h.retxUL[s] = 0
+		data := min(tbs, h.ulQueue[s])
+		h.ulQueue[s] -= data
+		e.cold[s].ulDelivered += uint64(data)
+		h.ttiUL[s] += int32(data)
 	}
-	u.lastSched = sf
+	h.lastSched[s] = sf
 }
 
 func min(a, b int) int {

@@ -32,32 +32,46 @@ type UEReport struct {
 
 // UEReport returns the snapshot for one UE, with ok=false when unknown.
 func (e *ENB) UEReport(rnti lte.RNTI) (UEReport, bool) {
-	u, ok := e.ues[rnti]
+	s, ok := e.slotOf[rnti]
 	if !ok {
 		return UEReport{}, false
 	}
-	return e.report(u), true
+	return e.report(s), true
 }
 
-func (e *ENB) report(u *ue) UEReport {
+// UEReportByIMSI returns the snapshot for the UE holding imsi, with
+// ok=false when no such UE is attached here. The compact IMSI→slot map
+// makes this O(1) — the lookup path experiments and the EPC-side
+// accounting sweep use per subscriber.
+func (e *ENB) UEReportByIMSI(imsi uint64) (UEReport, bool) {
+	s, ok := e.slotByIMSI[imsi]
+	if !ok {
+		return UEReport{}, false
+	}
+	return e.report(s), true
+}
+
+func (e *ENB) report(s int32) UEReport {
+	h := &e.hot
+	c := &e.cold[s]
 	return UEReport{
-		RNTI:        u.rnti,
-		IMSI:        u.params.IMSI,
-		Cell:        u.params.Cell,
-		State:       u.state,
-		CQI:         u.cqi,
-		DLQueue:     u.dlQueue,
-		ULQueue:     u.ulQueue,
-		SigQueue:    u.attach.sigPending,
-		DLDelivered: u.dlDelivered,
-		ULDelivered: u.ulDelivered,
-		DLDropped:   u.dlDropped,
-		AvgDLKbps:   u.avgDLKbps,
-		AvgULKbps:   u.avgULKbps,
-		HARQRetx:    u.harqRetx,
-		LastSched:   u.lastSched,
-		Group:       u.params.Group,
-		AttachTries: u.attach.attempts,
+		RNTI:        h.rnti[s],
+		IMSI:        c.params.IMSI,
+		Cell:        c.params.Cell,
+		State:       h.state[s],
+		CQI:         h.cqi[s],
+		DLQueue:     h.dlQueue[s],
+		ULQueue:     h.ulQueue[s],
+		SigQueue:    h.sigPending[s],
+		DLDelivered: c.dlDelivered,
+		ULDelivered: c.ulDelivered,
+		DLDropped:   c.dlDropped,
+		AvgDLKbps:   h.avgDL[s],
+		AvgULKbps:   h.avgUL[s],
+		HARQRetx:    c.harqRetx,
+		LastSched:   h.lastSched[s],
+		Group:       c.params.Group,
+		AttachTries: c.attempts,
 	}
 }
 
@@ -66,8 +80,8 @@ func (e *ENB) report(u *ue) UEReport {
 // on the per-TTI path pass a reused scratch slice (dst[:0]) to make the
 // snapshot allocation-free at steady state.
 func (e *ENB) AppendUEReports(dst []UEReport) []UEReport {
-	for _, rnti := range e.order {
-		dst = append(dst, e.report(e.ues[rnti]))
+	for _, s := range e.order {
+		dst = append(dst, e.report(s))
 	}
 	return dst
 }
@@ -79,13 +93,17 @@ func (e *ENB) UEReports() []UEReport {
 
 // UEs returns the RNTIs of all current UEs, ordered.
 func (e *ENB) UEs() []lte.RNTI {
-	return append([]lte.RNTI(nil), e.order...)
+	out := make([]lte.RNTI, len(e.order))
+	for i, s := range e.order {
+		out[i] = e.hot.rnti[s]
+	}
+	return out
 }
 
 // Connected reports whether a UE has completed attachment.
 func (e *ENB) Connected(rnti lte.RNTI) bool {
-	u, ok := e.ues[rnti]
-	return ok && u.state == StateConnected
+	s, ok := e.slotOf[rnti]
+	return ok && e.hot.state[s] == StateConnected
 }
 
 // CellReport is a point-in-time snapshot of one cell.

@@ -71,6 +71,11 @@ type ENBID uint32
 // It never wraps; the 10 ms radio-frame structure is derived from it.
 type Subframe uint64
 
+// NeverSF is a subframe value beyond any reachable simulation time, used
+// as the "no pending work" sentinel by the idle fast-forward machinery.
+// It is far below the uint64 ceiling so adding small offsets cannot wrap.
+const NeverSF Subframe = 1 << 62
+
 // SFN returns the System Frame Number (mod 1024, as broadcast in MIB).
 func (s Subframe) SFN() uint16 { return uint16(s / SubframesPerFrame % 1024) }
 

@@ -278,6 +278,19 @@ func (g *GeoChannel) Position(sf lte.Subframe) Point {
 	return g.Mob.PositionAt(sf)
 }
 
+// ConstantCQI reports whether this channel is provably time-invariant: a
+// stationary UE (Static or absent mobility) over a fixed site map sees the
+// same SINR — hence the same CQI — at every subframe. Serving-cell changes
+// go through Retarget, which only happens inside a handover (the UE is
+// re-admitted, so constancy is re-evaluated by the new owner).
+func (g *GeoChannel) ConstantCQI() bool {
+	if g.Mob == nil {
+		return true
+	}
+	_, static := g.Mob.(Static)
+	return static
+}
+
 // CQI implements Model.
 func (g *GeoChannel) CQI(sf lte.Subframe) lte.CQI {
 	sinr, ok := g.Map.SINRdB(g.Position(sf), g.serving)

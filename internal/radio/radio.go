@@ -22,11 +22,25 @@ type Model interface {
 	CQI(sf lte.Subframe) lte.CQI
 }
 
+// ConstantCQI is an optional Model extension: a model returning true
+// promises that CQI(sf) yields the same value for every subframe (and
+// that calling or not calling it leaves no internal state behind). The
+// simulator uses the promise to prove an idle eNodeB can be fast-forwarded
+// without observable divergence. Models that cannot make the promise
+// simply do not implement the interface (or return false).
+type ConstantCQI interface {
+	ConstantCQI() bool
+}
+
 // Fixed is a constant-quality channel.
 type Fixed lte.CQI
 
 // CQI implements Model.
 func (f Fixed) CQI(lte.Subframe) lte.CQI { return lte.CQI(f).Clamp() }
+
+// ConstantCQI implements the constancy marker: a fixed channel never
+// varies.
+func (f Fixed) ConstantCQI() bool { return true }
 
 // Change is one step of a scheduled channel trace.
 type Change struct {

@@ -150,7 +150,7 @@ func (sc *Scenario) Build(workersOverride int) (*Runtime, error) {
 		}
 	}
 
-	cfg := sim.Config{Workers: workers}
+	cfg := sim.Config{Workers: workers, NoFastForward: sc.Run.NoFastForward}
 	if sc.Master != nil {
 		mo := controller.DefaultOptions()
 		mo.StatsPeriodTTI = sc.Master.StatsPeriodTTI

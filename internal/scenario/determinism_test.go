@@ -117,6 +117,103 @@ func TestDigestWorkerInvariance(t *testing.T) {
 	}
 }
 
+// idleDoc is built to make the idle fast-forward engine earn its keep:
+// a honeycomb of mostly-quiet cells whose master issues no periodic work
+// (all periods 0, no resync), with traffic that is bursty or windowed so
+// every eNodeB spends long stretches with nothing to do.
+const idleDoc = `
+name: idle-sweep
+run:
+  ttis: 3000
+  attach_ttis: 300
+  seed: 7
+master:
+  stats_period_tti: 0
+  sync_period_tti: 0
+  echo_period_tti: 0
+  no_resync: true
+topology:
+  honeycomb:
+    rings: 1
+    pitch_m: 900
+ues:
+  - count: 2
+    enb: 1
+    imsi_base: 100
+    channel:
+      model: fixed
+      cqi: 12
+    traffic:
+      - kind: cbr
+        rate_kbps: 200
+        start_tti: 500
+        stop_tti: 900
+  - count: 2
+    enb: 3
+    imsi_base: 300
+    channel:
+      model: fixed
+      cqi: 9
+    traffic:
+      - kind: onoff
+        rate_kbps: 150
+        on_tti: 50
+        off_tti: 950
+    uplink:
+      - kind: cbr
+        rate_kbps: 32
+        start_tti: 1200
+        stop_tti: 1400
+  - count: 1
+    enb: 5
+    imsi_base: 500
+    channel:
+      model: fixed
+      cqi: 14
+    traffic:
+      - kind: poisson
+        mean_kbps: 8
+        seed: 3
+`
+
+// TestFastForwardDigestInvariance is the skip engine's correctness gate:
+// for every worker-pool size, running with idle fast-forward enabled
+// (the default) and disabled must produce bit-identical digests — the
+// engine's contract is that skipping is unobservable.
+func TestFastForwardDigestInvariance(t *testing.T) {
+	sc, err := Parse(idleDoc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var ref *Result
+	for _, noFF := range []bool{false, true} {
+		sc.Run.NoFastForward = noFF
+		for _, workers := range []int{1, 2, 4, 8} {
+			res, err := sc.RunWorkers(workers)
+			if err != nil {
+				t.Fatalf("noFF=%v workers=%d: %v", noFF, workers, err)
+			}
+			if ref == nil {
+				ref = res
+				if res.Summary.Digest == "" {
+					t.Fatal("empty digest")
+				}
+				continue
+			}
+			if res.Summary.Digest != ref.Summary.Digest {
+				t.Errorf("noFF=%v workers=%d digest %s != reference %s",
+					noFF, workers, res.Summary.Digest, ref.Summary.Digest)
+			}
+		}
+	}
+	if ref.Summary.Attached == 0 {
+		t.Fatal("idle scenario attached no UEs; it no longer exercises anything")
+	}
+	if ref.Summary.DLDelivered == 0 {
+		t.Fatal("idle scenario delivered no traffic")
+	}
+}
+
 // TestRebuildReproduces guards the "Scenario is purely declarative"
 // contract: building and running the same Scenario value twice must give
 // the same digest (generators/channels are freshly constructed each time).

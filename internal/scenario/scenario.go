@@ -26,6 +26,7 @@
 //	    - id: 1
 //	      x: 0             # with power_dbm, adds a radio-map site
 //	      power_dbm: 43
+//	  # or generated: grid: {enbs: 256} / honeycomb: {rings: 3, pitch_m: 500}
 //	ues:
 //	  - count: 3
 //	    enb: 1
@@ -73,6 +74,11 @@ type RunSpec struct {
 	Seed int64
 	// PingPongWindowTTI classifies return handovers as ping-pongs.
 	PingPongWindowTTI int
+	// NoFastForward disables the idle-cell fast-forward engine, forcing
+	// every eNodeB to step every TTI. Digests are identical either way
+	// (the fast-forward contract is bit-exactness); the knob exists for
+	// A/B verification and for measuring the skip machinery's benefit.
+	NoFastForward bool
 }
 
 // NetemDecl impairs one direction of a control channel.
@@ -381,6 +387,12 @@ func (sc *Scenario) parseRun(n *yamlite.Node) error {
 				return fmt.Errorf("scenario: run.pingpong_window_tti must be a positive integer")
 			}
 			sc.Run.PingPongWindowTTI = int(v)
+		case "no_fast_forward":
+			b, err := val.Bool()
+			if err != nil {
+				return fmt.Errorf("scenario: run.no_fast_forward must be a boolean")
+			}
+			sc.Run.NoFastForward = b
 		default:
 			return fmt.Errorf("scenario: run has no knob %q", key)
 		}
@@ -397,6 +409,10 @@ func (sc *Scenario) parseTopology(n *yamlite.Node) error {
 		switch key {
 		case "grid":
 			if err := sc.parseGrid(val); err != nil {
+				return err
+			}
+		case "honeycomb":
+			if err := sc.parseHoneycomb(val); err != nil {
 				return err
 			}
 		case "enbs":
@@ -483,6 +499,114 @@ func (sc *Scenario) parseGrid(n *yamlite.Node) error {
 		})
 	}
 	return nil
+}
+
+// parseHoneycomb expands "topology.honeycomb" into a hexagonal cellular
+// deployment: sites on a triangular lattice spiralling outward from a
+// centre eNodeB, the classic honeycomb layout of LTE planning studies.
+// Exactly one of `enbs` (site count, spiral truncated mid-ring) or
+// `rings` (complete rings R, yielding 1+3R(R+1) sites) selects the size.
+func (sc *Scenario) parseHoneycomb(n *yamlite.Node) error {
+	if n == nil || n.Kind != yamlite.KindMap {
+		return fmt.Errorf("scenario: topology.honeycomb must be a map")
+	}
+	count, rings := 0, -1
+	pitch, power := 500.0, 43.0
+	sectors := 1
+	var seedBase int64 = 1
+	for _, key := range n.Keys() {
+		val := n.Get(key)
+		switch key {
+		case "enbs":
+			v, err := posInt(val)
+			if err != nil {
+				return fmt.Errorf("scenario: topology.honeycomb.enbs must be a positive integer")
+			}
+			count = int(v)
+		case "rings":
+			v, err := nonNegInt(val)
+			if err != nil {
+				return fmt.Errorf("scenario: topology.honeycomb.rings must be a non-negative integer")
+			}
+			rings = int(v)
+		case "pitch_m":
+			f, err := val.Float()
+			if err != nil || f <= 0 {
+				return fmt.Errorf("scenario: topology.honeycomb.pitch_m must be a positive number")
+			}
+			pitch = f
+		case "sectors":
+			v, err := posInt(val)
+			if err != nil {
+				return fmt.Errorf("scenario: topology.honeycomb.sectors must be a positive integer")
+			}
+			sectors = int(v)
+		case "power_dbm":
+			f, err := val.Float()
+			if err != nil {
+				return fmt.Errorf("scenario: topology.honeycomb.power_dbm must be a number")
+			}
+			power = f
+		case "seed_base":
+			v, err := val.Int()
+			if err != nil {
+				return fmt.Errorf("scenario: topology.honeycomb.seed_base must be an integer")
+			}
+			seedBase = v
+		default:
+			return fmt.Errorf("scenario: topology.honeycomb has no knob %q", key)
+		}
+	}
+	if (count == 0) == (rings < 0) {
+		return fmt.Errorf("scenario: topology.honeycomb needs exactly one of enbs or rings")
+	}
+	if count == 0 {
+		count = 1 + 3*rings*(rings+1)
+	}
+	for i, ax := range hexSpiral(count) {
+		// Axial-to-plane: unit hexagonal lattice scaled by the site pitch.
+		x := pitch * (float64(ax.q) + float64(ax.r)/2)
+		y := pitch * float64(ax.r) * math.Sqrt(3) / 2
+		sc.ENBs = append(sc.ENBs, ENBDecl{
+			ID:    lte.ENBID(i + 1),
+			Agent: true,
+			Seed:  seedBase + int64(i),
+			Cells: sectors,
+			X:     x,
+			Y:     y,
+
+			PowerDBm: power,
+			HasSite:  true,
+		})
+	}
+	return nil
+}
+
+// hexAxial is a cell of the hexagonal lattice in axial coordinates.
+type hexAxial struct{ q, r int }
+
+// hexSpiral enumerates n lattice cells spiralling outward from the
+// origin: the centre, then ring 1, ring 2, ... Each ring k starts at
+// axial (k, -k) and walks its six sides counter-clockwise, k steps per
+// side, emitting each cell before stepping. The order is a pure function
+// of n, so site ids (and everything seeded from them) are deterministic.
+func hexSpiral(n int) []hexAxial {
+	dirs := [6]hexAxial{{0, 1}, {-1, 1}, {-1, 0}, {0, -1}, {1, -1}, {1, 0}}
+	out := make([]hexAxial, 0, n)
+	out = append(out, hexAxial{0, 0})
+	for k := 1; len(out) < n; k++ {
+		cur := hexAxial{k, -k}
+		for _, d := range dirs {
+			for step := 0; step < k; step++ {
+				if len(out) == n {
+					return out
+				}
+				out = append(out, cur)
+				cur = hexAxial{cur.q + d.q, cur.r + d.r}
+			}
+		}
+	}
+	return out[:n]
 }
 
 func parseENB(n *yamlite.Node, where string) (ENBDecl, error) {

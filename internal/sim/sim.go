@@ -78,6 +78,12 @@ type Config struct {
 	// enforce). Unless Master.Workers is set explicitly, the master's
 	// RIB-updater slot inherits the same pool size.
 	Workers int
+	// NoFastForward disables idle-cell fast-forward: every eNodeB
+	// executes every subframe even when provably idle. Results are
+	// bit-for-bit identical either way (the equivalence the digest
+	// regression tests enforce); the knob exists for those tests and for
+	// baseline benchmarking of the skip machinery.
+	NoFastForward bool
 }
 
 // Node is the runtime of one eNodeB within the simulation.
@@ -110,6 +116,19 @@ type Node struct {
 	// the slices themselves are scratch).
 	mBatch []*protocol.Message
 	aBatch []*protocol.Message
+
+	// wake is the node's next subframe with provable own work (eNodeB
+	// backlog/measurements, agent control ticks, or traffic-generator
+	// activity), recomputed after every executed Step. While the current
+	// subframe is below wake the engine skips the node entirely; an
+	// arriving control message, a cross-eNodeB spill or a fault wakes it
+	// early. asleep is the per-TTI decision derived from wake.
+	wake   lte.Subframe
+	asleep bool
+	// genSF is the subframe the node's traffic generators expect next:
+	// it trails the simulation clock while the node sleeps, and the gap
+	// is replayed through ue.Idler.Skip before the next injection.
+	genSF lte.Subframe
 }
 
 type spillDL struct {
@@ -207,6 +226,7 @@ type Sim struct {
 	faults  []Fault // sorted by At, stable
 	sf      lte.Subframe
 	workers int
+	noFF    bool
 }
 
 // New builds a scenario: eNodeBs, agents, control channels, EPC bearers
@@ -219,7 +239,7 @@ func New(cfg Config, enbs ...ENBSpec) (*Sim, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	s := &Sim{EPC: epc.New(), workers: workers, byENB: map[lte.ENBID]*Node{}}
+	s := &Sim{EPC: epc.New(), workers: workers, byENB: map[lte.ENBID]*Node{}, noFF: cfg.NoFastForward}
 	if cfg.Master != nil {
 		mo := *cfg.Master
 		if mo.Workers == 0 {
@@ -305,6 +325,21 @@ func (s *Sim) barrierErr(phase string) {
 // injectTraffic is phase 1 for one node: per-UE downlink bytes through the
 // EPC and uplink bytes into the eNodeB.
 func (s *Sim) injectTraffic(n *Node, sf lte.Subframe) {
+	if n.genSF < sf {
+		// The node slept since genSF. Its wake proof guaranteed every
+		// generator inactive over the gap, so replay the gap through
+		// Skip: bit-exact (the Idler contract) and emission-free.
+		gap := int(sf - n.genSF)
+		for i := range n.specs {
+			if g, ok := n.specs[i].DL.(ue.Idler); ok {
+				g.Skip(gap)
+			}
+			if g, ok := n.specs[i].UL.(ue.Idler); ok {
+				g.Skip(gap)
+			}
+		}
+		n.genSF = sf
+	}
 	id := n.ENB.ID()
 	for i, spec := range n.specs {
 		if spec.DL != nil {
@@ -326,13 +361,20 @@ func (s *Sim) injectTraffic(n *Node, sf lte.Subframe) {
 			}
 		}
 	}
+	n.genSF = sf + 1
 }
 
 // drainSpill replays deferred cross-eNodeB downlink injections, in node
-// and UE order.
+// and UE order. A sleeping target is woken: it now has backlog to serve
+// this very subframe.
 func (s *Sim) drainSpill() {
 	for _, n := range s.Nodes {
 		for _, d := range n.spill {
+			if br, ok := s.EPC.Bearer(d.imsi); ok {
+				if tn := s.byENB[br.ENB]; tn != nil {
+					tn.asleep = false
+				}
+			}
 			s.EPC.Downlink(d.imsi, d.bytes) //nolint:errcheck // bearer checked during injection
 		}
 		n.spill = n.spill[:0]
@@ -403,6 +445,10 @@ func (s *Sim) executeHandover(src *Node, cmd protocol.HandoverCommand) {
 	if !cellOK {
 		return
 	}
+	// Both data planes mutate below; sync any lagging clock first so the
+	// release/admit events fire at the same subframe as without skipping.
+	s.wakeNode(src)
+	s.wakeNode(tgt)
 	st, ok := src.ENB.ReleaseUE(cmd.RNTI)
 	if !ok {
 		return
@@ -470,6 +516,18 @@ func (s *Sim) applyFaults() {
 	}
 }
 
+// wakeNode cancels a node's sleep and syncs its eNodeB clock to the
+// current subframe, so state mutations from outside the node (faults,
+// handovers, accessors) observe and produce exactly the state the
+// non-skipping engine would have.
+func (s *Sim) wakeNode(n *Node) {
+	n.wake = 0
+	n.asleep = false
+	if n.ENB.Now() < s.sf {
+		n.ENB.FastForward(s.sf)
+	}
+}
+
 // CutLink blackholes the control channel of one eNodeB in both directions
 // and drops everything in flight. No-op without an agent session.
 func (s *Sim) CutLink(enb lte.ENBID) {
@@ -477,6 +535,7 @@ func (s *Sim) CutLink(enb lte.ENBID) {
 	if n == nil || n.aEp == nil {
 		return
 	}
+	s.wakeNode(n)
 	n.aEp.SetDown(true)
 	n.mEp.SetDown(true)
 	n.aEp.DropInflight()
@@ -492,6 +551,7 @@ func (s *Sim) RestoreLink(enb lte.ENBID) {
 	if n == nil || n.aEp == nil {
 		return
 	}
+	s.wakeNode(n)
 	n.aEp.SetDown(false)
 	n.mEp.SetDown(false)
 	s.reconnect(n)
@@ -507,6 +567,7 @@ func (s *Sim) RestartAgent(enb lte.ENBID) {
 	if n == nil || n.Agent == nil {
 		return
 	}
+	s.wakeNode(n)
 	n.Agent.Restart()
 	if n.aEp == nil {
 		return
@@ -532,18 +593,44 @@ func (s *Sim) reconnect(n *Node) {
 // Step advances the world by one TTI: the phases below run in the fixed
 // documented order, each parallel across eNodeBs with a barrier before
 // the next.
+//
+// Idle fast-forward rides on top of the phases without changing them: a
+// node whose wake proof lies in the future is skipped by the injection
+// and data phases (its traffic generators provably emit nothing and its
+// eNodeB provably does no observable work), while its control endpoints
+// keep advancing normally. Anything that invalidates the proof mid-TTI —
+// an arriving control message, a cross-eNodeB spill, a fault, a handover
+// — wakes the node, and the data phase fast-forwards its lagging eNodeB
+// clock before stepping. The sleep decision is a pure function of
+// node-owned state, so results stay bit-for-bit identical for every
+// worker count and with the skipping disabled (Config.NoFastForward).
 func (s *Sim) Step() {
 	sf := s.sf
 
 	// 0. Failure injection (serial; see applyFaults).
 	s.applyFaults()
 
+	// Sleep decisions (serial, cheap).
+	if !s.noFF {
+		for _, n := range s.Nodes {
+			n.asleep = sf < n.wake
+		}
+	}
+
 	// 1. Traffic injection.
-	s.forEachNode(func(n *Node) { s.injectTraffic(n, sf) })
+	s.forEachNode(func(n *Node) {
+		if n.asleep {
+			return
+		}
+		s.injectTraffic(n, sf)
+	})
 	s.drainSpill()
 
 	// 2. Control plane: agent->master deliveries, master cycle,
-	// master->agent deliveries.
+	// master->agent deliveries. These legs run for sleeping nodes too —
+	// the endpoint clocks must advance every TTI so delivery timestamps
+	// match the non-skipping engine — and they are nearly free when
+	// nothing is in flight.
 	if s.Master != nil {
 		s.forEachNode(func(n *Node) {
 			if n.session == nil {
@@ -572,6 +659,15 @@ func (s *Sim) Step() {
 				n.phaseErr = err
 				return
 			}
+			if len(n.aBatch) == 0 {
+				return
+			}
+			// An arriving message wakes a sleeping node. The agent's
+			// handlers read the eNodeB clock, so sync it first.
+			n.asleep = false
+			if n.ENB.Now() < sf {
+				n.ENB.FastForward(sf)
+			}
 			for _, m := range n.aBatch {
 				n.Agent.Deliver(m)
 				// The agent copies what it keeps (subscriptions, alloc
@@ -587,8 +683,65 @@ func (s *Sim) Step() {
 	}
 
 	// 3. Data plane.
-	s.forEachNode(func(n *Node) { n.ENB.Step() })
+	s.forEachNode(func(n *Node) {
+		if n.asleep {
+			return
+		}
+		if n.ENB.Now() < sf {
+			n.ENB.FastForward(sf)
+		}
+		n.ENB.Step()
+		if !s.noFF {
+			n.wake = s.computeWake(n, sf+1)
+		}
+	})
 	s.sf++
+}
+
+// computeWake returns the node's next subframe with provable own work:
+// the minimum of the eNodeB's wake (backlog, attach supervision,
+// measurement sweeps, channel variation), the agent's next control tick,
+// and every traffic generator's next activity. Nodes carrying a generator
+// that cannot prove idleness (no ue.Idler) never sleep.
+func (s *Sim) computeWake(n *Node, from lte.Subframe) lte.Subframe {
+	wake := n.ENB.NextWake(from)
+	if wake <= from {
+		return from
+	}
+	if n.Agent != nil {
+		if w := n.Agent.NextWork(from); w < wake {
+			wake = w
+		}
+		if wake <= from {
+			return from
+		}
+	}
+	for i := range n.specs {
+		if w := genWake(n.specs[i].DL, n.genSF); w < wake {
+			wake = w
+		}
+		if w := genWake(n.specs[i].UL, n.genSF); w < wake {
+			wake = w
+		}
+		if wake <= from {
+			return from
+		}
+	}
+	return wake
+}
+
+// genWake is one generator's contribution to the wake computation. from
+// is the generator's own position (the node's genSF), which may trail the
+// simulation clock; NextActive returns an absolute subframe either way.
+func genWake(g ue.Generator, from lte.Subframe) lte.Subframe {
+	if g == nil {
+		return lte.NeverSF
+	}
+	id, ok := g.(ue.Idler)
+	if !ok {
+		return 0 // unknown generator: the node can never be skipped
+	}
+	return id.NextActive(from)
 }
 
 // Run advances the simulation by a number of TTIs.
@@ -624,11 +777,22 @@ func (s *Sim) allAttached() bool {
 	return true
 }
 
+// syncNode fast-forwards a node's lagging eNodeB clock to the present, so
+// read accessors observe exactly the state the non-skipping engine would
+// expose. FastForward composes with later wake-ups, so a mid-sleep sync
+// is safe.
+func (s *Sim) syncNode(n *Node) {
+	if n.ENB.Now() < s.sf {
+		n.ENB.FastForward(s.sf)
+	}
+}
+
 // Report returns the UE report for eNodeB index i, UE index j. Note that
 // handovers migrate UEs between nodes; mobile scenarios should prefer
 // ReportByIMSI.
 func (s *Sim) Report(i, j int) enb.UEReport {
 	n := s.Nodes[i]
+	s.syncNode(n)
 	r, _ := n.ENB.UEReport(n.RNTIs[j])
 	return r
 }
@@ -644,6 +808,7 @@ func (s *Sim) ReportByIMSI(imsi uint64) (enb.UEReport, lte.ENBID, bool) {
 	if n == nil {
 		return enb.UEReport{}, 0, false
 	}
+	s.syncNode(n)
 	r, ok := n.ENB.UEReport(b.RNTI)
 	return r, b.ENB, ok
 }
@@ -657,6 +822,7 @@ func (s *Sim) Handovers() []HandoverRecord {
 func (s *Sim) DeliveredDL(i int) uint64 {
 	var sum uint64
 	n := s.Nodes[i]
+	s.syncNode(n)
 	for _, rnti := range n.RNTIs {
 		if r, ok := n.ENB.UEReport(rnti); ok {
 			sum += r.DLDelivered

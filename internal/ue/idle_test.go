@@ -1,0 +1,103 @@
+package ue
+
+import (
+	"testing"
+
+	"flexran/internal/lte"
+)
+
+// drive walks a generator subframe by subframe, honouring the Idler
+// contract when skip is set: whenever NextActive proves a gap, the gap is
+// Skip()ped instead of stepped. It returns the (sf, bytes) pairs of every
+// nonzero emission.
+type emission struct {
+	sf    lte.Subframe
+	bytes int
+}
+
+func drive(g Idler, ttis int, skip bool) []emission {
+	var out []emission
+	for sf := lte.Subframe(0); sf < lte.Subframe(ttis); {
+		if skip {
+			next := g.NextActive(sf)
+			if next > sf {
+				if next > lte.Subframe(ttis) {
+					next = lte.Subframe(ttis)
+				}
+				g.Skip(int(next - sf))
+				sf = next
+				continue
+			}
+		}
+		if b := g.BytesAt(sf); b != 0 {
+			out = append(out, emission{sf, b})
+		}
+		sf++
+	}
+	return out
+}
+
+// checkIdler verifies the bit-exactness contract: the skipped walk must
+// produce exactly the emissions of the plain walk.
+func checkIdler(t *testing.T, name string, fresh func() Idler, ttis int) {
+	t.Helper()
+	plain := drive(fresh(), ttis, false)
+	skipped := drive(fresh(), ttis, true)
+	if len(plain) != len(skipped) {
+		t.Fatalf("%s: %d emissions plain vs %d skipped", name, len(plain), len(skipped))
+	}
+	for i := range plain {
+		if plain[i] != skipped[i] {
+			t.Fatalf("%s: emission %d diverged: plain %+v skipped %+v", name, i, plain[i], skipped[i])
+		}
+	}
+	if len(plain) == 0 {
+		t.Fatalf("%s: test vector produced no traffic — not exercising anything", name)
+	}
+}
+
+func TestIdlerEquivalenceCBR(t *testing.T) {
+	checkIdler(t, "cbr-windowed", func() Idler {
+		return &CBR{RateKbps: 64, Start: 300, Stop: 900}
+	}, 2000)
+	checkIdler(t, "cbr-always-on", func() Idler {
+		return &CBR{RateKbps: 3.2} // fractional accumulation across TTIs
+	}, 500)
+}
+
+func TestIdlerEquivalenceOnOff(t *testing.T) {
+	checkIdler(t, "onoff", func() Idler {
+		return &OnOff{RateKbps: 200, OnTTI: 40, OffTTI: 460}
+	}, 3000)
+}
+
+func TestIdlerEquivalencePoisson(t *testing.T) {
+	checkIdler(t, "poisson-sparse", func() Idler {
+		return &Poisson{MeanKbps: 16, PacketBytes: 1200, Seed: 9}
+	}, 5000)
+	checkIdler(t, "poisson-dense", func() Idler {
+		return &Poisson{MeanKbps: 2000, PacketBytes: 400, Seed: 4}
+	}, 1000)
+}
+
+func TestIdlerNeverActive(t *testing.T) {
+	cases := []struct {
+		name string
+		g    Idler
+	}{
+		{"cbr-zero-rate", &CBR{}},
+		{"cbr-expired", &CBR{RateKbps: 100, Stop: 10}},
+		{"onoff-zero-cycle", &OnOff{RateKbps: 100}},
+	}
+	for _, c := range cases {
+		from := lte.Subframe(100)
+		if got := c.g.NextActive(from); got != lte.NeverSF {
+			t.Errorf("%s: NextActive = %d, want NeverSF", c.name, got)
+		}
+	}
+	// FullBuffer pins its eNodeB awake: never reports an idle range.
+	fb := NewFullBuffer()
+	if got := fb.NextActive(42); got != 42 {
+		t.Errorf("FullBuffer.NextActive = %d, want 42", got)
+	}
+}

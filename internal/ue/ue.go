@@ -9,6 +9,7 @@
 package ue
 
 import (
+	"math"
 	"math/rand"
 
 	"flexran/internal/lte"
@@ -20,6 +21,26 @@ import (
 type Generator interface {
 	// BytesAt returns the bytes arriving during subframe sf.
 	BytesAt(sf lte.Subframe) int
+}
+
+// Idler is the optional Generator extension behind idle fast-forward: a
+// generator that can prove when its next activity occurs, and advance its
+// state across a skipped idle stretch, lets the simulation loop avoid
+// calling BytesAt for every silent subframe.
+//
+// The contract is bit-exactness: for any subframe range over which
+// NextActive proves inactivity, Skip(n) must leave the generator in
+// exactly the state n consecutive BytesAt calls (each returning 0) would
+// have.
+type Idler interface {
+	Generator
+	// NextActive returns the earliest subframe >= from at which BytesAt
+	// may return nonzero bytes or mutate generator state. from must be
+	// the subframe of the generator's next expected BytesAt call.
+	NextActive(from lte.Subframe) lte.Subframe
+	// Skip advances the generator across n subframes proven inactive by
+	// NextActive.
+	Skip(n int)
 }
 
 // CBR is a constant-bit-rate source (the "uniform UDP traffic" of the
@@ -48,6 +69,25 @@ func (c *CBR) BytesAt(sf lte.Subframe) int {
 	return n
 }
 
+// NextActive implements Idler: a CBR source is active exactly inside its
+// [Start, Stop) window (where every BytesAt call mutates the accumulator).
+func (c *CBR) NextActive(from lte.Subframe) lte.Subframe {
+	if c.RateKbps <= 0 {
+		return lte.NeverSF
+	}
+	if c.Stop != 0 && from >= c.Stop {
+		return lte.NeverSF
+	}
+	if from < c.Start {
+		return c.Start
+	}
+	return from
+}
+
+// Skip implements Idler. Outside the active window BytesAt returns without
+// touching the accumulator, so skipping is a no-op.
+func (*CBR) Skip(int) {}
+
 // FullBuffer keeps the queue saturated (the speedtest workload of Fig. 6b).
 type FullBuffer struct {
 	// ChunkBytes arrive every TTI; the eNodeB queue cap bounds growth.
@@ -59,6 +99,13 @@ func NewFullBuffer() *FullBuffer { return &FullBuffer{ChunkBytes: 1 << 20} }
 
 // BytesAt implements Generator.
 func (f *FullBuffer) BytesAt(lte.Subframe) int { return f.ChunkBytes }
+
+// NextActive implements Idler: a saturating source is always active, so a
+// UE carrying one pins its eNodeB awake.
+func (f *FullBuffer) NextActive(from lte.Subframe) lte.Subframe { return from }
+
+// Skip implements Idler (never reached: NextActive admits no idle range).
+func (*FullBuffer) Skip(int) {}
 
 // OnOff alternates between a CBR burst and silence.
 type OnOff struct {
@@ -81,6 +128,24 @@ func (o *OnOff) BytesAt(sf lte.Subframe) int {
 	return n
 }
 
+// NextActive implements Idler: the source is active during the first OnTTI
+// subframes of each on+off cycle and silent (accumulator untouched) for
+// the rest.
+func (o *OnOff) NextActive(from lte.Subframe) lte.Subframe {
+	cycle := o.OnTTI + o.OffTTI
+	if cycle == 0 || o.RateKbps <= 0 {
+		return lte.NeverSF
+	}
+	if int(from)%cycle < o.OnTTI {
+		return from
+	}
+	return from + lte.Subframe(cycle-int(from)%cycle)
+}
+
+// Skip implements Idler: off-phase BytesAt calls return without touching
+// the accumulator.
+func (*OnOff) Skip(int) {}
+
 // Poisson emits exponentially distributed packet arrivals at a mean rate
 // (deterministic per seed), approximating bursty M2M-style traffic.
 type Poisson struct {
@@ -94,13 +159,7 @@ type Poisson struct {
 
 // BytesAt implements Generator.
 func (p *Poisson) BytesAt(lte.Subframe) int {
-	if p.rnd == nil {
-		p.rnd = rand.New(rand.NewSource(p.Seed))
-		if p.PacketBytes == 0 {
-			p.PacketBytes = 1200
-		}
-		p.nextGap = p.sampleGap()
-	}
+	p.init()
 	bytes := 0
 	p.nextGap--
 	for p.nextGap <= 0 {
@@ -108,6 +167,43 @@ func (p *Poisson) BytesAt(lte.Subframe) int {
 		p.nextGap += p.sampleGap()
 	}
 	return bytes
+}
+
+// init performs the lazy first-use setup shared by BytesAt and the Idler
+// methods, so probing NextActive before the first BytesAt call observes
+// the same deterministic state.
+func (p *Poisson) init() {
+	if p.rnd != nil {
+		return
+	}
+	p.rnd = rand.New(rand.NewSource(p.Seed))
+	if p.PacketBytes == 0 {
+		p.PacketBytes = 1200
+	}
+	p.nextGap = p.sampleGap()
+}
+
+// NextActive implements Idler. BytesAt decrements the gap by one per call
+// and emits when it reaches zero or below, so with the generator
+// positioned at from the next emission lands ceil(nextGap)-1 calls later.
+func (p *Poisson) NextActive(from lte.Subframe) lte.Subframe {
+	p.init()
+	k := int(math.Ceil(p.nextGap))
+	if k < 1 {
+		k = 1
+	}
+	return from + lte.Subframe(k-1)
+}
+
+// Skip implements Idler: each inactive BytesAt call is exactly one
+// decrement of the gap (no emission fires, or NextActive lied). The loop
+// form mirrors BytesAt decrement-for-decrement so the float64 bit pattern
+// of nextGap matches the non-skipped execution.
+func (p *Poisson) Skip(n int) {
+	p.init()
+	for i := 0; i < n; i++ {
+		p.nextGap--
+	}
 }
 
 func (p *Poisson) sampleGap() float64 {
