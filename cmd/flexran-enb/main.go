@@ -3,9 +3,14 @@
 // over TCP. Emulated UEs with configurable channel quality and downlink
 // load attach at startup.
 //
+// The subframe loop runs on the deadline-accounted real-time engine:
+// SIGUSR1 (or -profile, which prints every 2 s) dumps the deadline-miss
+// counters and the step/report latency histograms, and shutdown (SIGINT
+// or SIGTERM) flushes a final dump before exiting.
+//
 // Usage:
 //
-//	flexran-enb [-master 127.0.0.1:2210] [-id 1] [-ues 4] [-cqi 12] [-dl-kbps 2000]
+//	flexran-enb [-master 127.0.0.1:2210] [-id 1] [-ues 4] [-cqi 12] [-dl-kbps 2000] [-profile]
 package main
 
 import (
@@ -13,9 +18,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"flexran"
+	"flexran/internal/rt"
 )
 
 func main() {
@@ -24,6 +31,7 @@ func main() {
 	ues := flag.Int("ues", 4, "number of emulated UEs")
 	cqi := flag.Uint("cqi", 12, "mean channel quality (Gauss-Markov fading around it)")
 	dlKbps := flag.Float64("dl-kbps", 2000, "downlink CBR load per UE (kb/s)")
+	profile := flag.Bool("profile", false, "print the deadline/latency profile on exit")
 	flag.Parse()
 
 	e := flexran.NewENB(flexran.ENBConfig{ID: flexran.ENBID(*id), Seed: int64(*id)})
@@ -55,17 +63,27 @@ func main() {
 	}
 
 	// Downlink traffic injection, paced in wall-clock time alongside the
-	// agent loop's TTI ticker.
+	// agent loop. The injector rides the same absolute-deadline pacer as
+	// the TTI loops, so its subframe clock cannot drift from the data
+	// plane's under load — a stall fast-forwards both by the same count.
 	stop := make(chan struct{})
 	go func() {
-		t := time.NewTicker(time.Millisecond)
-		defer t.Stop()
+		pacer := rt.NewPacer(time.Now(), time.Millisecond)
+		timer := time.NewTimer(time.Millisecond)
+		defer timer.Stop()
 		var sf flexran.Subframe
 		for {
-			select {
-			case <-stop:
-				return
-			case <-t.C:
+			now := time.Now()
+			if d := pacer.Deadline(); now.Before(d) {
+				timer.Reset(d.Sub(now))
+				select {
+				case <-stop:
+					return
+				case <-timer.C:
+				}
+			}
+			due, _ := pacer.Due(time.Now())
+			for i := 0; i < due; i++ {
 				for _, s := range sources {
 					if b := s.gen.BytesAt(sf); b > 0 {
 						epc.Downlink(s.imsi, b) //nolint:errcheck
@@ -76,15 +94,48 @@ func main() {
 		}
 	}()
 
+	ls := &flexran.LoopStats{}
 	go func() {
+		// SIGTERM is the normal container/systemd stop signal; trapping
+		// only SIGINT would hard-kill the subframe loop mid-write.
 		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		close(stop)
 	}()
+	go func() {
+		usr1 := make(chan os.Signal, 1)
+		signal.Notify(usr1, syscall.SIGUSR1)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-usr1:
+				fmt.Println(ls.Profile())
+			}
+		}
+	}()
+	if *profile {
+		go func() {
+			t := time.NewTicker(2 * time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					fmt.Println(ls.Profile())
+				}
+			}
+		}()
+	}
 
 	fmt.Printf("flexran-enb %d: %d UEs, connecting to %s\n", *id, *ues, *masterAddr)
-	if err := flexran.RunAgentLoop(a, *masterAddr, stop); err != nil {
+	err := flexran.RunAgentLoopRT(a, *masterAddr, stop, flexran.RTConfig{Stats: ls})
+	// Flush the final accounting whether the loop ended by signal or by a
+	// transport failure.
+	fmt.Println(ls.Profile())
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "agent:", err)
 		os.Exit(1)
 	}

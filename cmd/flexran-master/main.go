@@ -2,9 +2,14 @@
 // FlexRAN protocol over TCP, with a monitoring application registered.
 // Agent-enabled eNodeBs (cmd/flexran-enb) connect to it.
 //
+// The control loop runs on the deadline-accounted real-time engine:
+// SIGUSR1 (or -profile, which also prints on every report interval) dumps
+// the deadline-miss counters and per-leg latency histograms, and shutdown
+// (SIGINT or SIGTERM) flushes a final dump before exiting.
+//
 // Usage:
 //
-//	flexran-master [-addr :2210] [-stats-period 1] [-sync-period 1]
+//	flexran-master [-addr :2210] [-stats-period 1] [-sync-period 1] [-profile]
 package main
 
 import (
@@ -12,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"flexran"
@@ -23,6 +29,7 @@ func main() {
 	statsPeriod := flag.Int("stats-period", 1, "statistics reporting period in TTIs (0 disables)")
 	syncPeriod := flag.Int("sync-period", 1, "subframe sync period in TTIs (0 disables)")
 	report := flag.Duration("report", 2*time.Second, "status print interval")
+	profile := flag.Bool("profile", false, "print the deadline/latency profile with every status line")
 	flag.Parse()
 
 	opts := flexran.DefaultMasterOptions()
@@ -30,13 +37,31 @@ func main() {
 	opts.SyncPeriodTTI = *syncPeriod
 	m := flexran.NewMaster(opts)
 	m.Register(apps.NewMonitor(100), 0)
+	ls := &flexran.LoopStats{}
 
 	stop := make(chan struct{})
 	go func() {
+		// SIGTERM is the normal container/systemd stop signal; trapping
+		// only SIGINT would hard-kill the loop mid-write and skip the
+		// final metrics dump.
 		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		close(stop)
+	}()
+	go func() {
+		// The FlexRAN-rtc-style profiling hook: USR1 dumps the loop
+		// accounting on demand.
+		usr1 := make(chan os.Signal, 1)
+		signal.Notify(usr1, syscall.SIGUSR1)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-usr1:
+				fmt.Println(ls.Profile())
+			}
+		}
 	}()
 
 	go func() {
@@ -48,12 +73,20 @@ func main() {
 				return
 			case <-t.C:
 				fmt.Println(flexran.MasterSummary(m))
+				if *profile {
+					fmt.Println(ls.Profile())
+				}
 			}
 		}
 	}()
 
 	fmt.Printf("flexran-master listening on %s\n", *addr)
-	if err := flexran.ServeMaster(m, *addr, stop); err != nil {
+	err := flexran.ServeMasterRT(m, *addr, stop, flexran.RTConfig{Stats: ls})
+	// Flush the final accounting whether the loop ended by signal or by a
+	// transport failure.
+	fmt.Println(flexran.MasterSummary(m))
+	fmt.Println(ls.Profile())
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "master:", err)
 		os.Exit(1)
 	}

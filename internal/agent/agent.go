@@ -16,9 +16,11 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"flexran/internal/enb"
 	"flexran/internal/lte"
+	"flexran/internal/metrics"
 	"flexran/internal/protocol"
 	"flexran/internal/radio"
 	"flexran/internal/sched"
@@ -117,6 +119,12 @@ type Agent struct {
 	// or the transport failed; surfaced for diagnostics.
 	droppedSends int
 
+	// loopStats, when attached (wall-clock deployments), receives the
+	// report leg of the real-time engine's latency accounting: encode+send
+	// duration per emitted statistics report. Nil in simulated runs, where
+	// every observation is skipped.
+	loopStats *metrics.LoopStats
+
 	// Per-TTI scratch, reused across subframes so steady-state reporting
 	// allocates nothing: data-plane snapshots, the due-subscription sweep
 	// and the triggered-mode fingerprint encoder.
@@ -172,6 +180,16 @@ func (a *Agent) RRC() *RRCModule { return a.rrc }
 
 // ENB returns the fronted data plane.
 func (a *Agent) ENB() *enb.ENB { return a.enb }
+
+// SetLoopStats attaches the real-time engine's latency sink: every
+// statistics report emitted from the TTI hook observes its encode+send
+// duration into ls.Report. Passing nil detaches (the default; simulated
+// runs never attach one).
+func (a *Agent) SetLoopStats(ls *metrics.LoopStats) {
+	a.mu.Lock()
+	a.loopStats = ls
+	a.mu.Unlock()
+}
 
 // Connect attaches the outbound transport, bumps the session epoch and
 // sends the Hello handshake. The Hello is retransmitted from the TTI loop
@@ -283,7 +301,10 @@ func (a *Agent) Deliver(m *protocol.Message) {
 	case *protocol.ResyncRequest:
 		a.emit(a.buildSnapshot())
 	case *protocol.Echo:
-		a.emit(&protocol.EchoReply{Seq: p.Seq, SenderSF: p.SenderSF})
+		// TS is mirrored verbatim (the EchoTS path): the master measures
+		// the command round trip against its own clock, so the agent never
+		// needs a synchronized one.
+		a.emit(&protocol.EchoReply{Seq: p.Seq, SenderSF: p.SenderSF, TS: p.TS})
 	case *protocol.ENBConfigRequest:
 		a.emit(&protocol.ENBConfigReply{Config: a.enb.Config()})
 	case *protocol.UEConfigRequest:
@@ -537,20 +558,34 @@ func (a *Agent) onSubframe(sf lte.Subframe) {
 	a.mu.Lock()
 	subs := append(a.subScratch[:0], a.subList...)
 	a.subScratch = subs
+	ls := a.loopStats
 	a.mu.Unlock()
+	var t0 time.Time
 	for _, s := range subs {
 		switch s.req.Mode {
 		case protocol.StatsPeriodic:
 			if int(sf-s.started)%int(s.req.PeriodTTI) == 0 {
+				if ls != nil {
+					t0 = time.Now()
+				}
 				a.emit(a.buildReport(&s.req, &s.rep, sf))
+				if ls != nil {
+					ls.Report.Observe(time.Since(t0))
+				}
 			}
 		case protocol.StatsTriggered:
+			if ls != nil {
+				t0 = time.Now()
+			}
 			rep := a.buildReport(&s.req, &s.rep, sf)
 			h := a.reportHash(rep)
 			if !s.sentOnce || h != s.lastHash {
 				s.sentOnce = true
 				s.lastHash = h
 				a.emit(rep)
+				if ls != nil {
+					ls.Report.Observe(time.Since(t0))
+				}
 			}
 		}
 	}

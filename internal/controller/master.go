@@ -47,19 +47,26 @@ type Options struct {
 	// after each HelloAck, leaving RIB repopulation to periodic reports
 	// (the pre-resync behaviour; kept for ablation experiments).
 	NoResync bool
+	// RTTProbePeriodTTI is the command-round-trip probe period: every
+	// period, a wall-clock-stamped Echo goes to each bound session and the
+	// mirrored timestamp on the EchoReply feeds the RTT histogram. Probes
+	// fire only when a LoopStats is attached (SetLoopStats), so simulated
+	// runs stay byte-identical. 0 disables probing.
+	RTTProbePeriodTTI int
 }
 
 // DefaultOptions mirror the paper's demanding evaluation setup: per-TTI
 // full statistics and per-TTI master-agent synchronization.
 func DefaultOptions() Options {
 	return Options{
-		ID:             "flexran-master",
-		StatsPeriodTTI: 1,
-		StatsMode:      protocol.StatsPeriodic,
-		StatsFlags:     protocol.StatsAll,
-		SyncPeriodTTI:  1,
-		EchoPeriodTTI:  20,
-		EchoMissBudget: 3,
+		ID:                "flexran-master",
+		StatsPeriodTTI:    1,
+		StatsMode:         protocol.StatsPeriodic,
+		StatsFlags:        protocol.StatsAll,
+		SyncPeriodTTI:     1,
+		EchoPeriodTTI:     20,
+		EchoMissBudget:    3,
+		RTTProbePeriodTTI: 64,
 	}
 }
 
@@ -250,6 +257,13 @@ type Master struct {
 	coreTime metrics.Series
 	appsTime metrics.Series
 
+	// loopStats is the wall-clock deployment's deadline/latency sink:
+	// Tick feeds the ingest→RIB-apply leg, the EchoReply TS path feeds the
+	// command-round-trip leg. Atomic because applyInbound reads it from
+	// parallel updater workers; nil (simulated runs) disables every
+	// observation and the RTT probes.
+	loopStats atomic.Pointer[metrics.LoopStats]
+
 	// Per-tick scratch for the updater-slot partition and the heartbeat's
 	// binding snapshot, reused across cycles so the steady-state Tick adds
 	// no allocations over the batch/sink bookkeeping.
@@ -300,6 +314,12 @@ const defaultTrustKey = "flexran-dev-trust-key"
 // RIB exposes the information base (applications read it; only the
 // master's updater writes).
 func (m *Master) RIB() *RIB { return m.rib }
+
+// SetLoopStats attaches the real-time engine's deadline/latency sink:
+// each Tick observes the RIB Updater slot into ls.Ingest, and with
+// Options.RTTProbePeriodTTI > 0 the master sends wall-clock-stamped Echo
+// probes whose mirrored timestamps feed ls.RTT. Passing nil detaches.
+func (m *Master) SetLoopStats(ls *metrics.LoopStats) { m.loopStats.Store(ls) }
 
 // Register adds an application with a priority (higher runs earlier in
 // the cycle — e.g. a centralized scheduler above a monitoring app).
@@ -508,6 +528,11 @@ func (m *Master) Tick() {
 	if m.opts.EchoPeriodTTI > 0 {
 		m.heartbeat(sessions)
 	}
+	ls := m.loopStats.Load()
+	if ls != nil && m.opts.RTTProbePeriodTTI > 0 &&
+		m.cycle%lte.Subframe(m.opts.RTTProbePeriodTTI) == 0 {
+		m.rttProbe(sessions)
+	}
 	if m.opts.StatsPeriodTTI > 0 && m.cycle%maintenanceEvery == maintenanceEvery-1 {
 		m.maintainSubscriptions(sessions)
 	}
@@ -518,6 +543,9 @@ func (m *Master) Tick() {
 	m.pendingLife = nil
 	m.mu.Unlock()
 	core := time.Since(t0)
+	if ls != nil {
+		ls.Ingest.Observe(core)
+	}
 
 	// --- Application slot ---
 	t1 := time.Now()
@@ -689,6 +717,13 @@ func (m *Master) applyInbound(s *session, msg *protocol.Message, sink *tickSink)
 		})
 	case *protocol.EchoReply:
 		m.rib.applySF(msg.ENB, p.SenderSF)
+		// The EchoTS path: the agent mirrored our wall-clock stamp, so the
+		// difference is the full command round trip (send→agent→apply).
+		if p.TS != 0 {
+			if ls := m.loopStats.Load(); ls != nil {
+				ls.RTT.Observe(time.Duration(time.Now().UnixNano() - p.TS))
+			}
+		}
 	case *protocol.MeasReport:
 		m.rib.applyMeasReport(msg.ENB, msg.SF, p)
 		sink.meas = append(sink.meas, MeasEvent{ENB: msg.ENB, SF: msg.SF, Report: p})
@@ -845,11 +880,36 @@ func (m *Master) heartbeat(sessions []*session) {
 		}
 		s.echoMisses++
 		s.lastEcho = m.cycle
+		var ts int64
+		if m.loopStats.Load() != nil {
+			ts = time.Now().UnixNano() // liveness probes double as RTT samples
+		}
 		msg := protocol.AcquireMessage(enbs[i], m.cycle, &protocol.Echo{
 			Seq:      uint64(s.echoMisses),
 			SenderSF: m.cycle,
+			TS:       ts,
 		})
 		s.send(msg) //nolint:errcheck // a failed probe shows up as continued silence
+		msg.Release()
+	}
+}
+
+// rttProbe sends one wall-clock-stamped Echo to every bound live session;
+// the agent mirrors the stamp in its EchoReply and applyInbound observes
+// the round trip. Runs after the updater barrier like heartbeat; only the
+// wall-clock deployment enables it (see SetLoopStats), so probe traffic
+// never perturbs simulated scenarios.
+func (m *Master) rttProbe(sessions []*session) {
+	enbs := m.snapshotBindings(sessions)
+	for i, s := range sessions {
+		if enbs[i] == 0 || s.isClosed() {
+			continue
+		}
+		msg := protocol.AcquireMessage(enbs[i], m.cycle, &protocol.Echo{
+			SenderSF: m.cycle,
+			TS:       time.Now().UnixNano(),
+		})
+		s.send(msg) //nolint:errcheck // a lost probe is just a missing sample
 		msg.Release()
 	}
 }

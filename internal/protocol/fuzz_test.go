@@ -19,8 +19,8 @@ func seedPayloads() []Payload {
 			},
 		}},
 		&HelloAck{Version: ProtocolVersion, MasterID: "master-0", Epoch: 3},
-		&Echo{Seq: 7, SenderSF: 11},
-		&EchoReply{Seq: 7, SenderSF: 12},
+		&Echo{Seq: 7, SenderSF: 11, TS: 1700000000000000001},
+		&EchoReply{Seq: 7, SenderSF: 12, TS: 1700000000000000002},
 		&ENBConfigRequest{},
 		&ENBConfigReply{Config: ENBConfig{ID: 8, Cells: []CellConfig{{Cell: 1}}}},
 		&UEConfigRequest{},

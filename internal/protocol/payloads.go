@@ -91,9 +91,14 @@ func (h *HelloAck) UnmarshalWire(d *wire.Decoder) error {
 }
 
 // Echo is a keepalive/liveness probe; EchoReply mirrors its sequence.
+// TS is the EchoTS timestamp path: the sender's wall clock in Unix
+// nanoseconds (0 = unset), mirrored verbatim by the EchoReply so the
+// sender can measure the command round trip without clock agreement from
+// the peer.
 type Echo struct {
 	Seq      uint64
 	SenderSF lte.Subframe
+	TS       int64
 }
 
 // Kind implements Payload.
@@ -106,6 +111,9 @@ func (p *Echo) reset() { *p = Echo{} }
 func (p *Echo) MarshalWire(e *wire.Encoder) {
 	e.Uint(1, p.Seq)
 	e.Uint(2, uint64(p.SenderSF))
+	if p.TS != 0 {
+		e.Uint(3, uint64(p.TS))
+	}
 }
 
 // UnmarshalWire implements wire.Unmarshaler.
@@ -118,15 +126,21 @@ func (p *Echo) UnmarshalWire(d *wire.Decoder) error {
 			return err
 		case 2:
 			return readSF(d, &p.SenderSF)
+		case 3:
+			v, err := d.ReadUint()
+			p.TS = int64(v)
+			return err
 		}
 		return d.Skip()
 	})
 }
 
-// EchoReply answers an Echo.
+// EchoReply answers an Echo, mirroring its sequence, subframe stamp and
+// TS timestamp.
 type EchoReply struct {
 	Seq      uint64
 	SenderSF lte.Subframe
+	TS       int64
 }
 
 // Kind implements Payload.
@@ -139,6 +153,9 @@ func (p *EchoReply) reset() { *p = EchoReply{} }
 func (p *EchoReply) MarshalWire(e *wire.Encoder) {
 	e.Uint(1, p.Seq)
 	e.Uint(2, uint64(p.SenderSF))
+	if p.TS != 0 {
+		e.Uint(3, uint64(p.TS))
+	}
 }
 
 // UnmarshalWire implements wire.Unmarshaler.
@@ -151,6 +168,10 @@ func (p *EchoReply) UnmarshalWire(d *wire.Decoder) error {
 			return err
 		case 2:
 			return readSF(d, &p.SenderSF)
+		case 3:
+			v, err := d.ReadUint()
+			p.TS = int64(v)
+			return err
 		}
 		return d.Skip()
 	})

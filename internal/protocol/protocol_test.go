@@ -40,8 +40,8 @@ func TestRoundTripAllKinds(t *testing.T) {
 			},
 		}},
 		&HelloAck{Version: 1, MasterID: "master-0"},
-		&Echo{Seq: 9, SenderSF: 100},
-		&EchoReply{Seq: 9, SenderSF: 101},
+		&Echo{Seq: 9, SenderSF: 100, TS: 1700000000123456789},
+		&EchoReply{Seq: 9, SenderSF: 101, TS: 1700000000123456789},
 		&ENBConfigRequest{},
 		&ENBConfigReply{Config: ENBConfig{ID: 8}},
 		&UEConfigRequest{},

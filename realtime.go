@@ -2,10 +2,13 @@ package flexran
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"flexran/internal/controller"
+	"flexran/internal/metrics"
 	"flexran/internal/protocol"
+	"flexran/internal/rt"
 	"flexran/internal/transport"
 )
 
@@ -13,27 +16,100 @@ import (
 // as separate processes connected over TCP (the paper's testbed setup,
 // used by cmd/flexran-master and cmd/flexran-enb). The virtual-time mode
 // in internal/sim shares all control-plane code with these loops.
+//
+// Both loops pace on rt.Pacer: TTI deadlines are absolute times computed
+// from the run start, so a late step never shifts later deadlines, and a
+// stall surfaces as due steps plus an explicit miss count instead of the
+// silently coalesced ticks a time.Ticker delivers. With an attached
+// LoopStats the 1 ms budget is observable end to end — deadline misses,
+// the agent report encode+send leg, the master ingest→RIB-apply leg and
+// the Echo-TS command round trip all land in log-bucketed histograms.
 
 // DefaultMasterAddr is the default FlexRAN control port.
 const DefaultMasterAddr = ":2210"
 
-// ServeMaster runs a master controller over TCP: an accept loop feeding
-// agent connections into the master, plus the task-manager tick loop at
-// one cycle per TTI (1 ms). Inbound traffic is absorbed in batches — each
-// reader drains everything its connection has buffered and hands the
-// whole batch to the per-session ingest queue in one operation, so
-// per-TTI reports from many agents contend on no shared lock. It blocks
-// until stop is closed or the listener fails.
+// LoopStats is the real-time engine's deadline/latency accounting: tick
+// and miss counters plus per-leg latency histograms. One LoopStats may be
+// shared by many loops (all fields are concurrency-safe); the zero value
+// is ready to use.
+type LoopStats = metrics.LoopStats
+
+// HistogramSummary is a point-in-time digest of one latency leg.
+type HistogramSummary = metrics.HistogramSummary
+
+// ControlListener accepts FlexRAN control connections (see ListenControl).
+type ControlListener = transport.Listener
+
+// ListenControl binds the master's control listener. Use addr "127.0.0.1:0"
+// to bind an ephemeral port (tests, in-process harnesses) and read it back
+// from Addr().
+func ListenControl(addr string) (*ControlListener, error) {
+	return transport.Listen(addr)
+}
+
+// RTConfig tunes the wall-clock loops.
+type RTConfig struct {
+	// Period is the TTI length; 0 defaults to the paper's 1 ms.
+	Period time.Duration
+	// Stats, when non-nil, receives deadline accounting and latency
+	// histograms from the loop (and is attached to the master/agent so
+	// the ingest, report and RTT legs are measured too).
+	Stats *LoopStats
+}
+
+func (c RTConfig) period() time.Duration {
+	if c.Period <= 0 {
+		return time.Millisecond
+	}
+	return c.Period
+}
+
+// ServeMaster runs a master controller over TCP with default pacing (1 ms
+// TTIs, no stats sink); see ServeMasterRT.
 func ServeMaster(m *Master, addr string, stop <-chan struct{}) error {
+	return ServeMasterRT(m, addr, stop, RTConfig{})
+}
+
+// ServeMasterRT binds addr and serves; see ServeMasterListener.
+func ServeMasterRT(m *Master, addr string, stop <-chan struct{}, cfg RTConfig) error {
 	l, err := transport.Listen(addr)
 	if err != nil {
 		return err
 	}
-	defer l.Close()
+	return ServeMasterListener(m, l, stop, cfg)
+}
+
+// ServeMasterListener runs a master controller on an already-bound
+// listener: an accept loop feeding agent connections into the master, plus
+// the task-manager tick loop at one cycle per TTI. Inbound traffic is
+// absorbed in batches — each reader drains everything its connection has
+// buffered and hands the whole batch to the per-session ingest queue in
+// one operation, so per-TTI reports from many agents contend on no shared
+// lock. The loop owns the listener and blocks until stop is closed (which
+// also closes every accepted connection — readers never outlive the
+// server) or the listener fails.
+func ServeMasterListener(m *Master, l *ControlListener, stop <-chan struct{}, cfg RTConfig) error {
+	ls := cfg.Stats
+	if ls != nil {
+		m.SetLoopStats(ls)
+	}
+
+	// Live-connection registry: closing stop must tear down the accepted
+	// connections too, or their readers block in RecvBatch forever — one
+	// leaked goroutine and socket per agent that ever attached.
+	var connMu sync.Mutex
+	conns := make(map[*transport.Conn]struct{})
+	stopped := false
 
 	go func() {
 		<-stop
 		l.Close()
+		connMu.Lock()
+		stopped = true
+		for c := range conns {
+			c.Close()
+		}
+		connMu.Unlock()
 	}()
 	go func() {
 		for {
@@ -41,6 +117,16 @@ func ServeMaster(m *Master, addr string, stop <-chan struct{}) error {
 			if err != nil {
 				return // listener closed
 			}
+			connMu.Lock()
+			if stopped {
+				// Accept raced the shutdown: the registry sweep already
+				// ran, so this connection is ours to close.
+				connMu.Unlock()
+				conn.Close()
+				return
+			}
+			conns[conn] = struct{}{}
+			connMu.Unlock()
 			sess := m.HandleAgentSession(conn.Send)
 			go func() {
 				batch := make([]*protocol.Message, 0, 64)
@@ -53,31 +139,65 @@ func ServeMaster(m *Master, addr string, stop <-chan struct{}) error {
 				}
 				sess.Close()
 				conn.Close()
+				connMu.Lock()
+				delete(conns, conn)
+				connMu.Unlock()
 			}()
 		}
 	}()
 
-	ticker := time.NewTicker(time.Millisecond)
-	defer ticker.Stop()
+	pacer := rt.NewPacer(time.Now(), cfg.period())
+	timer := time.NewTimer(cfg.period())
+	defer timer.Stop()
 	for {
-		select {
-		case <-stop:
-			return nil
-		case <-ticker.C:
-			m.Tick()
+		now := time.Now()
+		if d := pacer.Deadline(); now.Before(d) {
+			timer.Reset(d.Sub(now))
+			select {
+			case <-stop:
+				return nil
+			case <-timer.C:
+			}
+		}
+		due, missed := pacer.Due(time.Now())
+		if ls != nil {
+			ls.Account(due, missed)
+		}
+		// Run every due cycle, late ones included: the master's cycle
+		// count stays aligned with the agents' wall-clock subframe count,
+		// and the backlog is visible as misses instead of silent drift.
+		for i := 0; i < due; i++ {
+			if ls != nil {
+				t0 := time.Now()
+				m.Tick()
+				ls.Step.Observe(time.Since(t0))
+			} else {
+				m.Tick()
+			}
 		}
 	}
 }
 
-// RunAgentLoop connects an agent-enabled eNodeB to a master over TCP and
-// runs the data plane in real time: one subframe per millisecond, with
+// RunAgentLoop connects an agent-enabled eNodeB to a master over TCP with
+// default pacing (1 ms TTIs, no stats sink); see RunAgentLoopRT.
+func RunAgentLoop(a *Agent, masterAddr string, stop <-chan struct{}) error {
+	return RunAgentLoopRT(a, masterAddr, stop, RTConfig{})
+}
+
+// RunAgentLoopRT connects an agent-enabled eNodeB to a master over TCP and
+// runs the data plane in real time: one subframe per TTI period, with
 // inbound control messages dispatched between subframes (the agent and
 // eNodeB are single-threaded by design; the loop provides the
-// serialization). Control messages are drained in batches: everything the
-// connection has buffered is applied before the next subframe, mirroring
-// the simulated engine's delivery phase. It blocks until stop is closed
-// or the connection fails.
-func RunAgentLoop(a *Agent, masterAddr string, stop <-chan struct{}) error {
+// serialization). Control messages are drained in batches and delivered
+// inline, but the TTI step always runs once the deadline has passed — a
+// sustained inbound burst can delay a subframe (the pacer counts it as a
+// miss) yet never starve or skip it. It blocks until stop is closed or the
+// connection fails.
+func RunAgentLoopRT(a *Agent, masterAddr string, stop <-chan struct{}, cfg RTConfig) error {
+	ls := cfg.Stats
+	if ls != nil {
+		a.SetLoopStats(ls)
+	}
 	conn, err := transport.Dial(masterAddr)
 	if err != nil {
 		return err
@@ -91,40 +211,68 @@ func RunAgentLoop(a *Agent, masterAddr string, stop <-chan struct{}) error {
 		}
 		return nil
 	}
+	deliver := func(batch []*protocol.Message) {
+		for _, m := range batch {
+			a.Deliver(m)
+			m.Release() // the agent copies what it keeps
+		}
+	}
 
-	ticker := time.NewTicker(time.Millisecond)
-	defer ticker.Stop()
+	pacer := rt.NewPacer(time.Now(), cfg.period())
+	timer := time.NewTimer(cfg.period())
+	defer timer.Stop()
 	batch := make([]*protocol.Message, 0, 16)
 	for {
-		select {
-		case <-stop:
-			return nil
-		case msg, ok := <-conn.Recv():
-			if !ok {
-				return closedErr()
+		now := time.Now()
+		if d := pacer.Deadline(); now.Before(d) {
+			timer.Reset(d.Sub(now))
+			select {
+			case <-stop:
+				return nil
+			case msg, ok := <-conn.Recv():
+				if !ok {
+					return closedErr()
+				}
+				// Deliver inline, then re-check the deadline at the top of
+				// the loop: once it has passed the select is skipped
+				// entirely, so a control-message flood cannot starve the
+				// subframe step the way the old ticker select could.
+				batch = append(batch[:0], msg)
+				open := transport.DrainRecv(conn.Recv(), &batch)
+				deliver(batch)
+				if !open {
+					return closedErr()
+				}
+				continue
+			case <-timer.C:
 			}
-			batch = append(batch[:0], msg)
-			open := transport.DrainRecv(conn.Recv(), &batch)
-			for _, m := range batch {
-				a.Deliver(m)
-				m.Release() // the agent copies what it keeps
+		}
+		due, missed := pacer.Due(time.Now())
+		if ls != nil {
+			ls.Account(due, missed)
+		}
+		if due == 0 {
+			continue // early timer wake; re-arm
+		}
+		// Apply whatever control arrived during the last subframe before
+		// stepping, so commands take effect on their TTI.
+		batch = batch[:0]
+		open := transport.DrainRecv(conn.Recv(), &batch)
+		deliver(batch)
+		if !open {
+			return closedErr()
+		}
+		// Step every due subframe, late ones included: the data plane's
+		// subframe count keeps tracking wall-clock TTIs (and the master's
+		// cycle count), with the stall accounted as misses.
+		for i := 0; i < due; i++ {
+			if ls != nil {
+				t0 := time.Now()
+				a.ENB().Step()
+				ls.Step.Observe(time.Since(t0))
+			} else {
+				a.ENB().Step()
 			}
-			if !open {
-				return closedErr()
-			}
-		case <-ticker.C:
-			// Apply whatever control arrived during the last subframe
-			// before stepping, so commands take effect on their TTI.
-			batch = batch[:0]
-			open := transport.DrainRecv(conn.Recv(), &batch)
-			for _, m := range batch {
-				a.Deliver(m)
-				m.Release() // the agent copies what it keeps
-			}
-			if !open {
-				return closedErr()
-			}
-			a.ENB().Step()
 		}
 	}
 }
