@@ -128,6 +128,9 @@ func printSummary(s scenario.Summary) {
 		fmt.Printf("  faults: %d injected, %d agent downs, %d agent ups\n",
 			s.FaultsInjected, s.AgentDowns, s.AgentUps)
 	}
+	if s.AgentDegraded > 0 || s.AgentRecovers > 0 {
+		fmt.Printf("  health: %d downgrades, %d recoveries\n", s.AgentDegraded, s.AgentRecovers)
+	}
 	fmt.Printf("  digest: %s\n", s.Digest)
 }
 

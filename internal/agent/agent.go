@@ -115,6 +115,23 @@ type Agent struct {
 	helloAcked bool
 	lastHello  lte.Subframe
 
+	// stalled models a wedged control loop (the agent_stall fault): the
+	// TTI hooks do nothing — no reports, no triggers, no measurement
+	// events — while the transport-level echo path stays responsive.
+	stalled bool
+
+	// cmdSeen dedups reliably-delivered commands by their envelope CmdSeq
+	// (retransmits re-ack the recorded outcome without re-applying);
+	// cmdOrder tracks insertion order so pruning at cmdSeenCap stays
+	// deterministic. Both are volatile: a restart drops them, and the
+	// master fails the dead session's pending commands rather than
+	// retransmitting old sequence numbers at the new incarnation.
+	cmdSeen  map[uint64]bool
+	cmdOrder []uint64
+	// cmdApplied counts first-time sequenced applications (dedup hits
+	// excluded) — the exactly-once observable.
+	cmdApplied int
+
 	// droppedSends counts messages lost because no transport is attached
 	// or the transport failed; surfaced for diagnostics.
 	droppedSends int
@@ -231,6 +248,35 @@ func (a *Agent) Restart() {
 	a.subs = map[uint32]*statsSub{}
 	a.subList = a.subList[:0]
 	a.a3 = map[lte.RNTI]*a3State{}
+	a.stalled = false
+	a.cmdSeen = nil
+	a.cmdOrder = a.cmdOrder[:0]
+}
+
+// SetStalled wedges or unwedges the agent's control loop (the agent_stall
+// gray fault): while stalled, the TTI hooks emit nothing and the host
+// environment withholds every inbound message except liveness echoes.
+func (a *Agent) SetStalled(stalled bool) {
+	a.mu.Lock()
+	a.stalled = stalled
+	a.mu.Unlock()
+}
+
+// Stalled reports whether the control loop is wedged.
+func (a *Agent) Stalled() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stalled
+}
+
+// SequencedApplied returns how many reliably-delivered commands this agent
+// has applied for the first time — retransmitted duplicates re-ack without
+// incrementing, so under any loss/duplication pattern the count equals the
+// number of distinct commands that got through.
+func (a *Agent) SequencedApplied() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cmdApplied
 }
 
 // sendHello (re)transmits the handshake for the current epoch.
@@ -287,6 +333,80 @@ func (a *Agent) DroppedSends() int {
 // dispatcher of Fig. 2). It must be called from the same goroutine that
 // steps the eNodeB (sim loop) or with external serialization (TCP driver).
 func (a *Agent) Deliver(m *protocol.Message) {
+	if m.CmdSeq != 0 {
+		a.deliverSequenced(m)
+		return
+	}
+	a.dispatch(m)
+}
+
+// deliverSequenced applies a reliably-delivered command exactly once: a
+// sequence number already seen re-acks its recorded outcome without
+// touching the data plane (the master retransmitted because our ack was
+// late or lost), a fresh one applies and records. Every sequenced message
+// is acked, success or failure, so the master can retire its retransmit
+// state.
+func (a *Agent) deliverSequenced(m *protocol.Message) {
+	seq := m.CmdSeq
+	a.mu.Lock()
+	ok, seen := a.cmdSeen[seq]
+	a.mu.Unlock()
+	if seen {
+		a.emit(&protocol.ControlAck{OK: ok, Seq: seq})
+		return
+	}
+	var err error
+	switch p := m.Payload.(type) {
+	case *protocol.VSFUpdate:
+		err = a.installVSF(p)
+	case *protocol.PolicyReconf:
+		err = a.Reconfigure(p.Doc)
+	case *protocol.HandoverCommand:
+		err = a.execHandover(p)
+	default:
+		// Other sequenced kinds apply through the normal dispatcher and
+		// are acked as received (their handlers have no failure path).
+		a.dispatch(m)
+	}
+	ok = err == nil
+	a.mu.Lock()
+	if a.cmdSeen == nil {
+		a.cmdSeen = map[uint64]bool{}
+	}
+	a.cmdSeen[seq] = ok
+	a.cmdApplied++
+	a.cmdOrder = append(a.cmdOrder, seq)
+	// Deterministic pruning: drop the oldest entries once the dedup
+	// window overflows (a master never retransmits across that much
+	// later traffic — the retry budget is far smaller).
+	for len(a.cmdOrder) > cmdSeenCap {
+		delete(a.cmdSeen, a.cmdOrder[0])
+		a.cmdOrder = a.cmdOrder[1:]
+	}
+	a.mu.Unlock()
+	if err != nil {
+		a.emit(&protocol.ControlAck{OK: false, Detail: err.Error(), Seq: seq})
+		return
+	}
+	a.emit(&protocol.ControlAck{OK: true, Seq: seq})
+}
+
+// cmdSeenCap bounds the reliable-delivery dedup window.
+const cmdSeenCap = 4096
+
+// execHandover runs the installed handover executor.
+func (a *Agent) execHandover(p *protocol.HandoverCommand) error {
+	a.mu.Lock()
+	exec := a.hoExec
+	a.mu.Unlock()
+	if exec == nil {
+		return fmt.Errorf("agent: no handover executor attached")
+	}
+	return exec(p)
+}
+
+// dispatch routes one unsequenced message to its handler.
+func (a *Agent) dispatch(m *protocol.Message) {
 	switch p := m.Payload.(type) {
 	case *protocol.HelloAck:
 		// Session established: stop retransmitting the Hello. An ack
@@ -358,6 +478,9 @@ func (a *Agent) NotifyHandoverComplete(rnti lte.RNTI, imsi uint64, cell lte.Cell
 // signal quality for handover initiation") gate when a MeasReport leaves
 // the agent. One report is emitted per A3 episode.
 func (a *Agent) onMeasurement(rnti lte.RNTI, cell lte.CellID, serving radio.Meas, neighbors []radio.Meas) {
+	if a.Stalled() {
+		return
+	}
 	hys := a.rrc.Hysteresis()
 	ttt := a.rrc.TimeToTrigger()
 	entered := len(neighbors) > 0 && neighbors[0].RSRPdBm > serving.RSRPdBm+hys
@@ -500,6 +623,13 @@ func (a *Agent) rebuildSubList() {
 // content depends on the decaying rate averages), so their presence pins
 // the agent awake.
 func (a *Agent) NextWork(from lte.Subframe) lte.Subframe {
+	a.mu.Lock()
+	stalled := a.stalled
+	a.mu.Unlock()
+	if stalled {
+		// A wedged control loop does no TTI work: nothing to wake for.
+		return lte.NeverSF
+	}
 	next := lte.NeverSF
 	if p := a.mgmt.SyncPeriod(); p > 0 {
 		pp := lte.Subframe(p)
@@ -540,6 +670,9 @@ func (a *Agent) NextWork(from lte.Subframe) lte.Subframe {
 }
 
 func (a *Agent) onSubframe(sf lte.Subframe) {
+	if a.Stalled() {
+		return
+	}
 	if retry := a.helloRetry(); retry > 0 {
 		a.mu.Lock()
 		resend := a.send != nil && !a.helloAcked && int(sf-a.lastHello) >= retry
@@ -702,6 +835,12 @@ func (a *Agent) onUEEvent(ev protocol.UEEventType, rnti lte.RNTI, cellID lte.Cel
 	// agent's RIB shard is the source half of a handover migration, and
 	// suppressing it (forward_events: false) would leak ghost records.
 	// The knob gates only the chatty attach/RA/SR notifications.
+	if a.Stalled() {
+		// A wedged control loop forwards nothing — including detaches. The
+		// master's RIB goes stale, exactly the gray failure the health
+		// monitor's report-staleness path is built to catch.
+		return
+	}
 	if ev == protocol.UEEventDetach || a.mgmt.ForwardEvents() {
 		a.emit(&protocol.UEEvent{Type: ev, RNTI: rnti, Cell: cellID})
 	}

@@ -297,6 +297,66 @@ func TestMobilityManagerCancelsInflightOnAgentDown(t *testing.T) {
 	}
 }
 
+// A target that turns Suspect mid-handover gets its in-flight entries
+// canceled, and new A3 reports stop routing into it while it is sick.
+func TestMobilityManagerCancelsInflightOnSuspect(t *testing.T) {
+	opts := controller.DefaultOptions()
+	opts.EchoPeriodTTI = 0 // isolate the report-staleness signal
+	opts.StatsPeriodTTI = 10
+	opts.HealthPeriodTTI = 5
+	opts.HealthDegradedTTI = 20
+	opts.HealthSuspectTTI = 40
+	opts.HealthRecoverTTI = 50
+	m := controller.NewMaster(opts)
+	mm := apps.NewMobilityManager()
+	m.Register(mm, 5)
+
+	mkSession := func(enb lte.ENBID) *controller.AgentSession {
+		s := m.HandleAgentSession(func(*protocol.Message) error { return nil })
+		s.Deliver(protocol.New(enb, 0, &protocol.Hello{
+			Version: protocol.ProtocolVersion, Epoch: 1,
+			Config: protocol.ENBConfig{ID: enb, Cells: []protocol.CellConfig{{Cell: 0}}},
+		}))
+		return s
+	}
+	serving := mkSession(1)
+	mkSession(2)
+	m.Tick()
+
+	report := func() *protocol.Message {
+		return protocol.New(1, 1, &protocol.MeasReport{
+			RNTI: 0x46, IMSI: 4242, Cell: 0,
+			ServingRSRPdBm: -100, ServingRSRQdB: -12,
+			Neighbors: []protocol.NeighborMeas{{ENB: 2, Cell: 0, RSRPdBm: -90, RSRQdB: -8}},
+		})
+	}
+	serving.Deliver(report())
+	m.Tick()
+	if mm.InFlight() != 1 {
+		t.Fatalf("in-flight after A3 report = %d, want 1", mm.InFlight())
+	}
+
+	// No statistics arrive; staleness walks the sessions down the health
+	// ladder, and the in-flight handover into eNB 2 is canceled the cycle
+	// its target turns Suspect.
+	for i := 0; i < 100 && mm.Canceled() == 0; i++ {
+		m.Tick()
+	}
+	if mm.InFlight() != 0 || mm.Canceled() != 1 {
+		t.Fatalf("after Suspect: inflight=%d canceled=%d, want 0/1",
+			mm.InFlight(), mm.Canceled())
+	}
+	if m.AgentHealth(2) < controller.Suspect {
+		t.Fatalf("target health = %v, want >= Suspect", m.AgentHealth(2))
+	}
+	// The UE re-armed, but a Suspect target draws no new command.
+	serving.Deliver(report())
+	m.Tick()
+	if mm.InFlight() != 0 {
+		t.Errorf("handover commanded into a Suspect target: inflight=%d", mm.InFlight())
+	}
+}
+
 func TestEICICPlainModeNeverGrants(t *testing.T) {
 	s := sim.MustNew(sim.Config{Master: masterOpts()},
 		sim.ENBSpec{ID: 1, Agent: true, Seed: 1,

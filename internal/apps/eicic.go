@@ -78,6 +78,12 @@ func (e *EICIC) OnTick(ctx *controller.Context, _ lte.Subframe) {
 		return
 	}
 	rib := ctx.RIB()
+	// A gray-failing macro agent gets no grants: a pushed schedule that
+	// lands late (or never) would collide with the small cells' ABS
+	// transmissions — the exact interference ABS exists to prevent.
+	if rib.HealthOf(e.MacroENB) >= controller.Suspect {
+		return
+	}
 	sf, ok := rib.AgentSF(e.MacroENB)
 	if !ok {
 		return

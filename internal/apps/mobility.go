@@ -39,12 +39,16 @@ type MobilityManager struct {
 	completed int
 	expired   int
 	canceled  int
+	failed    int
 }
 
 type inflightHO struct {
 	serving  lte.ENBID
 	target   lte.ENBID
 	issuedAt lte.Subframe
+	// seq is the reliable-delivery sequence number of the command (0 when
+	// reliable delivery is disabled), correlating OnCommandFailed.
+	seq uint64
 }
 
 // HandoverDecision is one command issued by the manager.
@@ -100,6 +104,13 @@ func (m *MobilityManager) OnMeasReport(ctx *controller.Context, ev controller.Me
 	if !ok || target == ev.ENB || !ctx.RIB().Connected(target) {
 		return
 	}
+	// Never hand a UE into a gray-failing cell: a Suspect agent is alive at
+	// the transport but its control plane cannot be trusted to admit the UE
+	// (and its completion may never come back). The built-in policies
+	// already skip such targets; this guards custom policies too.
+	if ctx.RIB().HealthOf(target) >= controller.Suspect {
+		return
+	}
 	// The margin is only known when the picked target appears in the
 	// report (custom policies may choose from wider RIB state); the gate
 	// applies to measured margins and only when configured positive, so
@@ -117,7 +128,9 @@ func (m *MobilityManager) OnMeasReport(ctx *controller.Context, ev controller.Me
 		return // session gone; the next report retries
 	}
 	m.mu.Lock()
-	m.inflight[key] = inflightHO{serving: ev.ENB, target: target, issuedAt: ctx.Now}
+	m.inflight[key] = inflightHO{
+		serving: ev.ENB, target: target, issuedAt: ctx.Now, seq: ctx.LastCmdSeq(),
+	}
 	m.decisions = append(m.decisions, HandoverDecision{
 		RNTI: rep.RNTI, IMSI: rep.IMSI, From: ev.ENB, To: target,
 		AtCycle: ctx.Now, MarginDB: margin,
@@ -160,6 +173,50 @@ func (m *MobilityManager) OnAgentDown(_ *controller.Context, enb lte.ENBID) {
 // down event already cleared the agent's in-flight entries, and fresh A3
 // reports rebuild the decision state from the resynced RIB.
 func (m *MobilityManager) OnAgentUp(*controller.Context, lte.ENBID) {}
+
+// OnAgentDegraded implements controller.HealthApp: a target cell turning
+// Suspect cancels every in-flight handover into it — the UE re-arms and
+// its next A3 report routes it through a healthy target instead of
+// waiting out the command timeout against a cell that may never admit it.
+// Degraded targets are left alone (the command likely still lands), and
+// the serving side keeps its entries — the command is already with the
+// serving agent, canceling master-side state would only double-command.
+func (m *MobilityManager) OnAgentDegraded(_ *controller.Context, enb lte.ENBID, state controller.HealthState) {
+	if state < controller.Suspect {
+		return
+	}
+	m.mu.Lock()
+	for k, ho := range m.inflight {
+		if ho.target == enb {
+			delete(m.inflight, k)
+			m.canceled++
+		}
+	}
+	m.mu.Unlock()
+}
+
+// OnAgentRecovered implements controller.HealthApp. Nothing to replay:
+// recovered cells simply become eligible targets again.
+func (m *MobilityManager) OnAgentRecovered(*controller.Context, lte.ENBID) {}
+
+// OnCommandFailed implements controller.DeliveryApp: a handover command
+// that exhausted its retransmission budget (or died with its session) is
+// provably not executing, so its in-flight entry is retired immediately
+// and the UE re-arms for the next report.
+func (m *MobilityManager) OnCommandFailed(_ *controller.Context, _ lte.ENBID, seq uint64, _ protocol.Payload) {
+	if seq == 0 {
+		return
+	}
+	m.mu.Lock()
+	for k, ho := range m.inflight {
+		if ho.seq == seq {
+			delete(m.inflight, k)
+			m.failed++
+			break
+		}
+	}
+	m.mu.Unlock()
+}
 
 // OnTick implements controller.TickerApp: expire in-flight commands that
 // never completed so their UEs become eligible again.
@@ -220,11 +277,18 @@ func (m *MobilityManager) Expired() int {
 }
 
 // Canceled reports commands retired early because the serving or target
-// agent disconnected mid-handover.
+// agent disconnected or turned Suspect mid-handover.
 func (m *MobilityManager) Canceled() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.canceled
+}
+
+// Failed reports commands whose reliable delivery gave up.
+func (m *MobilityManager) Failed() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.failed
 }
 
 // ---------------------------------------------------------------------------
@@ -244,10 +308,11 @@ type StrongestNeighbor struct{}
 // Name implements TargetPolicy.
 func (StrongestNeighbor) Name() string { return "strongest-neighbor" }
 
-// Pick implements TargetPolicy.
+// Pick implements TargetPolicy. Suspect cells are skipped like
+// disconnected ones: the next-strongest healthy neighbour wins.
 func (StrongestNeighbor) Pick(rib *controller.RIB, ev controller.MeasEvent) (lte.ENBID, lte.CellID, bool) {
 	for _, n := range ev.Report.Neighbors {
-		if rib.Connected(n.ENB) {
+		if rib.Connected(n.ENB) && rib.HealthOf(n.ENB) < controller.Suspect {
 			return n.ENB, n.Cell, true
 		}
 	}
@@ -272,7 +337,7 @@ func (p LoadBalanced) Pick(rib *controller.RIB, ev controller.MeasEvent) (lte.EN
 	var bestCell lte.CellID
 	bestScore := -1e18
 	for _, n := range ev.Report.Neighbors {
-		if !rib.Connected(n.ENB) {
+		if !rib.Connected(n.ENB) || rib.HealthOf(n.ENB) >= controller.Suspect {
 			continue
 		}
 		score := float64(n.RSRPdBm) - p.LoadWeight*float64(rib.UECount(n.ENB)-servingLoad)

@@ -131,6 +131,99 @@ func TestMobilityManagerSingleAgentNoOp(t *testing.T) {
 	}
 }
 
+// The gray-failure acceptance gate, end to end: the target cell's agent
+// wedges while its echo responder keeps answering, the health monitor
+// marks it Suspect within the configured staleness budget, and from that
+// point the walking UE gets no handover command into the sick cell. After
+// the agent resumes and holds healthy, the deferred handover goes through.
+func TestStalledCellExcludedFromHandover(t *testing.T) {
+	rmap := radio.NewMap(
+		radio.Site{ENB: 1, Cell: 0, Tx: radio.Transmitter{Pos: radio.Point{X: 0}, PowerDBm: 43}},
+		radio.Site{ENB: 2, Cell: 0, Tx: radio.Transmitter{Pos: radio.Point{X: 1000}, PowerDBm: 43}},
+	)
+	walker := &radio.Waypoint{
+		Path:     []radio.Point{{X: 100}, {X: 900}},
+		SpeedMps: 80,
+	}
+	opts := controller.DefaultOptions()
+	opts.StatsPeriodTTI = 20
+	opts.EchoPeriodTTI = 20
+	opts.EchoMissBudget = 50 // echoes keep flowing; liveness must NOT fire
+	opts.HealthPeriodTTI = 10
+	opts.HealthDegradedTTI = 60
+	opts.HealthSuspectTTI = 150
+	opts.HealthRecoverTTI = 100
+	s := sim.MustNew(sim.Config{Master: &opts},
+		sim.ENBSpec{ID: 1, Agent: true, Seed: 1, UEs: []sim.UESpec{{
+			IMSI:    100,
+			Channel: radio.NewGeoChannel(rmap, walker, 1),
+			DL:      ue.NewCBR(600),
+		}}},
+		sim.ENBSpec{ID: 2, Agent: true, Seed: 2},
+	)
+	mm := apps.NewMobilityManager()
+	s.Master.Register(mm, 5)
+	if !s.WaitAttached(500) {
+		t.Fatal("attach failed")
+	}
+	s.Run(100) // settle: reports flowing, both shards Healthy
+
+	// Wedge the target cell's agent. Echo replies continue (the gray
+	// part), so detection must come from report staleness.
+	s.StallAgent(2)
+	budget := opts.HealthSuspectTTI + opts.StatsPeriodTTI + opts.HealthPeriodTTI
+	detected := -1
+	for i := 0; i < budget+50; i++ {
+		s.Step()
+		if s.Master.AgentHealth(2) >= controller.Suspect {
+			detected = i + 1
+			break
+		}
+	}
+	if detected < 0 {
+		t.Fatal("stalled agent never marked Suspect")
+	}
+	if detected > budget {
+		t.Errorf("Suspect after %d TTIs, want within %d", detected, budget)
+	}
+	if !s.Master.RIB().Connected(2) {
+		t.Fatal("session died outright — the failure is not gray")
+	}
+
+	// Walk the UE across the border: A3 reports fire, but the manager
+	// must not command a handover into the Suspect cell.
+	s.RunSeconds(10)
+	if n := len(s.Handovers()); n != 0 {
+		t.Fatalf("%d handovers executed into a Suspect cell", n)
+	}
+	if _, enbID, _ := s.ReportByIMSI(100); enbID != 1 {
+		t.Fatalf("UE migrated to eNB %d while the target was Suspect", enbID)
+	}
+
+	// Recovery: the agent resumes, holds healthy for the recovery window,
+	// and the still-pending border crossing finally executes.
+	s.ResumeAgent(2)
+	recovered := -1
+	for i := 0; i < 1000; i++ {
+		s.Step()
+		if s.Master.AgentHealth(2) == controller.Healthy {
+			recovered = i + 1
+			break
+		}
+	}
+	if recovered < 0 {
+		t.Fatal("resumed agent never recovered to Healthy")
+	}
+	s.RunSeconds(3)
+	hos := s.Handovers()
+	if len(hos) == 0 {
+		t.Fatal("no handover after the target recovered")
+	}
+	if hos[0].IMSI != 100 || hos[0].To != 2 {
+		t.Errorf("handover = %+v, want IMSI 100 into eNB 2", hos[0])
+	}
+}
+
 // The load-balancing policy must divert a handover away from a loaded
 // target when the RSRP edge is small, while the default policy follows
 // signal strength alone.

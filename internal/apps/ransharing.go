@@ -26,9 +26,16 @@ type RANSharing struct {
 	// Plan is the scripted share schedule, ascending by At.
 	Plan []ShareChange
 
-	// Applied counts pushed reconfigurations.
-	Applied int
-	next    int
+	// Applied counts pushed reconfigurations; Deferred counts schedule
+	// points that found the agent unhealthy and were held back.
+	Applied  int
+	Deferred int
+	next     int
+	// deferred holds the latest share vector owed to an unhealthy agent:
+	// pushes freeze while the eNodeB is Suspect (a wedged agent would ack
+	// nothing and a recovering one would apply a stale interleaving), and
+	// only the most recent vector replays once it is healthy again.
+	deferred []float64
 }
 
 // NewRANSharing builds the app for the MAC downlink slicer.
@@ -41,11 +48,25 @@ func (*RANSharing) Name() string { return "ran-sharing" }
 
 // OnTick implements controller.TickerApp.
 func (r *RANSharing) OnTick(ctx *controller.Context, cycle lte.Subframe) {
+	healthy := ctx.RIB().HealthOf(r.ENB) < controller.Suspect
 	for r.next < len(r.Plan) && cycle >= r.Plan[r.next].At {
 		change := r.Plan[r.next]
+		r.next++
+		if !healthy {
+			r.deferred = change.Shares
+			r.Deferred++
+			continue
+		}
+		r.deferred = nil
 		if err := ctx.SetSliceShares(r.ENB, r.Module, r.VSF, change.Shares); err == nil {
 			r.Applied++
 		}
-		r.next++
+	}
+	// Replay the newest withheld vector once the agent is healthy again.
+	if healthy && r.deferred != nil {
+		if err := ctx.SetSliceShares(r.ENB, r.Module, r.VSF, r.deferred); err == nil {
+			r.Applied++
+		}
+		r.deferred = nil
 	}
 }

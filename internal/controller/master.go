@@ -53,6 +53,34 @@ type Options struct {
 	// fire only when a LoopStats is attached (SetLoopStats), so simulated
 	// runs stay byte-identical. 0 disables probing.
 	RTTProbePeriodTTI int
+	// HealthPeriodTTI is the health monitor's evaluation period: every
+	// period each bound session is re-scored (see HealthState) and
+	// transitions dispatch to HealthApp implementers. 0 disables the
+	// monitor; every agent then reads as Healthy while connected.
+	HealthPeriodTTI int
+	// HealthSuspectTTI marks a session Suspect when its report staleness
+	// or command-RTT estimate reaches this many cycles — the gray-failure
+	// line at which policy stops routing new work to the agent. 0 disables
+	// the Suspect thresholds (echo-miss exhaustion still applies).
+	HealthSuspectTTI int
+	// HealthDegradedTTI is the softer line: staleness or RTT beyond it
+	// (but below HealthSuspectTTI) marks the session Degraded. 0 disables.
+	HealthDegradedTTI int
+	// HealthRecoverTTI is the recovery hold: an unhealthy session must
+	// score better for this many consecutive cycles before the monitor
+	// upgrades it (downgrades always apply immediately).
+	HealthRecoverTTI int
+	// CmdRetryTTI enables reliable command delivery: commands issued
+	// through the northbound Context carry sequence numbers, are
+	// acknowledged by the agent, and are retransmitted after CmdRetryTTI
+	// cycles without an ack (doubling each retry, capped at 8×). 0
+	// disables sequencing entirely — the wire format is then byte-for-byte
+	// the pre-sequencing one.
+	CmdRetryTTI int
+	// CmdRetryBudget caps retransmissions per command before the delivery
+	// is reported failed (DeliveryApp.OnCommandFailed). 0 means the
+	// default budget of 5.
+	CmdRetryBudget int
 }
 
 // DefaultOptions mirror the paper's demanding evaluation setup: per-TTI
@@ -174,13 +202,28 @@ type session struct {
 	// session, heartbeats after the updater barrier).
 	enb   lte.ENBID
 	epoch uint64
-	// lastReport is the cycle of the last StatsReply (subscription
-	// maintenance); lastInbound the cycle of the last applied message of
-	// any kind (liveness); lastEcho/echoMisses drive the heartbeat.
+	// lastReport is the cycle of the last StatsReply (the health
+	// monitor's staleness signal); lastWelcome backs off subscription
+	// maintenance so a quiet agent is re-welcomed at most once per
+	// window without clobbering the staleness clock; lastInbound the
+	// cycle of the last applied message of any kind (liveness);
+	// lastEcho/echoMisses drive the heartbeat.
 	lastReport  lte.Subframe
+	lastWelcome lte.Subframe
 	lastInbound lte.Subframe
 	lastEcho    lte.Subframe
 	echoMisses  int
+
+	// health is the monitor's current grade with its recovery-hold start
+	// (healthTick, serial phase); rttEwmaX8 estimates the command round
+	// trip in cycles (×8 fixed point, fed by acks and echo replies on the
+	// updater). pending holds unacknowledged sequenced commands and is the
+	// one field a transport-driver close may touch concurrently — it is
+	// guarded by qmu.
+	health        HealthState
+	healthOKSince lte.Subframe
+	rttEwmaX8     int64
+	pending       []*pendingCmd
 }
 
 // enqueue appends a batch to the session's ingest queue. Batches
@@ -249,6 +292,15 @@ type Master struct {
 	nextApp     int
 	acks        []protocol.ControlAck
 	pendingLife []lifeEvent // liveness transitions queued outside the updater
+	// nextCmdSeq numbers sequenced commands, monotonic across every
+	// session for the master's lifetime, so a sequence number can never be
+	// reused against a reconnected agent's fresh dedup window. lastCmdSeq
+	// is the most recent assignment (Context.LastCmdSeq); pendingCmdFail
+	// queues delivery failures raised outside the retry sweep (session
+	// closes).
+	nextCmdSeq     uint64
+	lastCmdSeq     uint64
+	pendingCmdFail []cmdFailure
 
 	cycle lte.Subframe
 
@@ -398,6 +450,12 @@ func (m *Master) closeSession(s *session) {
 	s.qmu.Unlock()
 	m.mu.Lock()
 	enb := s.enb
+	m.mu.Unlock()
+	// Commands the dead session never acked are failures now: the next
+	// incarnation starts a fresh dedup window, so retransmitting them
+	// there could double-apply. The issuing app reissues if still wanted.
+	m.failPending(s, enb)
+	m.mu.Lock()
 	// Only the session that still owns the ENB binding may mark the
 	// agent disconnected: a reconnected agent's newer session must not
 	// be flagged down by the stale connection's belated close. (The epoch
@@ -430,6 +488,11 @@ func (m *Master) DisconnectAgent(enb lte.ENBID) {
 	}
 }
 
+// errNoSession is the command failure for an unbound agent.
+func errNoSession(enb lte.ENBID) error {
+	return fmt.Errorf("controller: no session for agent %d", enb)
+}
+
 // Send transmits a payload to an agent (northbound command path). The
 // envelope is pooled: session send functions serialize synchronously and
 // must not retain the message (see HandleAgentSession), so it is released
@@ -439,7 +502,7 @@ func (m *Master) Send(enb lte.ENBID, p protocol.Payload) error {
 	s := m.sessions[enb]
 	m.mu.Unlock()
 	if s == nil {
-		return fmt.Errorf("controller: no session for agent %d", enb)
+		return errNoSession(enb)
 	}
 	msg := protocol.AcquireMessage(enb, m.cycle, p)
 	err := s.send(msg)
@@ -537,11 +600,21 @@ func (m *Master) Tick() {
 		m.maintainSubscriptions(sessions)
 	}
 	m.pruneClosed(sessions)
-	// Heartbeat-driven disconnects queued just now dispatch this cycle.
+	// Heartbeat-driven disconnects queued just now dispatch this cycle,
+	// as do delivery failures from those closes.
 	m.mu.Lock()
 	life = append(life, m.pendingLife...)
 	m.pendingLife = nil
+	cmdFails := m.pendingCmdFail
+	m.pendingCmdFail = nil
 	m.mu.Unlock()
+	if m.opts.CmdRetryTTI > 0 {
+		cmdFails = m.retrySweep(sessions, cmdFails)
+	}
+	var healthEvs []healthEvent
+	if m.opts.HealthPeriodTTI > 0 && m.cycle%lte.Subframe(m.opts.HealthPeriodTTI) == 0 {
+		healthEvs = m.healthTick(sessions)
+	}
 	core := time.Since(t0)
 	if ls != nil {
 		ls.Ingest.Observe(core)
@@ -560,6 +633,21 @@ func (m *Master) Tick() {
 				} else {
 					lcApp.OnAgentDown(ctx, lv.enb)
 				}
+			}
+		}
+		if hApp, ok := e.app.(HealthApp); ok {
+			// Health next, same reasoning: gate before acting this cycle.
+			for _, hv := range healthEvs {
+				if hv.state == Healthy {
+					hApp.OnAgentRecovered(ctx, hv.enb)
+				} else {
+					hApp.OnAgentDegraded(ctx, hv.enb, hv.state)
+				}
+			}
+		}
+		if dApp, ok := e.app.(DeliveryApp); ok {
+			for _, cf := range cmdFails {
+				dApp.OnCommandFailed(ctx, cf.enb, cf.seq, cf.payload)
 			}
 		}
 		if ticker, ok := e.app.(TickerApp); ok {
@@ -717,6 +805,11 @@ func (m *Master) applyInbound(s *session, msg *protocol.Message, sink *tickSink)
 		})
 	case *protocol.EchoReply:
 		m.rib.applySF(msg.ENB, p.SenderSF)
+		// SenderSF mirrors the cycle our Echo carried, so the difference is
+		// the round trip in cycles — the health monitor's RTT signal.
+		if p.SenderSF <= m.cycle {
+			s.observeRTT(m.cycle - p.SenderSF)
+		}
 		// The EchoTS path: the agent mirrored our wall-clock stamp, so the
 		// difference is the full command round trip (send→agent→apply).
 		if p.TS != 0 {
@@ -731,6 +824,9 @@ func (m *Master) applyInbound(s *session, msg *protocol.Message, sink *tickSink)
 		m.rib.applyHandoverComplete(msg.ENB, p)
 		sink.hos = append(sink.hos, HandoverEvent{ENB: msg.ENB, SF: msg.SF, Complete: p})
 	case *protocol.ControlAck:
+		if p.Seq != 0 {
+			m.retirePending(s, p.Seq)
+		}
 		sink.acks = append(sink.acks, *p)
 	}
 }
@@ -924,11 +1020,17 @@ func (m *Master) maintainSubscriptions(sessions []*session) {
 		if enb == 0 || s.isClosed() || m.cycle-s.lastReport <= staleAfter {
 			continue
 		}
+		if m.cycle-s.lastWelcome <= staleAfter {
+			continue // already re-welcomed this window
+		}
 		if !m.rib.Connected(enb) {
 			continue
 		}
 		m.welcome(enb)
-		s.lastReport = m.cycle // back off until the next window
+		// Back off on a dedicated clock: overwriting lastReport here would
+		// reset the health monitor's staleness signal and let a wedged
+		// agent oscillate below Suspect once per maintenance window.
+		s.lastWelcome = m.cycle
 	}
 }
 

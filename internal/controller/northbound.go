@@ -26,9 +26,22 @@ type Context struct {
 // RIB returns the information base for reading.
 func (c *Context) RIB() *RIB { return c.master.rib }
 
-// Send issues a command or request to an agent.
+// Send issues a command or request to an agent. With reliable delivery
+// enabled (Options.CmdRetryTTI), command-kind payloads are sequenced and
+// retransmitted until acknowledged; the assigned sequence number is
+// readable through LastCmdSeq immediately after the call.
 func (c *Context) Send(enb lte.ENBID, p protocol.Payload) error {
-	return c.master.Send(enb, p)
+	return c.master.sendCmd(enb, p)
+}
+
+// LastCmdSeq returns the sequence number assigned to the most recent
+// sequenced command this master issued (0 before the first, or with
+// reliable delivery disabled). Apps that need to correlate a command with
+// a later OnCommandFailed read it right after the issuing call.
+func (c *Context) LastCmdSeq() uint64 {
+	c.master.mu.Lock()
+	defer c.master.mu.Unlock()
+	return c.master.lastCmdSeq
 }
 
 // ScheduleDL pushes a downlink scheduling decision to an agent for a
@@ -46,7 +59,7 @@ func (c *Context) ScheduleDL(enb lte.ENBID, cellID lte.CellID, target lte.Subfra
 // CommandHandover orders the serving agent to hand a UE over to a target
 // cell (the mobility-management command path of Table 1).
 func (c *Context) CommandHandover(serving lte.ENBID, rnti lte.RNTI, imsi uint64, target lte.ENBID, targetCell lte.CellID) error {
-	return c.master.Send(serving, &protocol.HandoverCommand{
+	return c.master.sendCmd(serving, &protocol.HandoverCommand{
 		RNTI: rnti, IMSI: imsi, TargetENB: target, TargetCell: targetCell,
 	})
 }
@@ -59,7 +72,7 @@ func (c *Context) PushNativeVSF(enb lte.ENBID, module, vsf, name, ref string) er
 		VSFKind: protocol.VSFNative, Ref: ref,
 	}
 	signUpdate(c.master.opts.TrustKey, up)
-	return c.master.Send(enb, up)
+	return c.master.sendCmd(enb, up)
 }
 
 // PushProgramVSF compiles a vsfdsl expression against the agent's MAC
@@ -75,12 +88,12 @@ func (c *Context) PushProgramVSF(enb lte.ENBID, module, vsf, name, expr string, 
 		VSFKind: protocol.VSFProgram, Program: wire.Marshal(prog),
 	}
 	signUpdate(c.master.opts.TrustKey, up)
-	return c.master.Send(enb, up)
+	return c.master.sendCmd(enb, up)
 }
 
 // PushPolicy sends a policy reconfiguration document.
 func (c *Context) PushPolicy(enb lte.ENBID, doc string) error {
-	return c.master.Send(enb, &protocol.PolicyReconf{Doc: doc})
+	return c.master.sendCmd(enb, &protocol.PolicyReconf{Doc: doc})
 }
 
 // ActivateVSF sends the minimal policy document that swaps one VSF's

@@ -45,6 +45,10 @@ type agentShard struct {
 	lastSF    atomic.Uint64 // lte.Subframe of the agent's latest observed time
 	connected atomic.Bool
 	ueCount   atomic.Int64
+	// health is the monitor's grade (HealthState; zero = Healthy). Written
+	// only by healthTick in the master's serial phase; read lock-free by
+	// policy code via HealthOf.
+	health atomic.Uint32
 }
 
 // ribTopology is the copy-on-write agent directory. The shard set only
@@ -316,6 +320,27 @@ func (r *RIB) Agents() []lte.ENBID {
 func (r *RIB) Connected(enb lte.ENBID) bool {
 	sh := r.shard(enb)
 	return sh != nil && sh.connected.Load()
+}
+
+// setHealth records the health monitor's grade for an agent (writer side:
+// the master's healthTick only).
+func (r *RIB) setHealth(enb lte.ENBID, h HealthState) {
+	if sh := r.shard(enb); sh != nil {
+		sh.health.Store(uint32(h))
+	}
+}
+
+// HealthOf returns the health monitor's grade for an agent (lock-free):
+// HealthDown for unknown or disconnected agents, otherwise the monitor's
+// last written state — Healthy until the monitor (if enabled) downgrades.
+// Policy code gates on this next to Connected: a Suspect agent is live but
+// must not be chosen for new work (handover targets, share pushes).
+func (r *RIB) HealthOf(enb lte.ENBID) HealthState {
+	sh := r.shard(enb)
+	if sh == nil || !sh.connected.Load() {
+		return HealthDown
+	}
+	return HealthState(sh.health.Load())
 }
 
 // AgentSF returns the master's view of an agent's current subframe

@@ -20,7 +20,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"delegation", "fig10", "fig11a", "fig11b", "fig12a", "fig12b",
 		"fig6a", "fig6b", "fig7a", "fig7b", "fig8", "fig9",
-		"fig_handover", "fig_resilience", "table2",
+		"fig_gray", "fig_handover", "fig_resilience", "table2",
 	}
 	got := IDs()
 	if len(got) != len(want) {
@@ -439,6 +439,41 @@ func TestFigResilienceShape(t *testing.T) {
 		}
 	}
 	if !strings.Contains(r.String(), "never") {
+		t.Error("report rendering broken")
+	}
+}
+
+func TestFigGrayShape(t *testing.T) {
+	res, err := Run("fig_gray", testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.(*FigGrayResult)
+	for i, budget := range r.SuspectTTI {
+		// The monitor must catch the wedged agent within its staleness
+		// budget plus the stats period and one health tick of slack.
+		bound := budget + 20 + 10
+		if r.DetectSuspect[i] < 0 || r.DetectSuspect[i] > bound {
+			t.Errorf("budget %d: suspect after %d cycles, want (0, %d]", budget, r.DetectSuspect[i], bound)
+		}
+		if r.DetectDegraded[i] < 0 || r.DetectDegraded[i] > r.DetectSuspect[i] {
+			t.Errorf("budget %d: degraded after %d, suspect after %d", budget, r.DetectDegraded[i], r.DetectSuspect[i])
+		}
+		// The echo responder keeps answering, so the pre-health liveness
+		// check never fires: that is the gray failure.
+		if r.DetectEchoOnly[i] >= 0 {
+			t.Errorf("budget %d: echo-only liveness detected the stall at %d", budget, r.DetectEchoOnly[i])
+		}
+	}
+	// 30% loss each way loses roughly half the unprotected commands but
+	// none of the retransmitted ones.
+	if r.NoRetryFailed == 0 {
+		t.Error("no delivery failures without retransmission under 30% loss")
+	}
+	if r.RetryFailed != 0 {
+		t.Errorf("%d commands lost despite retransmission", r.RetryFailed)
+	}
+	if !strings.Contains(r.String(), "suspect") {
 		t.Error("report rendering broken")
 	}
 }

@@ -40,6 +40,7 @@ func seedPayloads() []Payload {
 			VSFKind: VSFProgram, Program: []byte{1, 2, 3}, Signature: []byte{9, 9}},
 		&PolicyReconf{Doc: "mac:\n  dl_ue_sched:\n    behavior: pf-v2\n"},
 		&ControlAck{OK: true, Detail: "applied"},
+		&ControlAck{OK: false, Detail: "vsf: unknown module", Seq: 42},
 		&MeasReport{RNTI: 0x46, IMSI: 208950000000001, Cell: 0,
 			ServingRSRPdBm: -97, ServingRSRQdB: -11,
 			Neighbors: []NeighborMeas{{ENB: 2, Cell: 0, RSRPdBm: -91, RSRQdB: -7}}},
@@ -78,6 +79,11 @@ func FuzzPayloadRoundTrip(f *testing.F) {
 	for _, p := range seedPayloads() {
 		f.Add(Encode(New(7, 12345, p)))
 	}
+	// Sequenced command envelope (reliable delivery): CmdSeq occupies
+	// envelope field 5 and must round-trip like any other field.
+	seqd := New(7, 12345, &HandoverCommand{RNTI: 0x46, IMSI: 208950000000001, TargetENB: 2})
+	seqd.CmdSeq = 99
+	f.Add(Encode(seqd))
 	f.Add([]byte{})
 	f.Add([]byte{0x08, 0xff, 0xff})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -90,7 +96,7 @@ func FuzzPayloadRoundTrip(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-decode of canonical encoding failed: %v", err)
 		}
-		if m2.ENB != m.ENB || m2.SF != m.SF {
+		if m2.ENB != m.ENB || m2.SF != m.SF || m2.CmdSeq != m.CmdSeq {
 			t.Fatalf("envelope drifted: %+v vs %+v", m2, m)
 		}
 		if !reflect.DeepEqual(m2.Payload, m.Payload) {

@@ -575,9 +575,13 @@ func (p *PolicyReconf) UnmarshalWire(d *wire.Decoder) error {
 }
 
 // ControlAck reports the outcome of a command or delegation message.
+// Seq echoes the envelope CmdSeq of the command being acknowledged when
+// the master requested reliable delivery (0 = unsequenced ack; the field
+// is omitted from the wire, keeping legacy acks byte-identical).
 type ControlAck struct {
 	OK     bool
 	Detail string
+	Seq    uint64
 }
 
 // Kind implements Payload.
@@ -590,6 +594,9 @@ func (p *ControlAck) reset() { *p = ControlAck{} }
 func (p *ControlAck) MarshalWire(e *wire.Encoder) {
 	e.Bool(1, p.OK)
 	e.String(2, p.Detail)
+	if p.Seq != 0 {
+		e.Uint(3, p.Seq)
+	}
 }
 
 // UnmarshalWire implements wire.Unmarshaler.
@@ -601,6 +608,8 @@ func (p *ControlAck) UnmarshalWire(d *wire.Decoder) error {
 			p.OK, err = d.ReadBool()
 		case 2:
 			p.Detail, err = d.ReadString()
+		case 3:
+			p.Seq, err = d.ReadUint()
 		default:
 			err = d.Skip()
 		}

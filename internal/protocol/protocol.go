@@ -118,6 +118,12 @@ type Message struct {
 	// Payload is the message body; its Kind() is serialized in the
 	// envelope.
 	Payload Payload
+	// CmdSeq is the reliable-delivery sequence number stamped by the
+	// master on commands it wants acknowledged (0 = unsequenced, the
+	// default). The field is omitted from the wire when zero, so
+	// deployments that never enable reliable delivery emit byte-identical
+	// frames to older builds.
+	CmdSeq uint64
 
 	// poolMsg marks an envelope drawn from the message free list;
 	// poolPayload marks a payload drawn from its kind's free list; and
@@ -133,6 +139,7 @@ const (
 	envENB     = 2
 	envSF      = 3
 	envPayload = 4
+	envCmdSeq  = 5
 )
 
 // MarshalWire encodes the envelope and payload.
@@ -141,6 +148,9 @@ func (m *Message) MarshalWire(e *wire.Encoder) {
 	e.Uint(envENB, uint64(m.ENB))
 	e.Uint(envSF, uint64(m.SF))
 	e.Message(envPayload, m.Payload)
+	if m.CmdSeq != 0 {
+		e.Uint(envCmdSeq, m.CmdSeq)
+	}
 }
 
 // UnmarshalWire decodes the envelope, allocating the payload type that
@@ -182,6 +192,12 @@ func (m *Message) UnmarshalWire(d *wire.Decoder) error {
 				return err
 			}
 			seenPayload = true
+		case envCmdSeq:
+			v, err := d.ReadUint()
+			if err != nil {
+				return err
+			}
+			m.CmdSeq = v
 		default:
 			if err := d.Skip(); err != nil {
 				return err

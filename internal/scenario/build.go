@@ -34,9 +34,20 @@ type LifecycleEvent struct {
 	Up    bool         `json:"up"`
 }
 
-// lifecycleLog records liveness transitions for the Summary and digest.
+// HealthEvent is one health-monitor transition observed by the engine's
+// built-in recorder. State 0 (Healthy) records a recovery; anything else
+// a downgrade to that state.
+type HealthEvent struct {
+	Cycle lte.Subframe `json:"cycle"`
+	ENB   lte.ENBID    `json:"enb"`
+	State int          `json:"state"`
+}
+
+// lifecycleLog records liveness and health transitions for the Summary
+// and digest.
 type lifecycleLog struct {
 	events []LifecycleEvent
+	health []HealthEvent
 }
 
 func (*lifecycleLog) Name() string { return "scenario-lifecycle" }
@@ -47,6 +58,14 @@ func (l *lifecycleLog) OnAgentUp(ctx *controller.Context, id lte.ENBID) {
 
 func (l *lifecycleLog) OnAgentDown(ctx *controller.Context, id lte.ENBID) {
 	l.events = append(l.events, LifecycleEvent{Cycle: ctx.Now, ENB: id, Up: false})
+}
+
+func (l *lifecycleLog) OnAgentDegraded(ctx *controller.Context, id lte.ENBID, state controller.HealthState) {
+	l.health = append(l.health, HealthEvent{Cycle: ctx.Now, ENB: id, State: int(state)})
+}
+
+func (l *lifecycleLog) OnAgentRecovered(ctx *controller.Context, id lte.ENBID) {
+	l.health = append(l.health, HealthEvent{Cycle: ctx.Now, ENB: id, State: int(controller.Healthy)})
 }
 
 // activityProbe feeds an InterferenceSwitched channel from another
@@ -159,6 +178,12 @@ func (sc *Scenario) Build(workersOverride int) (*Runtime, error) {
 		mo.EchoMissBudget = sc.Master.EchoMissBudget
 		mo.NoResync = sc.Master.NoResync
 		mo.Workers = sc.Master.Workers
+		mo.HealthPeriodTTI = sc.Master.HealthPeriodTTI
+		mo.HealthSuspectTTI = sc.Master.HealthSuspectTTI
+		mo.HealthDegradedTTI = sc.Master.HealthDegradedTTI
+		mo.HealthRecoverTTI = sc.Master.HealthRecoverTTI
+		mo.CmdRetryTTI = sc.Master.CmdRetryTTI
+		mo.CmdRetryBudget = sc.Master.CmdRetryBudget
 		cfg.Master = &mo
 	}
 	s, err := sim.New(cfg, specs...)
@@ -186,10 +211,18 @@ func (sc *Scenario) Build(workersOverride int) (*Runtime, error) {
 // netemOf converts a declaration into the transport knob.
 func netemOf(d NetemDecl) transport.Netem {
 	return transport.Netem{
-		OneWayTTI: d.DelayTTI,
-		JitterTTI: d.JitterTTI,
-		LossProb:  d.Loss,
-		Seed:      d.Seed,
+		OneWayTTI:      d.DelayTTI,
+		JitterTTI:      d.JitterTTI,
+		LossProb:       d.Loss,
+		Seed:           d.Seed,
+		BurstLossProb:  d.BurstLoss,
+		BurstEnterProb: d.BurstEnter,
+		BurstExitProb:  d.BurstExit,
+		DupProb:        d.Dup,
+		ReorderProb:    d.Reorder,
+		ReorderTTI:     d.ReorderTTI,
+		CorruptProb:    d.Corrupt,
+		StallTTI:       d.StallTTI,
 	}
 }
 

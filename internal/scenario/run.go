@@ -75,6 +75,12 @@ type Summary struct {
 	AgentUps       int              `json:"agent_ups"`
 	Lifecycle      []LifecycleEvent `json:"lifecycle,omitempty"`
 
+	// Gray-failure health transitions (empty unless the master's health
+	// monitor is enabled).
+	AgentDegraded int           `json:"agent_degraded"`
+	AgentRecovers int           `json:"agent_recovers"`
+	Health        []HealthEvent `json:"health,omitempty"`
+
 	// Digest is the stable end-state fingerprint (hex FNV-1a 64).
 	Digest string `json:"digest"`
 }
@@ -134,8 +140,23 @@ func (rt *Runtime) Execute() (*Result, error) {
 			kind = sim.FaultLinkRestore
 		case "agent_restart":
 			kind = sim.FaultAgentRestart
+		case "netem_set":
+			kind = sim.FaultNetemSet
+		case "agent_stall":
+			kind = sim.FaultAgentStall
+		case "agent_resume":
+			kind = sim.FaultAgentResume
 		}
-		faults = append(faults, sim.Fault{At: base + lte.Subframe(f.At), Kind: kind, ENB: f.ENB})
+		fault := sim.Fault{At: base + lte.Subframe(f.At), Kind: kind, ENB: f.ENB}
+		if f.ToMaster != nil {
+			ne := netemOf(*f.ToMaster)
+			fault.ToMaster = &ne
+		}
+		if f.ToAgent != nil {
+			ne := netemOf(*f.ToAgent)
+			fault.ToAgent = &ne
+		}
+		faults = append(faults, fault)
 	}
 	if len(faults) > 0 {
 		s.InjectFaults(faults...)
@@ -292,6 +313,14 @@ func (rt *Runtime) summarize(attachTTI map[uint64]int, attachTTIs int, base0 map
 				sum.AgentDowns++
 			}
 		}
+		sum.Health = append(sum.Health, rt.lifecycle.health...)
+		for _, ev := range rt.lifecycle.health {
+			if ev.State == 0 {
+				sum.AgentRecovers++
+			} else {
+				sum.AgentDegraded++
+			}
+		}
 	}
 
 	sum.Digest = rt.digest(&sum, finals, attachTTI, hos)
@@ -325,6 +354,9 @@ func (rt *Runtime) digest(sum *Summary, finals []ueFinal, attachTTI map[uint64]i
 	}
 	for _, ev := range sum.Lifecycle {
 		w("life %d enb %d up %v\n", ev.Cycle, ev.ENB, ev.Up)
+	}
+	for _, ev := range sum.Health {
+		w("health %d enb %d state %d\n", ev.Cycle, ev.ENB, ev.State)
 	}
 	for _, st := range sum.Slices {
 		w("slice %d ues %d dl %d\n", st.Group, st.UEs, st.DLBytes)

@@ -81,12 +81,25 @@ type RunSpec struct {
 	NoFastForward bool
 }
 
-// NetemDecl impairs one direction of a control channel.
+// NetemDecl impairs one direction of a control channel. The gray knobs
+// (burst loss, duplication, reordering, corruption, stall) map onto
+// transport.Netem's Gilbert–Elliott and framing-corruption machinery; all
+// default to zero, which draws nothing from the random stream and so
+// leaves legacy digests untouched.
 type NetemDecl struct {
 	DelayTTI  int
 	JitterTTI int
 	Loss      float64
 	Seed      int64
+
+	BurstLoss  float64
+	BurstEnter float64
+	BurstExit  float64
+	Dup        float64
+	Reorder    float64
+	ReorderTTI int
+	Corrupt    float64
+	StallTTI   int
 }
 
 // ENBDecl declares one eNodeB (or a template repeated Count times by the
@@ -187,6 +200,15 @@ type MasterDecl struct {
 	EchoMissBudget int
 	NoResync       bool
 	Workers        int
+
+	// Health monitor and reliable-delivery knobs (all 0 = disabled,
+	// matching controller.DefaultOptions so legacy digests hold).
+	HealthPeriodTTI   int
+	HealthSuspectTTI  int
+	HealthDegradedTTI int
+	HealthRecoverTTI  int
+	CmdRetryTTI       int
+	CmdRetryBudget    int
 }
 
 // AppDecl registers one northbound application.
@@ -231,8 +253,12 @@ type SliceDecl struct {
 // attach phase completes.
 type FaultDecl struct {
 	At   int64
-	Kind string // "link_cut", "link_restore", "agent_restart"
+	Kind string // "link_cut", "link_restore", "agent_restart", "netem_set", "agent_stall", "agent_resume"
 	ENB  lte.ENBID
+	// ToMaster/ToAgent carry the replacement per-direction impairments of
+	// a netem_set fault; nil leaves that direction unchanged.
+	ToMaster *NetemDecl
+	ToAgent  *NetemDecl
 }
 
 // Scenario is a parsed, validated document. It is purely declarative:
@@ -719,6 +745,54 @@ func parseNetem(n *yamlite.Node, where string) (NetemDecl, error) {
 				return d, fmt.Errorf("scenario: %s.seed must be an integer", where)
 			}
 			d.Seed = v
+		case "burst_loss":
+			f, err := probVal(val)
+			if err != nil {
+				return d, fmt.Errorf("scenario: %s.burst_loss must be a probability in [0, 1]", where)
+			}
+			d.BurstLoss = f
+		case "burst_enter":
+			f, err := probVal(val)
+			if err != nil {
+				return d, fmt.Errorf("scenario: %s.burst_enter must be a probability in [0, 1]", where)
+			}
+			d.BurstEnter = f
+		case "burst_exit":
+			f, err := probVal(val)
+			if err != nil {
+				return d, fmt.Errorf("scenario: %s.burst_exit must be a probability in [0, 1]", where)
+			}
+			d.BurstExit = f
+		case "dup":
+			f, err := probVal(val)
+			if err != nil {
+				return d, fmt.Errorf("scenario: %s.dup must be a probability in [0, 1]", where)
+			}
+			d.Dup = f
+		case "reorder":
+			f, err := probVal(val)
+			if err != nil {
+				return d, fmt.Errorf("scenario: %s.reorder must be a probability in [0, 1]", where)
+			}
+			d.Reorder = f
+		case "reorder_tti":
+			v, err := nonNegInt(val)
+			if err != nil {
+				return d, fmt.Errorf("scenario: %s.reorder_tti must be a non-negative integer", where)
+			}
+			d.ReorderTTI = int(v)
+		case "corrupt":
+			f, err := probVal(val)
+			if err != nil {
+				return d, fmt.Errorf("scenario: %s.corrupt must be a probability in [0, 1]", where)
+			}
+			d.Corrupt = f
+		case "stall_tti":
+			v, err := nonNegInt(val)
+			if err != nil {
+				return d, fmt.Errorf("scenario: %s.stall_tti must be a non-negative integer", where)
+			}
+			d.StallTTI = int(v)
 		default:
 			return d, fmt.Errorf("scenario: %s has no knob %q", where, key)
 		}
@@ -1236,6 +1310,42 @@ func (sc *Scenario) parseMaster(n *yamlite.Node) error {
 				return fmt.Errorf("scenario: master.workers must be a non-negative integer")
 			}
 			sc.Master.Workers = int(v)
+		case "health_period_tti":
+			v, err := nonNegInt(val)
+			if err != nil {
+				return fmt.Errorf("scenario: master.health_period_tti must be a non-negative integer")
+			}
+			sc.Master.HealthPeriodTTI = int(v)
+		case "health_suspect_tti":
+			v, err := nonNegInt(val)
+			if err != nil {
+				return fmt.Errorf("scenario: master.health_suspect_tti must be a non-negative integer")
+			}
+			sc.Master.HealthSuspectTTI = int(v)
+		case "health_degraded_tti":
+			v, err := nonNegInt(val)
+			if err != nil {
+				return fmt.Errorf("scenario: master.health_degraded_tti must be a non-negative integer")
+			}
+			sc.Master.HealthDegradedTTI = int(v)
+		case "health_recover_tti":
+			v, err := nonNegInt(val)
+			if err != nil {
+				return fmt.Errorf("scenario: master.health_recover_tti must be a non-negative integer")
+			}
+			sc.Master.HealthRecoverTTI = int(v)
+		case "cmd_retry_tti":
+			v, err := nonNegInt(val)
+			if err != nil {
+				return fmt.Errorf("scenario: master.cmd_retry_tti must be a non-negative integer")
+			}
+			sc.Master.CmdRetryTTI = int(v)
+		case "cmd_retry_budget":
+			v, err := nonNegInt(val)
+			if err != nil {
+				return fmt.Errorf("scenario: master.cmd_retry_budget must be a non-negative integer")
+			}
+			sc.Master.CmdRetryBudget = int(v)
 		default:
 			return fmt.Errorf("scenario: master has no knob %q", key)
 		}
@@ -1495,7 +1605,7 @@ func (sc *Scenario) parseFaults(n *yamlite.Node) error {
 				d.At = v
 			case "kind":
 				switch val.Str() {
-				case "link_cut", "link_restore", "agent_restart":
+				case "link_cut", "link_restore", "agent_restart", "netem_set", "agent_stall", "agent_resume":
 					d.Kind = val.Str()
 				default:
 					return fmt.Errorf("scenario: %s: unknown fault kind %q", where, val.Str())
@@ -1506,6 +1616,18 @@ func (sc *Scenario) parseFaults(n *yamlite.Node) error {
 					return fmt.Errorf("scenario: %s.enb must be a positive integer", where)
 				}
 				d.ENB = lte.ENBID(v)
+			case "to_master":
+				ne, err := parseNetem(val, where+".to_master")
+				if err != nil {
+					return err
+				}
+				d.ToMaster = &ne
+			case "to_agent":
+				ne, err := parseNetem(val, where+".to_agent")
+				if err != nil {
+					return err
+				}
+				d.ToAgent = &ne
 			default:
 				return fmt.Errorf("scenario: %s has no knob %q", where, key)
 			}
@@ -1652,6 +1774,7 @@ func (sc *Scenario) validate() error {
 			}
 		}
 	}
+	stalled := map[lte.ENBID]bool{}
 	for i, f := range sc.Faults {
 		where := fmt.Sprintf("faults[%d]", i)
 		if sc.Master == nil {
@@ -1666,6 +1789,21 @@ func (sc *Scenario) validate() error {
 		}
 		if f.At >= int64(sc.Run.TTIs) {
 			return fmt.Errorf("scenario: %s: at TTI %d beyond run length %d", where, f.At, sc.Run.TTIs)
+		}
+		switch f.Kind {
+		case "netem_set":
+			if f.ToMaster == nil && f.ToAgent == nil {
+				return fmt.Errorf("scenario: %s: netem_set needs a to_master or to_agent direction", where)
+			}
+		case "agent_stall":
+			stalled[f.ENB] = true
+		case "agent_resume":
+			if !stalled[f.ENB] {
+				return fmt.Errorf("scenario: %s: agent_resume for eNodeB %d without a preceding agent_stall", where, f.ENB)
+			}
+			stalled[f.ENB] = false
+		case "agent_restart":
+			stalled[f.ENB] = false
 		}
 	}
 	// eNodeBs must be declared in a stable id order for deterministic
@@ -1700,6 +1838,17 @@ func nonNegInt(n *yamlite.Node) (int64, error) {
 		return 0, errors.New("negative")
 	}
 	return v, nil
+}
+
+func probVal(n *yamlite.Node) (float64, error) {
+	f, err := n.Float()
+	if err != nil {
+		return 0, err
+	}
+	if f < 0 || f > 1 {
+		return 0, errors.New("out of range")
+	}
+	return f, nil
 }
 
 func cqiVal(n *yamlite.Node) (int64, error) {

@@ -260,6 +260,60 @@ apps:
 			want: "scenario: topology.enbs[0].to_master.loss must be a probability in [0, 1]",
 		},
 		{
+			name: "netem burst_loss out of range",
+			doc: strings.Replace(minimalDoc, "    - id: 1", `    - id: 1
+      to_master:
+        burst_loss: 1.2`, 1),
+			want: "scenario: topology.enbs[0].to_master.burst_loss must be a probability in [0, 1]",
+		},
+		{
+			name: "netem stall_tti negative",
+			doc: strings.Replace(minimalDoc, "    - id: 1", `    - id: 1
+      to_agent:
+        stall_tti: -5`, 1),
+			want: "scenario: topology.enbs[0].to_agent.stall_tti must be a non-negative integer",
+		},
+		{
+			name: "netem_set without a direction",
+			doc: minimalDoc + `
+faults:
+  - at: 50
+    kind: netem_set
+    enb: 1
+`,
+			want: "scenario: faults[0]: netem_set needs a to_master or to_agent direction",
+		},
+		{
+			name: "netem_set with a bad knob",
+			doc: minimalDoc + `
+faults:
+  - at: 50
+    kind: netem_set
+    enb: 1
+    to_agent:
+      dup: 2
+`,
+			want: "scenario: faults[0].to_agent.dup must be a probability in [0, 1]",
+		},
+		{
+			name: "agent_resume without a stall",
+			doc: minimalDoc + `
+faults:
+  - at: 50
+    kind: agent_resume
+    enb: 1
+`,
+			want: "scenario: faults[0]: agent_resume for eNodeB 1 without a preceding agent_stall",
+		},
+		{
+			name: "negative master health knob",
+			doc: minimalDoc + `
+master:
+  health_period_tti: -1
+`,
+			want: "scenario: master.health_period_tti must be a non-negative integer",
+		},
+		{
 			name: "cqi out of range",
 			doc:  strings.Replace(minimalDoc, "cqi: 10", "cqi: 19", 1),
 			want: "scenario: ues[0].channel.cqi must be a CQI in [1, 15]",

@@ -10,6 +10,7 @@ import (
 	"flexran/internal/protocol"
 	"flexran/internal/radio"
 	"flexran/internal/sim"
+	"flexran/internal/transport"
 )
 
 // resilienceScenario builds a static two-eNodeB world with attached idle
@@ -180,7 +181,8 @@ func TestLinkCutHeartbeatDetectsAndResyncRecovers(t *testing.T) {
 
 // chaosScenario is the determinism scenario plus a scripted fault timeline:
 // link cuts, restores, restarts and reconnect storms across half the
-// eNodeBs, identical for every worker count.
+// eNodeBs — and gray impairments (bursty loss, duplication, reordering,
+// corruption, stalls) on the other half — identical for every worker count.
 func chaosScenario(workers int) *sim.Sim {
 	s := detScenario(workers)
 	s.InjectFaults(
@@ -193,6 +195,23 @@ func chaosScenario(workers int) *sim.Sim {
 		sim.Fault{At: 700, Kind: sim.FaultLinkRestore, ENB: 5},
 		sim.Fault{At: 800, Kind: sim.FaultAgentRestart, ENB: 7},
 		sim.Fault{At: 900, Kind: sim.FaultAgentRestart, ENB: 7},
+		// Gray impairments: a mid-run switch to a heavily impaired uplink
+		// on eNB 2, a control stall with resume on eNB 4, and a one-shot
+		// transport freeze toward eNB 6.
+		sim.Fault{At: 250, Kind: sim.FaultNetemSet, ENB: 2,
+			ToMaster: &transport.Netem{
+				OneWayTTI: 1, LossProb: 0.05, BurstLossProb: 0.8,
+				BurstEnterProb: 0.05, BurstExitProb: 0.25,
+				DupProb: 0.05, ReorderProb: 0.1, ReorderTTI: 2,
+				CorruptProb: 0.02, Seed: 902,
+			},
+			ToAgent: &transport.Netem{OneWayTTI: 1, LossProb: 0.05, DupProb: 0.03, Seed: 903},
+		},
+		sim.Fault{At: 600, Kind: sim.FaultAgentStall, ENB: 4},
+		sim.Fault{At: 850, Kind: sim.FaultAgentResume, ENB: 4},
+		sim.Fault{At: 450, Kind: sim.FaultNetemSet, ENB: 6,
+			ToAgent: &transport.Netem{StallTTI: 120, Seed: 906},
+		},
 	)
 	return s
 }
@@ -207,8 +226,10 @@ func TestChaosDeterminism(t *testing.T) {
 	want := snapshot(ref)
 
 	// The storm must have actually downed and recovered agents: every
-	// flapped eNodeB finishes the run connected with its UEs resynced.
-	for _, enb := range []lte.ENBID{1, 3, 5, 7} {
+	// flapped eNodeB finishes the run connected with its UEs resynced —
+	// and the gray-impaired ones (2: bursty loss, 4: stall+resume,
+	// 6: transport freeze) hold their state through the impairment.
+	for _, enb := range []lte.ENBID{1, 2, 3, 4, 5, 6, 7} {
 		if want.RIBCount[enb] != 4 {
 			t.Fatalf("eNB %d: RIB count %d after chaos, want 4", enb, want.RIBCount[enb])
 		}

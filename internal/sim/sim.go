@@ -107,6 +107,13 @@ type Node struct {
 	// following barrier, ordered by IMSI, so migrations are deterministic
 	// for every worker-pool size.
 	pendingHO []protocol.HandoverCommand
+
+	// stalled marks a wedged agent control loop (FaultAgentStall): the
+	// transport stays alive and echoes are answered, but every other
+	// delivered message is held on stallQ until the matching resume (or
+	// dropped by an agent restart).
+	stalled bool
+	stallQ  []*protocol.Message
 	// phaseErr records a control-channel decode failure inside a
 	// parallel phase, surfaced as a panic at the barrier.
 	phaseErr error
@@ -162,6 +169,22 @@ func (n *Node) SetNetem(toMaster, toAgent transport.Netem) {
 	}
 }
 
+// NetemCounters reports the per-direction impairment counters of the
+// node's control channel: frames offered, dropped, duplicated, corrupted
+// and delivered for the agent-to-master and master-to-agent directions.
+func (n *Node) NetemCounters() (toMaster, toAgent transport.NetemCounters) {
+	if n.aEp != nil {
+		toMaster = n.aEp.Counters()
+	}
+	if n.mEp != nil {
+		toAgent = n.mEp.Counters()
+	}
+	return toMaster, toAgent
+}
+
+// Stalled reports whether the node's agent control loop is wedged.
+func (n *Node) Stalled() bool { return n.stalled }
+
 // HandoverRecord is one executed UE migration.
 type HandoverRecord struct {
 	IMSI     uint64
@@ -192,6 +215,20 @@ const (
 	// old session dies, in-flight control traffic is lost, and the agent
 	// reconnects with a bumped epoch.
 	FaultAgentRestart
+	// FaultNetemSet re-impairs a live control channel mid-run, per
+	// direction (the gray-failure analogue of `tc qdisc change`): the
+	// fault's ToMaster/ToAgent fields replace the respective direction's
+	// Netem; a nil direction is left untouched.
+	FaultNetemSet
+	// FaultAgentStall wedges the agent's control loop while the process
+	// stays alive at the transport: echoes are still answered (the I/O
+	// thread lives), but no reports are produced and every other inbound
+	// message is held unprocessed. The eNodeB data plane keeps running —
+	// the local MAC is untouched, only the FlexRAN control loop hangs.
+	FaultAgentStall
+	// FaultAgentResume unwedges a stalled agent: the held backlog is
+	// applied in arrival order, then normal processing continues.
+	FaultAgentResume
 )
 
 func (k FaultKind) String() string {
@@ -202,6 +239,12 @@ func (k FaultKind) String() string {
 		return "link_restore"
 	case FaultAgentRestart:
 		return "agent_restart"
+	case FaultNetemSet:
+		return "netem_set"
+	case FaultAgentStall:
+		return "agent_stall"
+	case FaultAgentResume:
+		return "agent_resume"
 	}
 	return "unknown"
 }
@@ -213,6 +256,11 @@ type Fault struct {
 	At   lte.Subframe
 	Kind FaultKind
 	ENB  lte.ENBID
+	// ToMaster/ToAgent carry the replacement impairments of a
+	// FaultNetemSet (nil leaves that direction unchanged); ignored by
+	// every other kind.
+	ToMaster *transport.Netem
+	ToAgent  *transport.Netem
 }
 
 // Sim is a running scenario.
@@ -512,6 +560,12 @@ func (s *Sim) applyFaults() {
 			s.RestoreLink(f.ENB)
 		case FaultAgentRestart:
 			s.RestartAgent(f.ENB)
+		case FaultNetemSet:
+			s.SetLinkNetem(f.ENB, f.ToMaster, f.ToAgent)
+		case FaultAgentStall:
+			s.StallAgent(f.ENB)
+		case FaultAgentResume:
+			s.ResumeAgent(f.ENB)
 		}
 	}
 }
@@ -568,6 +622,16 @@ func (s *Sim) RestartAgent(enb lte.ENBID) {
 		return
 	}
 	s.wakeNode(n)
+	// A restart unwedges a stalled process: the supervisor replaced it.
+	// The backlog held by the wedged incarnation dies with it.
+	if n.stalled {
+		n.stalled = false
+		n.Agent.SetStalled(false)
+	}
+	for _, m := range n.stallQ {
+		m.Release()
+	}
+	n.stallQ = n.stallQ[:0]
 	n.Agent.Restart()
 	if n.aEp == nil {
 		return
@@ -575,6 +639,55 @@ func (s *Sim) RestartAgent(enb lte.ENBID) {
 	n.aEp.DropInflight()
 	n.mEp.DropInflight()
 	s.reconnect(n)
+}
+
+// SetLinkNetem re-impairs the node's live control channel, per direction
+// (a nil direction is left untouched) — the simulated `tc qdisc change`
+// used by the netem_set fault kind.
+func (s *Sim) SetLinkNetem(enb lte.ENBID, toMaster, toAgent *transport.Netem) {
+	n := s.byENB[enb]
+	if n == nil || n.aEp == nil {
+		return
+	}
+	s.wakeNode(n)
+	if toMaster != nil {
+		n.aEp.SetNetem(*toMaster)
+	}
+	if toAgent != nil {
+		n.mEp.SetNetem(*toAgent)
+	}
+}
+
+// StallAgent wedges the node's agent control loop: the process stays alive
+// at the transport (echoes still answered, TCP not reset) but stops
+// stepping — no reports, no command processing. Inbound messages are held
+// and applied in order on ResumeAgent. The eNodeB data plane keeps
+// running. No-op without an agent.
+func (s *Sim) StallAgent(enb lte.ENBID) {
+	n := s.byENB[enb]
+	if n == nil || n.Agent == nil {
+		return
+	}
+	s.wakeNode(n)
+	n.stalled = true
+	n.Agent.SetStalled(true)
+}
+
+// ResumeAgent unwedges a stalled agent: the held backlog is delivered in
+// arrival order, then normal processing resumes. No-op when not stalled.
+func (s *Sim) ResumeAgent(enb lte.ENBID) {
+	n := s.byENB[enb]
+	if n == nil || n.Agent == nil || !n.stalled {
+		return
+	}
+	s.wakeNode(n)
+	n.stalled = false
+	n.Agent.SetStalled(false)
+	for _, m := range n.stallQ {
+		n.Agent.Deliver(m)
+		m.Release()
+	}
+	n.stallQ = n.stallQ[:0]
 }
 
 // reconnect attaches a fresh master-side session for the node and
@@ -669,6 +782,13 @@ func (s *Sim) Step() {
 				n.ENB.FastForward(sf)
 			}
 			for _, m := range n.aBatch {
+				// A wedged control loop (agent_stall) answers liveness
+				// probes — the I/O thread is alive — but everything else
+				// waits in the backlog until the resume fault.
+				if n.stalled && m.Payload.Kind() != protocol.KindEcho {
+					n.stallQ = append(n.stallQ, m)
+					continue
+				}
 				n.Agent.Deliver(m)
 				// The agent copies what it keeps (subscriptions, alloc
 				// vectors, queued handover commands), so the decoded

@@ -2,9 +2,12 @@ package transport
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"flexran/internal/metrics"
 	"flexran/internal/protocol"
@@ -27,6 +30,10 @@ type Conn struct {
 	sizes []int
 
 	recv chan *protocol.Message
+
+	// corrupted counts inbound frames dropped on a checksum mismatch
+	// (framing stays aligned, so the stream continues past them).
+	corrupted atomic.Uint64
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -57,17 +64,19 @@ func Dial(addr string) (*Conn, error) {
 	return NewConn(nc, 1024), nil
 }
 
-// appendFrame serializes m as one length-prefixed frame onto c.wbuf,
-// returning the encoded message size (without the header).
+// appendFrame serializes m as one length-prefixed, checksummed frame onto
+// c.wbuf, returning the encoded message size (without the header).
 func (c *Conn) appendFrame(m *protocol.Message) (int, error) {
 	start := len(c.wbuf)
-	c.wbuf = append(c.wbuf, 0, 0, 0, 0)
+	c.wbuf = append(c.wbuf, 0, 0, 0, 0, 0, 0, 0, 0)
 	c.wbuf = protocol.AppendMessage(c.wbuf, m)
 	n := len(c.wbuf) - start - frameHeaderSize
 	if n > MaxFrameSize {
 		return 0, ErrFrameTooLarge
 	}
+	payload := c.wbuf[start+frameHeaderSize:]
 	binary.BigEndian.PutUint32(c.wbuf[start:], uint32(n))
+	binary.BigEndian.PutUint32(c.wbuf[start+4:], crc32.Checksum(payload, crcTable))
 	return n, nil
 }
 
@@ -169,6 +178,10 @@ func (c *Conn) Err() error {
 // category.
 func (c *Conn) Meter() *metrics.Meter { return c.meter }
 
+// CorruptedFrames reports how many inbound frames failed their checksum
+// and were dropped.
+func (c *Conn) CorruptedFrames() uint64 { return c.corrupted.Load() }
+
 // Close terminates the connection; the Recv channel is closed after the
 // reader exits.
 func (c *Conn) Close() error {
@@ -188,6 +201,13 @@ func (c *Conn) readLoop() {
 	var buf []byte
 	for {
 		payload, err := ReadFrame(c.nc, buf)
+		if errors.Is(err, ErrFrameCorrupt) {
+			// Counted and dropped: the declared length was consumed, so
+			// the next frame starts cleanly.
+			c.corrupted.Add(1)
+			buf = payload[:0]
+			continue
+		}
 		if err != nil {
 			select {
 			case <-c.closed: // local close: not an error

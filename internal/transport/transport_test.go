@@ -44,7 +44,7 @@ func TestFrameSizeLimit(t *testing.T) {
 		t.Errorf("oversized write = %v", err)
 	}
 	// A poisoned header must be rejected without allocating the payload.
-	hdr := []byte{0xff, 0xff, 0xff, 0xff}
+	hdr := []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}
 	if _, err := ReadFrame(bytes.NewReader(hdr), nil); !errors.Is(err, ErrFrameTooLarge) {
 		t.Errorf("oversized read = %v", err)
 	}
