@@ -7,9 +7,15 @@
 // the deadline-miss counters and per-leg latency histograms, and shutdown
 // (SIGINT or SIGTERM) flushes a final dump before exiting.
 //
+// The northbound HTTP/JSON API (-api) exposes the RIB, the app registry,
+// the live watch stream (SSE) and sequenced actuation; cmd/flexran-ctl is
+// its CLI client. -cmd-retry arms reliable command delivery so actuation
+// outcomes can be awaited via /cmd/{seq}.
+//
 // Usage:
 //
-//	flexran-master [-addr :2210] [-stats-period 1] [-sync-period 1] [-profile]
+//	flexran-master [-addr :2210] [-api :9090] [-cmd-retry 0]
+//	               [-stats-period 1] [-sync-period 1] [-profile]
 package main
 
 import (
@@ -26,8 +32,10 @@ import (
 
 func main() {
 	addr := flag.String("addr", flexran.DefaultMasterAddr, "listen address for agent connections")
+	api := flag.String("api", "", "northbound HTTP API listen address (empty disables, e.g. :9090)")
 	statsPeriod := flag.Int("stats-period", 1, "statistics reporting period in TTIs (0 disables)")
 	syncPeriod := flag.Int("sync-period", 1, "subframe sync period in TTIs (0 disables)")
+	cmdRetry := flag.Int("cmd-retry", 0, "reliable-delivery retransmission period in TTIs (0 disables)")
 	report := flag.Duration("report", 2*time.Second, "status print interval")
 	profile := flag.Bool("profile", false, "print the deadline/latency profile with every status line")
 	flag.Parse()
@@ -35,6 +43,7 @@ func main() {
 	opts := flexran.DefaultMasterOptions()
 	opts.StatsPeriodTTI = *statsPeriod
 	opts.SyncPeriodTTI = *syncPeriod
+	opts.CmdRetryTTI = *cmdRetry
 	m := flexran.NewMaster(opts)
 	m.Register(apps.NewMonitor(100), 0)
 	ls := &flexran.LoopStats{}
@@ -80,6 +89,14 @@ func main() {
 		}
 	}()
 
+	if *api != "" {
+		apiAddr, err := flexran.ServeNorthbound(m, ls, *api, stop)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "master: northbound:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("flexran-master northbound API on %s\n", apiAddr)
+	}
 	fmt.Printf("flexran-master listening on %s\n", *addr)
 	err := flexran.ServeMasterRT(m, *addr, stop, flexran.RTConfig{Stats: ls})
 	// Flush the final accounting whether the loop ended by signal or by a

@@ -87,7 +87,7 @@ func (p *pusher) OnTick(ctx *controller.Context, _ lte.Subframe) {
 		VSFKind: protocol.VSFProgram, Program: wire.Marshal(p.prog),
 	}
 	agent.Sign(agent.DefaultTrustKey, up)
-	if err := ctx.Send(1, up); err != nil {
+	if _, err := ctx.Send(1, up); err != nil {
 		panic(err)
 	}
 }

@@ -91,6 +91,22 @@ type (
 	AgentEvent = controller.AgentEvent
 	// RIB is the RAN information base.
 	RIB = controller.RIB
+	// WatchEvent is one typed, sequenced RIB delta on the event layer.
+	WatchEvent = controller.WatchEvent
+	// WatchFilter selects the events a watcher receives.
+	WatchFilter = controller.WatchFilter
+	// WatchKind is the event-kind bitmask of a WatchEvent.
+	WatchKind = controller.WatchKind
+	// Watcher is one bounded-buffer subscription on the event layer.
+	Watcher = controller.Watcher
+	// WatchApp receives the full in-tick event stream as an application.
+	WatchApp = controller.WatchApp
+	// AppInfo describes one registered application and its counters.
+	AppInfo = controller.AppInfo
+	// CmdOutcome is the terminal fate of one sequenced command.
+	CmdOutcome = controller.CmdOutcome
+	// HealthState grades an agent session (Healthy…HealthDown).
+	HealthState = controller.HealthState
 	// Agent is the per-eNodeB FlexRAN agent.
 	Agent = agent.Agent
 	// AgentOptions configures agent trust policy.
@@ -211,6 +227,19 @@ func LoadNamedScenario(name string) (*Scenario, error) { return scenario.LoadNam
 const (
 	OpDLUESched = agent.OpDLUESched
 	OpULUESched = agent.OpULUESched
+)
+
+// Watch-event kinds (bitmask; combine with |, or use WatchAllEvents).
+const (
+	WatchHello     = controller.WatchHello
+	WatchUp        = controller.WatchUp
+	WatchDown      = controller.WatchDown
+	WatchStats     = controller.WatchStats
+	WatchUE        = controller.WatchUE
+	WatchMeas      = controller.WatchMeas
+	WatchHandover  = controller.WatchHandover
+	WatchHealth    = controller.WatchHealth
+	WatchAllEvents = controller.WatchAll
 )
 
 // NewMaster builds a master controller.

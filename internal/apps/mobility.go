@@ -124,12 +124,13 @@ func (m *MobilityManager) OnMeasReport(ctx *controller.Context, ev controller.Me
 	if m.MinMarginDB > 0 && measured && margin < m.MinMarginDB {
 		return
 	}
-	if err := ctx.CommandHandover(ev.ENB, rep.RNTI, rep.IMSI, target, cell); err != nil {
+	seq, err := ctx.CommandHandover(ev.ENB, rep.RNTI, rep.IMSI, target, cell)
+	if err != nil {
 		return // session gone; the next report retries
 	}
 	m.mu.Lock()
 	m.inflight[key] = inflightHO{
-		serving: ev.ENB, target: target, issuedAt: ctx.Now, seq: ctx.LastCmdSeq(),
+		serving: ev.ENB, target: target, issuedAt: ctx.Now, seq: seq,
 	}
 	m.decisions = append(m.decisions, HandoverDecision{
 		RNTI: rep.RNTI, IMSI: rep.IMSI, From: ev.ENB, To: target,

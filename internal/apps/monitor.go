@@ -8,18 +8,28 @@ import (
 	"flexran/internal/metrics"
 )
 
-// Monitor is the statistics-monitoring application of §3: it periodically
-// samples the RIB into time series other applications (and experiments)
-// consume. It exercises the "periodic application" execution pattern of
-// the northbound API.
+// Monitor is the statistics-monitoring application of §3: it folds the
+// controller's event stream into time series other applications (and
+// experiments) consume. It exercises both execution patterns of the
+// northbound API (§4.4): event-based — a watch subscriber caching the
+// latest per-agent aggregate from each stats delta as it arrives, with no
+// RIB walk of its own — and periodic, sampling that cache into series on
+// the tick.
 type Monitor struct {
 	// EveryTTI is the sampling period in master cycles.
 	EveryTTI int
 
 	mu      sync.Mutex
+	last    map[lte.ENBID]monSample
 	rate    map[lte.ENBID]*metrics.Series // aggregate DL rate, kb/s
 	ueCount map[lte.ENBID]*metrics.Series
 	events  int
+}
+
+// monSample is the latest aggregate reported by one agent.
+type monSample struct {
+	kbps float64
+	ues  int
 }
 
 // NewMonitor builds a monitor sampling every period cycles.
@@ -29,6 +39,7 @@ func NewMonitor(period int) *Monitor {
 	}
 	return &Monitor{
 		EveryTTI: period,
+		last:     map[lte.ENBID]monSample{},
 		rate:     map[lte.ENBID]*metrics.Series{},
 		ueCount:  map[lte.ENBID]*metrics.Series{},
 	}
@@ -37,37 +48,44 @@ func NewMonitor(period int) *Monitor {
 // Name implements controller.App.
 func (*Monitor) Name() string { return "monitor" }
 
-// OnTick implements controller.TickerApp.
-func (m *Monitor) OnTick(ctx *controller.Context, cycle lte.Subframe) {
+// OnWatch implements controller.WatchApp: stats deltas refresh the cached
+// per-agent aggregate, lifecycle events open and close cache entries, and
+// UE events are counted (the monitor is the canonical "both periodic and
+// event-based" application §4.4 mentions).
+func (m *Monitor) OnWatch(_ *controller.Context, ev controller.WatchEvent) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch ev.Kind {
+	case controller.WatchStats:
+		m.last[ev.ENB] = monSample{kbps: ev.DLKbps, ues: ev.UEs}
+	case controller.WatchHello, controller.WatchUp:
+		if _, ok := m.last[ev.ENB]; !ok {
+			m.last[ev.ENB] = monSample{}
+		}
+	case controller.WatchDown:
+		delete(m.last, ev.ENB)
+	case controller.WatchUE:
+		m.events++
+	}
+}
+
+// OnTick implements controller.TickerApp: the periodic half — sample the
+// event-maintained cache into the series.
+func (m *Monitor) OnTick(_ *controller.Context, cycle lte.Subframe) {
 	if int(cycle)%m.EveryTTI != 0 {
 		return
 	}
-	rib := ctx.RIB()
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for _, enbID := range rib.Agents() {
-		var kbps float64
-		ues := rib.UEsOf(enbID)
-		for _, u := range ues {
-			kbps += float64(u.DLRateKbps)
-		}
+	t := cycle.Seconds()
+	for enbID, s := range m.last {
 		if m.rate[enbID] == nil {
 			m.rate[enbID] = &metrics.Series{}
 			m.ueCount[enbID] = &metrics.Series{}
 		}
-		t := cycle.Seconds()
-		m.rate[enbID].Add(t, kbps)
-		m.ueCount[enbID].Add(t, float64(len(ues)))
+		m.rate[enbID].Add(t, s.kbps)
+		m.ueCount[enbID].Add(t, float64(s.ues))
 	}
-}
-
-// OnEvent implements controller.EventApp (the monitor counts events,
-// demonstrating an app that is both periodic and event-based — §4.4 notes
-// some applications fall into both categories).
-func (m *Monitor) OnEvent(_ *controller.Context, _ controller.AgentEvent) {
-	m.mu.Lock()
-	m.events++
-	m.mu.Unlock()
 }
 
 // RateSeries returns the sampled aggregate DL rate of an agent (kb/s).
@@ -77,7 +95,7 @@ func (m *Monitor) RateSeries(enb lte.ENBID) *metrics.Series {
 	return m.rate[enb]
 }
 
-// Events returns the number of agent events observed.
+// Events returns the number of UE events observed on the watch stream.
 func (m *Monitor) Events() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()

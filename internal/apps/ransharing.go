@@ -58,13 +58,13 @@ func (r *RANSharing) OnTick(ctx *controller.Context, cycle lte.Subframe) {
 			continue
 		}
 		r.deferred = nil
-		if err := ctx.SetSliceShares(r.ENB, r.Module, r.VSF, change.Shares); err == nil {
+		if _, err := ctx.SetSliceShares(r.ENB, r.Module, r.VSF, change.Shares); err == nil {
 			r.Applied++
 		}
 	}
 	// Replay the newest withheld vector once the agent is healthy again.
 	if healthy && r.deferred != nil {
-		if err := ctx.SetSliceShares(r.ENB, r.Module, r.VSF, r.deferred); err == nil {
+		if _, err := ctx.SetSliceShares(r.ENB, r.Module, r.VSF, r.deferred); err == nil {
 			r.Applied++
 		}
 		r.deferred = nil

@@ -190,7 +190,7 @@ func TestCentralizedSchedulingEndToEnd(t *testing.T) {
 
 	// Swap the agent to remote mode via the policy path.
 	ctx := r.ctx()
-	if err := ctx.ActivateVSF(9, "mac", agent.OpDLUESched, "remote"); err != nil {
+	if _, err := ctx.ActivateVSF(9, "mac", agent.OpDLUESched, "remote"); err != nil {
 		t.Fatal(err)
 	}
 	r.run(5) // let the policy arrive
@@ -240,7 +240,7 @@ func TestVSFPushAndAckRoundTrip(t *testing.T) {
 	r := newRig(t, controller.DefaultOptions(), transport.Netem{}, transport.Netem{})
 	r.run(3)
 	ctx := r.ctx()
-	if err := ctx.PushProgramVSF(9, "mac", agent.OpDLUESched, "edge-first",
+	if _, err := ctx.PushProgramVSF(9, "mac", agent.OpDLUESched, "edge-first",
 		"queue > 0 ? cqi : -1", []string{"queue", "cqi"}); err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +257,7 @@ func TestVSFPushAndAckRoundTrip(t *testing.T) {
 	if okCount == 0 {
 		t.Fatal("no acks received")
 	}
-	if err := ctx.ActivateVSF(9, "mac", agent.OpDLUESched, "edge-first"); err != nil {
+	if _, err := ctx.ActivateVSF(9, "mac", agent.OpDLUESched, "edge-first"); err != nil {
 		t.Fatal(err)
 	}
 	r.run(3)
@@ -270,11 +270,11 @@ func TestPushNativeVSF(t *testing.T) {
 	r := newRig(t, controller.DefaultOptions(), transport.Netem{}, transport.Netem{})
 	r.run(3)
 	ctx := r.ctx()
-	if err := ctx.PushNativeVSF(9, "mac", agent.OpDLUESched, "pf-live", "pf"); err != nil {
+	if _, err := ctx.PushNativeVSF(9, "mac", agent.OpDLUESched, "pf-live", "pf"); err != nil {
 		t.Fatal(err)
 	}
 	r.run(3)
-	if err := ctx.ActivateVSF(9, "mac", agent.OpDLUESched, "pf-live"); err != nil {
+	if _, err := ctx.ActivateVSF(9, "mac", agent.OpDLUESched, "pf-live"); err != nil {
 		t.Fatal(err)
 	}
 	r.run(3)
@@ -287,11 +287,11 @@ func TestSetSliceShares(t *testing.T) {
 	r := newRig(t, controller.DefaultOptions(), transport.Netem{}, transport.Netem{})
 	r.run(3)
 	ctx := r.ctx()
-	if err := ctx.ActivateVSF(9, "mac", agent.OpDLUESched, "slice-rr"); err != nil {
+	if _, err := ctx.ActivateVSF(9, "mac", agent.OpDLUESched, "slice-rr"); err != nil {
 		t.Fatal(err)
 	}
 	r.run(3)
-	if err := ctx.SetSliceShares(9, "mac", agent.OpDLUESched, []float64{0.4, 0.6}); err != nil {
+	if _, err := ctx.SetSliceShares(9, "mac", agent.OpDLUESched, []float64{0.4, 0.6}); err != nil {
 		t.Fatal(err)
 	}
 	r.run(3)
@@ -300,7 +300,7 @@ func TestSetSliceShares(t *testing.T) {
 			t.Errorf("nack: %s", a.Detail)
 		}
 	}
-	if err := ctx.SetSliceShares(9, "mac", agent.OpDLUESched, []float64{0.9, 0.9}); err == nil {
+	if _, err := ctx.SetSliceShares(9, "mac", agent.OpDLUESched, []float64{0.9, 0.9}); err == nil {
 		t.Error("invalid shares accepted locally")
 	}
 }

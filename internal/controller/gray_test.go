@@ -51,11 +51,14 @@ func TestReliableDeliveryExactlyOnceUnderLoss(t *testing.T) {
 	ctx := r.ctx()
 
 	const commands = 30
+	var lastSeq uint64
 	for i := 0; i < commands; i++ {
 		name := fmt.Sprintf("push-%d", i)
-		if err := ctx.PushNativeVSF(9, "mac", agent.OpDLUESched, name, "pf"); err != nil {
+		seq, err := ctx.PushNativeVSF(9, "mac", agent.OpDLUESched, name, "pf")
+		if err != nil {
 			t.Fatal(err)
 		}
+		lastSeq = seq
 		r.run(10)
 	}
 	// Drain: the deepest backoff ladder at budget 10 spans ~1.5k TTIs.
@@ -67,8 +70,8 @@ func TestReliableDeliveryExactlyOnceUnderLoss(t *testing.T) {
 	if len(rec.fails) != 0 {
 		t.Errorf("%d commands reported failed despite retransmission: %+v", len(rec.fails), rec.fails)
 	}
-	if got := ctx.LastCmdSeq(); got != commands {
-		t.Errorf("LastCmdSeq = %d after %d sequenced sends", got, commands)
+	if lastSeq != commands {
+		t.Errorf("last assigned seq = %d after %d sequenced sends", lastSeq, commands)
 	}
 }
 
@@ -87,10 +90,10 @@ func TestCommandFailureSurfacedToApp(t *testing.T) {
 	r.run(3)
 	ctx := r.ctx()
 
-	if err := ctx.PushPolicy(9, "mac:\n  dl_ue_sched:\n    behavior: rr\n"); err != nil {
+	seq, err := ctx.PushPolicy(9, "mac:\n  dl_ue_sched:\n    behavior: rr\n")
+	if err != nil {
 		t.Fatal(err)
 	}
-	seq := ctx.LastCmdSeq()
 	if seq == 0 {
 		t.Fatal("sequenced send assigned no sequence number")
 	}
@@ -117,12 +120,13 @@ func TestReliableDeliveryOffByDefault(t *testing.T) {
 	r := newRig(t, controller.DefaultOptions(), transport.Netem{}, transport.Netem{})
 	r.run(3)
 	ctx := r.ctx()
-	if err := ctx.PushNativeVSF(9, "mac", agent.OpDLUESched, "plain", "pf"); err != nil {
+	seq, err := ctx.PushNativeVSF(9, "mac", agent.OpDLUESched, "plain", "pf")
+	if err != nil {
 		t.Fatal(err)
 	}
 	r.run(5)
-	if got := ctx.LastCmdSeq(); got != 0 {
-		t.Errorf("LastCmdSeq = %d with reliable delivery disabled, want 0", got)
+	if seq != 0 {
+		t.Errorf("assigned seq = %d with reliable delivery disabled, want 0", seq)
 	}
 	if got := r.agent.SequencedApplied(); got != 0 {
 		t.Errorf("agent counted %d sequenced applications for an unsequenced push", got)

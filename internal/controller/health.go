@@ -1,6 +1,9 @@
 package controller
 
 import (
+	"encoding/json"
+	"fmt"
+
 	"flexran/internal/lte"
 	"flexran/internal/protocol"
 )
@@ -43,6 +46,27 @@ func (h HealthState) String() string {
 	return "unknown"
 }
 
+// MarshalJSON renders the state as its name — health grades cross the
+// northbound API as strings, not ladder indices.
+func (h HealthState) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + h.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the name form emitted by MarshalJSON.
+func (h *HealthState) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for _, state := range []HealthState{Healthy, Degraded, Suspect, HealthDown} {
+		if s == state.String() {
+			*h = state
+			return nil
+		}
+	}
+	return fmt.Errorf("controller: unknown health state %q", s)
+}
+
 // HealthApp receives health transitions from the monitor: OnAgentDegraded
 // fires on every downgrade (Healthy→Degraded, Degraded→Suspect, …) and on a
 // partial recovery to a still-unhealthy state, always carrying the new
@@ -58,7 +82,9 @@ type HealthApp interface {
 // DeliveryApp receives reliable-command outcomes: OnCommandFailed fires
 // when a sequenced command exhausted its retransmission budget or its
 // session closed with the command still unacknowledged. The payload is the
-// one passed to the issuing Send (never pooled; safe to retain).
+// one passed to the issuing Send (never pooled; safe to retain). seq is
+// the sequence number the issuing call returned — apps correlate by
+// keeping that return value, not by reading shared master state.
 type DeliveryApp interface {
 	App
 	OnCommandFailed(ctx *Context, enb lte.ENBID, seq uint64, payload protocol.Payload)
@@ -113,24 +139,26 @@ func sequencedKind(p protocol.Payload) bool {
 // sendCmd is the northbound command path: with reliable delivery enabled
 // (Options.CmdRetryTTI > 0) and a command-kind payload, the envelope is
 // stamped with the next sequence number and the payload is retained for
-// retransmission until the agent's ControlAck retires it. Callers reach it
-// through Context.Send and the Context command helpers, which run in the
+// retransmission until the agent's ControlAck retires it. The assigned
+// sequence number is returned directly to the caller — the correlation
+// handle for OnCommandFailed, Acks and the command-outcome registry (0
+// when the payload was not sequenced). Callers reach it through
+// Context.Send and the Context command helpers, which run in the
 // application slot — sequence assignment is therefore serial and
 // deterministic for any Workers setting. The caller must not mutate the
 // payload after a sequenced send.
-func (m *Master) sendCmd(enb lte.ENBID, p protocol.Payload) error {
+func (m *Master) sendCmd(enb lte.ENBID, p protocol.Payload) (uint64, error) {
 	if m.opts.CmdRetryTTI <= 0 || !sequencedKind(p) {
-		return m.Send(enb, p)
+		return 0, m.Send(enb, p)
 	}
 	m.mu.Lock()
 	s := m.sessions[enb]
 	if s == nil {
 		m.mu.Unlock()
-		return errNoSession(enb)
+		return 0, errNoSession(enb)
 	}
 	m.nextCmdSeq++
 	seq := m.nextCmdSeq
-	m.lastCmdSeq = seq
 	m.mu.Unlock()
 
 	s.qmu.Lock()
@@ -145,7 +173,7 @@ func (m *Master) sendCmd(enb lte.ENBID, p protocol.Payload) error {
 	msg.Release()
 	// A failed transmit is not a failed delivery: the retransmission sweep
 	// owns the retry (and the eventual failure report).
-	return err
+	return seq, err
 }
 
 // retirePending removes an acked command from the session's pending list

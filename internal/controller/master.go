@@ -2,7 +2,6 @@ package controller
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -173,12 +172,6 @@ type lifeEvent struct {
 	up  bool
 }
 
-type appEntry struct {
-	app      App
-	priority int
-	order    int // registration order breaks priority ties
-}
-
 // session is the master-side state of one agent transport. Inbound
 // messages are absorbed into the per-session queue (one cheap lock per
 // batch, never contended across eNodeBs) and drained by the RIB Updater
@@ -264,15 +257,26 @@ func (s *session) isClosed() bool {
 	return s.closed
 }
 
+// ackEvent is one control acknowledgement with the session binding it
+// arrived on (the ack payload itself does not carry the eNodeB id, which
+// the command-outcome registry needs).
+type ackEvent struct {
+	enb lte.ENBID
+	ack protocol.ControlAck
+}
+
 // tickSink collects the side effects of applying one session's batch, so
 // parallel updaters stay isolated; Tick merges sinks in session order,
-// which keeps event and ack dispatch deterministic.
+// which keeps event and ack dispatch deterministic. watch is the RIB
+// delta stream's per-session recording, populated only while the watch
+// hub has consumers (see watch.go).
 type tickSink struct {
 	events []AgentEvent
 	meas   []MeasEvent
 	hos    []HandoverEvent
-	acks   []protocol.ControlAck
+	acks   []ackEvent
 	life   []lifeEvent
+	watch  []WatchEvent
 }
 
 // Master is the FlexRAN master controller.
@@ -288,19 +292,29 @@ type Master struct {
 	// is long gone — can never rebind the agent.
 	epochs      map[lte.ENBID]uint64
 	ingest      []*session // every attached session, in attach order
-	apps        []appEntry
+	apps        []*appEntry
 	nextApp     int
 	acks        []protocol.ControlAck
 	pendingLife []lifeEvent // liveness transitions queued outside the updater
+	// pendingOps queues operations for the tick goroutine (Master.Do):
+	// northbound actuations and runtime retunes run at the start of the
+	// next application slot, serialized with command sequencing.
+	pendingOps []masterOp
 	// nextCmdSeq numbers sequenced commands, monotonic across every
 	// session for the master's lifetime, so a sequence number can never be
-	// reused against a reconnected agent's fresh dedup window. lastCmdSeq
-	// is the most recent assignment (Context.LastCmdSeq); pendingCmdFail
-	// queues delivery failures raised outside the retry sweep (session
-	// closes).
+	// reused against a reconnected agent's fresh dedup window.
+	// pendingCmdFail queues delivery failures raised outside the retry
+	// sweep (session closes).
 	nextCmdSeq     uint64
-	lastCmdSeq     uint64
 	pendingCmdFail []cmdFailure
+
+	// watch fans the RIB delta stream out to subscribers; watchSeq is the
+	// stream's serial sequence counter (tick goroutine only); cmdTrack is
+	// the command-outcome registry behind the northbound actuation
+	// endpoints. See watch.go and outcome.go.
+	watch    watchHub
+	watchSeq uint64
+	cmdTrack cmdTracker
 
 	cycle lte.Subframe
 
@@ -330,9 +344,10 @@ type Master struct {
 	// cycle before use; sink sub-slices are truncated in place so their
 	// capacity survives.
 	sessScratch  []*session
-	appScratch   []appEntry
+	appScratch   []*appEntry
 	batchScratch [][]*protocol.Message
 	sinkScratch  []tickSink
+	watchScratch []WatchEvent
 }
 
 // NewMaster builds a master controller.
@@ -372,33 +387,6 @@ func (m *Master) RIB() *RIB { return m.rib }
 // Options.RTTProbePeriodTTI > 0 the master sends wall-clock-stamped Echo
 // probes whose mirrored timestamps feed ls.RTT. Passing nil detaches.
 func (m *Master) SetLoopStats(ls *metrics.LoopStats) { m.loopStats.Store(ls) }
-
-// Register adds an application with a priority (higher runs earlier in
-// the cycle — e.g. a centralized scheduler above a monitoring app).
-// It implements the Registry Service of the northbound API.
-func (m *Master) Register(app App, priority int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.apps = append(m.apps, appEntry{app: app, priority: priority, order: m.nextApp})
-	m.nextApp++
-	sort.SliceStable(m.apps, func(i, j int) bool {
-		if m.apps[i].priority != m.apps[j].priority {
-			return m.apps[i].priority > m.apps[j].priority
-		}
-		return m.apps[i].order < m.apps[j].order
-	})
-}
-
-// Apps lists registered application names in execution order.
-func (m *Master) Apps() []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]string, len(m.apps))
-	for i, e := range m.apps {
-		out[i] = e.app.Name()
-	}
-	return out
-}
 
 // AgentSession is the master-side handle of one attached agent transport.
 type AgentSession struct {
@@ -557,7 +545,12 @@ func (m *Master) Tick() {
 		sk.hos = sk.hos[:0]
 		sk.acks = sk.acks[:0]
 		sk.life = sk.life[:0]
+		sk.watch = sk.watch[:0]
 	}
+	// Liveness transitions that bypassed the sinks bracket the per-sink
+	// stream in the watch emit: [:priorLife] arrived before this updater
+	// pass, [postLifeStart:] is raised after it (heartbeat closes).
+	priorLife := len(life)
 	slots := m.updaterSlots(sessions, batches)
 	conc.ForEach(m.opts.Workers, len(slots), func(j int) {
 		for _, i := range slots[j] {
@@ -567,7 +560,7 @@ func (m *Master) Tick() {
 	var events []AgentEvent
 	var meas []MeasEvent
 	var hos []HandoverEvent
-	var acks []protocol.ControlAck
+	var acks []ackEvent
 	for i := range sinks {
 		events = append(events, sinks[i].events...)
 		meas = append(meas, sinks[i].meas...)
@@ -577,7 +570,9 @@ func (m *Master) Tick() {
 	}
 	if len(acks) > 0 {
 		m.mu.Lock()
-		m.acks = append(m.acks, acks...)
+		for i := range acks {
+			m.acks = append(m.acks, acks[i].ack)
+		}
 		m.mu.Unlock()
 	}
 	// Reap displaced sessions regardless of heartbeat configuration:
@@ -601,12 +596,16 @@ func (m *Master) Tick() {
 	}
 	m.pruneClosed(sessions)
 	// Heartbeat-driven disconnects queued just now dispatch this cycle,
-	// as do delivery failures from those closes.
+	// as do delivery failures from those closes. Queued northbound
+	// operations submitted by now run this cycle too.
 	m.mu.Lock()
+	postLifeStart := len(life)
 	life = append(life, m.pendingLife...)
 	m.pendingLife = nil
 	cmdFails := m.pendingCmdFail
 	m.pendingCmdFail = nil
+	ops := m.pendingOps
+	m.pendingOps = nil
 	m.mu.Unlock()
 	if m.opts.CmdRetryTTI > 0 {
 		cmdFails = m.retrySweep(sessions, cmdFails)
@@ -614,6 +613,13 @@ func (m *Master) Tick() {
 	var healthEvs []healthEvent
 	if m.opts.HealthPeriodTTI > 0 && m.cycle%lte.Subframe(m.opts.HealthPeriodTTI) == 0 {
 		healthEvs = m.healthTick(sessions)
+	}
+	if m.cmdTrack.enabled() {
+		m.recordOutcomes(acks, cmdFails)
+	}
+	var watchEvs []WatchEvent
+	if m.watch.active() {
+		watchEvs = m.emitWatch(life[:priorLife], sinks, life[postLifeStart:], healthEvs)
 	}
 	core := time.Since(t0)
 	if ls != nil {
@@ -623,52 +629,10 @@ func (m *Master) Tick() {
 	// --- Application slot ---
 	t1 := time.Now()
 	ctx := &Context{master: m, Now: m.cycle}
-	for _, e := range apps {
-		if lcApp, ok := e.app.(LifecycleApp); ok {
-			// Liveness first: an app must not act on stale per-agent
-			// state (in-flight commands, cached decisions) this cycle.
-			for _, lv := range life {
-				if lv.up {
-					lcApp.OnAgentUp(ctx, lv.enb)
-				} else {
-					lcApp.OnAgentDown(ctx, lv.enb)
-				}
-			}
-		}
-		if hApp, ok := e.app.(HealthApp); ok {
-			// Health next, same reasoning: gate before acting this cycle.
-			for _, hv := range healthEvs {
-				if hv.state == Healthy {
-					hApp.OnAgentRecovered(ctx, hv.enb)
-				} else {
-					hApp.OnAgentDegraded(ctx, hv.enb, hv.state)
-				}
-			}
-		}
-		if dApp, ok := e.app.(DeliveryApp); ok {
-			for _, cf := range cmdFails {
-				dApp.OnCommandFailed(ctx, cf.enb, cf.seq, cf.payload)
-			}
-		}
-		if ticker, ok := e.app.(TickerApp); ok {
-			ticker.OnTick(ctx, m.cycle)
-		}
-		if evApp, ok := e.app.(EventApp); ok {
-			for _, ev := range events {
-				evApp.OnEvent(ctx, ev)
-			}
-		}
-		if mobApp, ok := e.app.(MobilityApp); ok {
-			// Completions first, so a finished handover re-arms the app
-			// before this cycle's new reports are considered.
-			for _, ev := range hos {
-				mobApp.OnHandoverComplete(ctx, ev)
-			}
-			for _, ev := range meas {
-				mobApp.OnMeasReport(ctx, ev)
-			}
-		}
+	if len(ops) > 0 {
+		m.runOps(ctx, ops)
 	}
+	m.dispatchApps(ctx, apps, watchEvs, life, healthEvs, cmdFails, events, hos, meas)
 	appsDur := time.Since(t1)
 
 	m.mu.Lock()
@@ -785,6 +749,9 @@ func (m *Master) applyInbound(s *session, msg *protocol.Message, sink *tickSink)
 		m.verifySubscriptions(msg.ENB, p.Subs)
 		s.lastReport = m.cycle
 		sink.life = append(sink.life, lifeEvent{enb: msg.ENB, up: true})
+		if m.watch.active() {
+			sink.watch = append(sink.watch, WatchEvent{Kind: WatchUp, ENB: msg.ENB, SF: p.SF})
+		}
 		// As with Hello: a close racing the apply may have run its
 		// applyDisconnect before the resync marked the agent live again;
 		// retract so the RIB never reports a ghost connected agent.
@@ -798,11 +765,27 @@ func (m *Master) applyInbound(s *session, msg *protocol.Message, sink *tickSink)
 	case *protocol.StatsReply:
 		m.rib.applyStats(msg.ENB, p)
 		s.lastReport = m.cycle
+		if m.watch.active() {
+			var kbps float64
+			for i := range p.UEs {
+				kbps += float64(p.UEs[i].DLRateKbps)
+			}
+			sink.watch = append(sink.watch, WatchEvent{
+				Kind: WatchStats, ENB: msg.ENB, SF: p.SF,
+				UEs: len(p.UEs), DLKbps: kbps,
+			})
+		}
 	case *protocol.UEEvent:
 		m.rib.applyUEEvent(msg.ENB, p)
 		sink.events = append(sink.events, AgentEvent{
 			ENB: msg.ENB, SF: msg.SF, Type: p.Type, RNTI: p.RNTI, Cell: p.Cell,
 		})
+		if m.watch.active() {
+			sink.watch = append(sink.watch, WatchEvent{
+				Kind: WatchUE, ENB: msg.ENB, SF: msg.SF,
+				Cell: p.Cell, RNTI: p.RNTI, UEType: p.Type,
+			})
+		}
 	case *protocol.EchoReply:
 		m.rib.applySF(msg.ENB, p.SenderSF)
 		// SenderSF mirrors the cycle our Echo carried, so the difference is
@@ -820,14 +803,24 @@ func (m *Master) applyInbound(s *session, msg *protocol.Message, sink *tickSink)
 	case *protocol.MeasReport:
 		m.rib.applyMeasReport(msg.ENB, msg.SF, p)
 		sink.meas = append(sink.meas, MeasEvent{ENB: msg.ENB, SF: msg.SF, Report: p})
+		if m.watch.active() {
+			sink.watch = append(sink.watch, WatchEvent{
+				Kind: WatchMeas, ENB: msg.ENB, SF: msg.SF, Cell: p.Cell, RNTI: p.RNTI,
+			})
+		}
 	case *protocol.HandoverComplete:
 		m.rib.applyHandoverComplete(msg.ENB, p)
 		sink.hos = append(sink.hos, HandoverEvent{ENB: msg.ENB, SF: msg.SF, Complete: p})
+		if m.watch.active() {
+			sink.watch = append(sink.watch, WatchEvent{
+				Kind: WatchHandover, ENB: msg.ENB, SF: msg.SF, Cell: p.Cell, RNTI: p.RNTI,
+			})
+		}
 	case *protocol.ControlAck:
 		if p.Seq != 0 {
 			m.retirePending(s, p.Seq)
 		}
-		sink.acks = append(sink.acks, *p)
+		sink.acks = append(sink.acks, ackEvent{enb: msg.ENB, ack: *p})
 	}
 }
 
@@ -874,11 +867,17 @@ func (m *Master) handleHello(s *session, enb lte.ENBID, p *protocol.Hello, sink 
 	m.mu.Unlock()
 	if takeover {
 		sink.life = append(sink.life, lifeEvent{enb: enb})
+		if m.watch.active() {
+			sink.watch = append(sink.watch, WatchEvent{Kind: WatchDown, ENB: enb})
+		}
 	}
 	if !dup {
 		// A duplicate Hello (lost HelloAck, retransmission) must not wipe
 		// the shard the first one built; it only re-triggers the welcome.
 		m.rib.applyHello(enb, p.Config)
+		if m.watch.active() {
+			sink.watch = append(sink.watch, WatchEvent{Kind: WatchHello, ENB: enb})
+		}
 	}
 	m.welcome(enb)
 	// Close may have raced the shard publish above (it runs its

@@ -29,19 +29,12 @@ func (c *Context) RIB() *RIB { return c.master.rib }
 // Send issues a command or request to an agent. With reliable delivery
 // enabled (Options.CmdRetryTTI), command-kind payloads are sequenced and
 // retransmitted until acknowledged; the assigned sequence number is
-// readable through LastCmdSeq immediately after the call.
-func (c *Context) Send(enb lte.ENBID, p protocol.Payload) error {
+// returned directly (0 for non-sequenced payloads) — the caller's handle
+// for correlating a later ControlAck or OnCommandFailed. Returning it
+// from the issuing call keeps the correlation race-free: there is no
+// shared "last sequence" register to read after the fact.
+func (c *Context) Send(enb lte.ENBID, p protocol.Payload) (uint64, error) {
 	return c.master.sendCmd(enb, p)
-}
-
-// LastCmdSeq returns the sequence number assigned to the most recent
-// sequenced command this master issued (0 before the first, or with
-// reliable delivery disabled). Apps that need to correlate a command with
-// a later OnCommandFailed read it right after the issuing call.
-func (c *Context) LastCmdSeq() uint64 {
-	c.master.mu.Lock()
-	defer c.master.mu.Unlock()
-	return c.master.lastCmdSeq
 }
 
 // ScheduleDL pushes a downlink scheduling decision to an agent for a
@@ -57,8 +50,9 @@ func (c *Context) ScheduleDL(enb lte.ENBID, cellID lte.CellID, target lte.Subfra
 }
 
 // CommandHandover orders the serving agent to hand a UE over to a target
-// cell (the mobility-management command path of Table 1).
-func (c *Context) CommandHandover(serving lte.ENBID, rnti lte.RNTI, imsi uint64, target lte.ENBID, targetCell lte.CellID) error {
+// cell (the mobility-management command path of Table 1). Returns the
+// assigned command sequence number (see Send).
+func (c *Context) CommandHandover(serving lte.ENBID, rnti lte.RNTI, imsi uint64, target lte.ENBID, targetCell lte.CellID) (uint64, error) {
 	return c.master.sendCmd(serving, &protocol.HandoverCommand{
 		RNTI: rnti, IMSI: imsi, TargetENB: target, TargetCell: targetCell,
 	})
@@ -66,7 +60,7 @@ func (c *Context) CommandHandover(serving lte.ENBID, rnti lte.RNTI, imsi uint64,
 
 // PushNativeVSF pushes a reference to the agent's built-in VSF store,
 // signed with the deployment trust key.
-func (c *Context) PushNativeVSF(enb lte.ENBID, module, vsf, name, ref string) error {
+func (c *Context) PushNativeVSF(enb lte.ENBID, module, vsf, name, ref string) (uint64, error) {
 	up := &protocol.VSFUpdate{
 		Module: module, VSF: vsf, Name: name,
 		VSFKind: protocol.VSFNative, Ref: ref,
@@ -78,10 +72,10 @@ func (c *Context) PushNativeVSF(enb lte.ENBID, module, vsf, name, ref string) er
 // PushProgramVSF compiles a vsfdsl expression against the agent's MAC
 // variable environment, signs the bytecode and pushes it (VSF updation
 // with real code over the wire).
-func (c *Context) PushProgramVSF(enb lte.ENBID, module, vsf, name, expr string, vars []string) error {
+func (c *Context) PushProgramVSF(enb lte.ENBID, module, vsf, name, expr string, vars []string) (uint64, error) {
 	prog, err := vsfdsl.Compile(expr, vars)
 	if err != nil {
-		return fmt.Errorf("controller: compiling VSF %q: %w", name, err)
+		return 0, fmt.Errorf("controller: compiling VSF %q: %w", name, err)
 	}
 	up := &protocol.VSFUpdate{
 		Module: module, VSF: vsf, Name: name,
@@ -92,13 +86,13 @@ func (c *Context) PushProgramVSF(enb lte.ENBID, module, vsf, name, expr string, 
 }
 
 // PushPolicy sends a policy reconfiguration document.
-func (c *Context) PushPolicy(enb lte.ENBID, doc string) error {
+func (c *Context) PushPolicy(enb lte.ENBID, doc string) (uint64, error) {
 	return c.master.sendCmd(enb, &protocol.PolicyReconf{Doc: doc})
 }
 
 // ActivateVSF sends the minimal policy document that swaps one VSF's
 // behavior (the runtime scheduler swap of §5.4).
-func (c *Context) ActivateVSF(enb lte.ENBID, module, vsf, name string) error {
+func (c *Context) ActivateVSF(enb lte.ENBID, module, vsf, name string) (uint64, error) {
 	doc := yamlite.Marshal(yamlite.Map().Set(module, yamlite.Map().
 		Set(vsf, yamlite.Map().Set("behavior", yamlite.Scalar(name)))))
 	return c.PushPolicy(enb, doc)
@@ -106,9 +100,9 @@ func (c *Context) ActivateVSF(enb lte.ENBID, module, vsf, name string) error {
 
 // SetSliceShares pushes the share vector of an active slicing VSF
 // (the RAN-sharing reconfiguration of Fig. 12a).
-func (c *Context) SetSliceShares(enb lte.ENBID, module, vsf string, shares []float64) error {
+func (c *Context) SetSliceShares(enb lte.ENBID, module, vsf string, shares []float64) (uint64, error) {
 	if err := sched.ValidateShares(shares); err != nil {
-		return err
+		return 0, err
 	}
 	seq := yamlite.Seq()
 	for _, s := range shares {

@@ -167,7 +167,7 @@ func (*grayPusher) Name() string { return "gray-pusher" }
 func (p *grayPusher) OnTick(ctx *controller.Context, cycle lte.Subframe) {
 	if p.sent < p.total && cycle%p.period == 0 {
 		name := fmt.Sprintf("push-%d", p.sent)
-		if err := ctx.PushNativeVSF(p.enb, "mac", agent.OpDLUESched, name, "pf"); err == nil {
+		if _, err := ctx.PushNativeVSF(p.enb, "mac", agent.OpDLUESched, name, "pf"); err == nil {
 			p.sent++
 		}
 	}

@@ -1,0 +1,301 @@
+package northbound_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"flexran/internal/agent"
+	"flexran/internal/controller"
+	"flexran/internal/enb"
+	"flexran/internal/lte"
+	"flexran/internal/northbound"
+	"flexran/internal/radio"
+	"flexran/internal/transport"
+)
+
+// harness runs one master + one agent-enabled eNodeB over a simulated
+// link, stepped continuously by a background driver goroutine, with the
+// northbound server mounted on an httptest listener — the live-loopback
+// setup the HTTP handlers are exercised against (RIB reads, watches and
+// Do-queued actuation are all safe off the tick goroutine).
+type harness struct {
+	t      *testing.T
+	master *controller.Master
+	enb    *enb.ENB
+	api    *httptest.Server
+	ops    chan func() // run on the driver goroutine between steps
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+func startHarness(t *testing.T) *harness {
+	t.Helper()
+	e := enb.New(enb.Config{ID: 9, Seed: 1})
+	a := agent.New(e, agent.Options{RequireSignedVSFs: true})
+	opts := controller.DefaultOptions()
+	opts.CmdRetryTTI = 2 // sequenced actuation, so /cmd/{seq} has outcomes
+	m := controller.NewMaster(opts)
+	aEp, mEp := transport.NewSimPair(transport.Netem{}, transport.Netem{})
+	deliver := m.HandleAgent(mEp.Send)
+	a.Connect(aEp.Send)
+
+	h := &harness{
+		t: t, master: m, enb: e,
+		api:  httptest.NewServer(northbound.New(m, nil)),
+		ops:  make(chan func()),
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+	step := func() {
+		sf := e.Now()
+		msgs, err := mEp.AdvanceTo(sf)
+		if err != nil {
+			panic(err)
+		}
+		for _, msg := range msgs {
+			deliver(msg)
+		}
+		m.Tick()
+		msgs, err = aEp.AdvanceTo(sf)
+		if err != nil {
+			panic(err)
+		}
+		for _, msg := range msgs {
+			a.Deliver(msg)
+		}
+		e.Step()
+	}
+	go func() {
+		defer close(h.done)
+		for {
+			select {
+			case <-h.stop:
+				return
+			case op := <-h.ops:
+				op()
+			default:
+				step()
+			}
+		}
+	}()
+	t.Cleanup(func() {
+		close(h.stop)
+		<-h.done
+		h.api.Close()
+	})
+	return h
+}
+
+// sync runs fn on the driver goroutine and waits for it — the whole
+// master/agent/eNB/sim stack is single-threaded by design, so every test
+// mutation of it must ride the driver loop.
+func (h *harness) sync(fn func()) {
+	h.t.Helper()
+	done := make(chan struct{})
+	h.ops <- func() { defer close(done); fn() }
+	<-done
+}
+
+// attachUE adds a UE and waits for it to connect (the driver is stepping
+// in the background).
+func (h *harness) attachUE(imsi uint64) lte.RNTI {
+	h.t.Helper()
+	var rnti lte.RNTI
+	var err error
+	h.sync(func() {
+		rnti, err = h.enb.AddUE(enb.UEParams{IMSI: imsi, Cell: 0, Channel: radio.Fixed(12)})
+	})
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !h.connected(rnti) {
+		if time.Now().After(deadline) {
+			h.t.Fatal("UE failed to attach")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return rnti
+}
+
+// connected reads UE state on the driver goroutine.
+func (h *harness) connected(rnti lte.RNTI) bool {
+	var ok bool
+	h.sync(func() { ok = h.enb.Connected(rnti) })
+	return ok
+}
+
+func (h *harness) waitConnected() {
+	h.t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !h.master.RIB().Connected(9) {
+		if time.Now().After(deadline) {
+			h.t.Fatal("agent never connected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// getJSON fetches a path and decodes into v, requiring the given status.
+func (h *harness) getJSON(path string, status int, v any) {
+	h.t.Helper()
+	resp, err := http.Get(h.api.URL + path)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != status {
+		h.t.Fatalf("GET %s = %s, want %d", path, resp.Status, status)
+	}
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			h.t.Fatalf("GET %s: decoding: %v", path, err)
+		}
+	}
+}
+
+// postJSON posts a body and decodes the response, requiring the status.
+func (h *harness) postJSON(path string, body any, status int, v any) {
+	h.t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	resp, err := http.Post(h.api.URL+path, "application/json", strings.NewReader(string(buf)))
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != status {
+		h.t.Fatalf("POST %s = %s, want %d", path, resp.Status, status)
+	}
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			h.t.Fatalf("POST %s: decoding: %v", path, err)
+		}
+	}
+}
+
+func TestQueryEndpoints(t *testing.T) {
+	h := startHarness(t)
+	h.waitConnected()
+	rnti := h.attachUE(1)
+
+	var agents []northbound.AgentView
+	h.getJSON("/rib/agents", http.StatusOK, &agents)
+	if len(agents) != 1 || agents[0].ENB != 9 || !agents[0].Connected {
+		t.Fatalf("/rib/agents = %+v", agents)
+	}
+
+	var ev northbound.ENBView
+	h.getJSON("/rib/enb/9", http.StatusOK, &ev)
+	if len(ev.Cells) != 1 || ev.Cells[0].PRB != 50 {
+		t.Errorf("/rib/enb/9 cells = %+v", ev.Cells)
+	}
+	if len(ev.UEList) != 1 || ev.UEList[0].RNTI != rnti {
+		t.Errorf("/rib/enb/9 ue_list = %+v", ev.UEList)
+	}
+
+	var uv northbound.UEView
+	h.getJSON(fmt.Sprintf("/rib/enb/9/ue/%d", rnti), http.StatusOK, &uv)
+	if uv.RNTI != rnti || uv.CQI != 12 {
+		t.Errorf("/rib/enb/9/ue/%d = %+v", rnti, uv)
+	}
+
+	var hv northbound.HealthView
+	h.getJSON("/health", http.StatusOK, &hv)
+	if hv.Cycle == 0 || len(hv.Agents) != 1 {
+		t.Errorf("/health = %+v", hv)
+	}
+
+	var infos []controller.AppInfo
+	h.getJSON("/apps", http.StatusOK, &infos)
+	if len(infos) != 0 {
+		t.Errorf("/apps = %+v, want empty registry", infos)
+	}
+
+	// No LoopStats attached in this harness: the endpoint says so.
+	h.getJSON("/stats/loop", http.StatusNotFound, nil)
+	// Unknown records 404; malformed ids 400.
+	h.getJSON("/rib/enb/77", http.StatusNotFound, nil)
+	h.getJSON("/rib/enb/abc", http.StatusBadRequest, nil)
+	h.getJSON("/rib/enb/9/ue/9999", http.StatusNotFound, nil)
+	h.getJSON("/cmd/123456", http.StatusNotFound, nil)
+}
+
+func TestWatchStreamsEvents(t *testing.T) {
+	h := startHarness(t)
+	h.waitConnected()
+
+	resp, err := http.Get(h.api.URL + "/watch?kinds=stats&enb=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var evs []controller.WatchEvent
+	for sc.Scan() && len(evs) < 3 {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev controller.WatchEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE frame %q: %v", line, err)
+		}
+		evs = append(evs, ev)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("streamed %d events: %v", len(evs), sc.Err())
+	}
+	var lastSeq uint64
+	for _, ev := range evs {
+		if ev.ENB != 9 || ev.Seq <= lastSeq {
+			t.Errorf("event out of contract: %+v (prev seq %d)", ev, lastSeq)
+		}
+		lastSeq = ev.Seq
+	}
+}
+
+func TestActuationRoundTrip(t *testing.T) {
+	h := startHarness(t)
+	h.waitConnected()
+
+	// Activate the preloaded slicing VSF, then set its shares — the CI
+	// smoke sequence, in-process.
+	var r struct {
+		Seq uint64 `json:"seq"`
+	}
+	h.postJSON("/vsf", map[string]any{"enb": 9, "name": "slice-rr"}, http.StatusOK, &r)
+	if r.Seq == 0 {
+		t.Fatal("activation assigned no sequence number")
+	}
+	var out controller.CmdOutcome
+	h.getJSON(fmt.Sprintf("/cmd/%d?wait=5s", r.Seq), http.StatusOK, &out)
+	if !out.OK {
+		t.Fatalf("activation outcome = %+v", out)
+	}
+
+	h.postJSON("/slice-shares", map[string]any{
+		"enb": 9, "shares": []float64{0.7, 0.3},
+	}, http.StatusOK, &r)
+	h.getJSON(fmt.Sprintf("/cmd/%d?wait=5s", r.Seq), http.StatusOK, &out)
+	if !out.OK {
+		t.Fatalf("share push outcome = %+v", out)
+	}
+
+	// Bad inputs are rejected before touching the master.
+	h.postJSON("/slice-shares", map[string]any{"enb": 9}, http.StatusBadRequest, nil)
+	h.postJSON("/policy", map[string]any{"doc": "x"}, http.StatusBadRequest, nil)
+	h.postJSON("/handover", map[string]any{"enb": 9, "rnti": 1}, http.StatusBadRequest, nil)
+	// Unknown agent: the command path reports the session error.
+	h.postJSON("/policy", map[string]any{"enb": 55, "doc": "mac:\n"}, http.StatusBadGateway, nil)
+}

@@ -99,6 +99,7 @@ type Runtime struct {
 	imsis     []uint64 // every UE, ascending
 	groups    map[uint64]int
 	sharing   []AppDecl // ransharing apps, registered at run start
+	retunes   []AppDecl // mobility retunes, armed at run start
 }
 
 // Build wires the scenario. workersOverride > 0 replaces run.workers.
@@ -473,6 +474,11 @@ func (rt *Runtime) registerApps() error {
 			}
 			rt.Sim.Master.Register(mm, prio)
 			rt.Mobility = mm
+			if a.RetuneAt > 0 {
+				// Armed when the measured run starts: retune_at is an
+				// offset from the end of the attach phase.
+				rt.retunes = append(rt.retunes, a)
+			}
 		case "eicic":
 			if err := rt.wireEICIC(a, prio); err != nil {
 				return err

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"flexran/internal/apps"
+	"flexran/internal/controller"
 	"flexran/internal/enb"
 	"flexran/internal/lte"
 	"flexran/internal/sim"
@@ -168,6 +169,11 @@ func (rt *Runtime) Execute() (*Result, error) {
 		}
 		s.Master.Register(apps.NewRANSharing(a.ENB, plan), 1000+10*i)
 	}
+	for i, a := range rt.retunes {
+		s.Master.Register(&retuneDriver{
+			master: s.Master, at: base + lte.Subframe(a.RetuneAt), decl: a,
+		}, 2000+10*i)
+	}
 
 	// Baseline the delivery counters so throughput covers the measured
 	// run only (attach-phase traffic excluded).
@@ -181,6 +187,39 @@ func (rt *Runtime) Execute() (*Result, error) {
 	s.Run(sc.Run.TTIs)
 
 	return &Result{Runtime: rt, Summary: rt.summarize(attachTTI, attachTTIs, base0)}, nil
+}
+
+// retuneDriver swaps the mobility manager's target policy mid-run through
+// the registry's Retune path — the same mechanism a live operator uses —
+// so scenario goldens cover runtime reconfiguration. The swap is queued on
+// the tick that reaches the deadline and applied at the start of the next
+// application slot, which keeps it deterministic for every worker count.
+type retuneDriver struct {
+	master *controller.Master
+	at     lte.Subframe
+	decl   AppDecl
+	done   bool
+}
+
+func (d *retuneDriver) Name() string { return "scn-retune" }
+
+func (d *retuneDriver) OnTick(ctx *controller.Context, now lte.Subframe) {
+	if d.done || now < d.at {
+		return
+	}
+	d.done = true
+	decl := d.decl
+	_ = d.master.Retune("mobility-manager", func(a controller.App) {
+		mm, ok := a.(*apps.MobilityManager)
+		if !ok {
+			return
+		}
+		if decl.RetunePolicy == "load_balanced" {
+			mm.Policy = apps.LoadBalanced{LoadWeight: decl.RetuneLoadWeight}
+		} else {
+			mm.Policy = apps.StrongestNeighbor{}
+		}
+	})
 }
 
 type ueFinal struct {

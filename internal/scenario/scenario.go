@@ -222,6 +222,12 @@ type AppDecl struct {
 	LoadWeight        float64
 	MinMarginDB       float64
 	CommandTimeoutTTI int
+	// mobility runtime retune: at RetuneAt TTIs into the measured run the
+	// target policy is swapped to RetunePolicy via the registry's Retune
+	// path (0 = never retune).
+	RetuneAt         int64
+	RetunePolicy     string
+	RetuneLoadWeight float64
 	// ransharing
 	ENB  lte.ENBID
 	Plan []ShareChangeDecl
@@ -1413,6 +1419,25 @@ func parseApp(n *yamlite.Node, where string) (AppDecl, error) {
 				return a, fmt.Errorf("scenario: %s.command_timeout_tti must be a positive integer", where)
 			}
 			a.CommandTimeoutTTI = int(v)
+		case "retune_at":
+			v, err := posInt(val)
+			if err != nil {
+				return a, fmt.Errorf("scenario: %s.retune_at must be a positive integer", where)
+			}
+			a.RetuneAt = v
+		case "retune_policy":
+			switch val.Str() {
+			case "strongest", "load_balanced":
+				a.RetunePolicy = val.Str()
+			default:
+				return a, fmt.Errorf("scenario: %s.retune_policy: unknown target policy %q", where, val.Str())
+			}
+		case "retune_load_weight":
+			f, err := val.Float()
+			if err != nil || f < 0 {
+				return a, fmt.Errorf("scenario: %s.retune_load_weight must be a non-negative number", where)
+			}
+			a.RetuneLoadWeight = f
 		case "enb":
 			v, err := posInt(val)
 			if err != nil {
@@ -1468,6 +1493,15 @@ func parseApp(n *yamlite.Node, where string) (AppDecl, error) {
 		default:
 			return a, fmt.Errorf("scenario: %s has no knob %q", where, key)
 		}
+	}
+	if a.Kind != "mobility" && (a.RetuneAt > 0 || a.RetunePolicy != "") {
+		return a, fmt.Errorf("scenario: %s: retune knobs apply to mobility apps only", where)
+	}
+	if a.RetunePolicy != "" && a.RetuneAt == 0 {
+		return a, fmt.Errorf("scenario: %s.retune_at is required with retune_policy", where)
+	}
+	if a.RetuneAt > 0 && a.RetunePolicy == "" {
+		return a, fmt.Errorf("scenario: %s.retune_policy is required with retune_at", where)
 	}
 	switch a.Kind {
 	case "monitor", "mobility":

@@ -2,11 +2,14 @@ package flexran
 
 import (
 	"fmt"
+	"net"
+	"net/http"
 	"sync"
 	"time"
 
 	"flexran/internal/controller"
 	"flexran/internal/metrics"
+	"flexran/internal/northbound"
 	"flexran/internal/protocol"
 	"flexran/internal/rt"
 	"flexran/internal/transport"
@@ -176,6 +179,25 @@ func ServeMasterListener(m *Master, l *ControlListener, stop <-chan struct{}, cf
 			}
 		}
 	}
+}
+
+// ServeNorthbound binds addr and serves the master's northbound HTTP API
+// (internal/northbound): RIB queries, the live /watch event stream and
+// actuation endpoints. ls feeds /stats/loop and may be nil. The server
+// runs until stop is closed; the bound address is returned (use
+// "127.0.0.1:0" for an ephemeral port in tests).
+func ServeNorthbound(m *Master, ls *LoopStats, addr string, stop <-chan struct{}) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: northbound.New(m, ls)}
+	go func() {
+		<-stop
+		srv.Close()
+	}()
+	go srv.Serve(l) //nolint:errcheck // reported via the listener close path
+	return l.Addr(), nil
 }
 
 // RunAgentLoop connects an agent-enabled eNodeB to a master over TCP with
