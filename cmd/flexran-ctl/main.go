@@ -13,11 +13,19 @@
 //	get loop                   real-time loop deadline/latency stats
 //	get apps                   registered applications and counters
 //	get cmd <seq> [-wait 2s]   outcome of a sequenced command
+//	get slices [name]          slice specs and live SLA status
 //	watch [-enb N] [-kinds stats,ue] [-count N] [-timeout 10s]
+//	set slice -f <file|->      install/replace a slice spec (JSON)
 //	set shares <enb> <s1,s2,…> [-module mac] [-vsf dl_ue_sched] [-wait 2s]
 //	set vsf <enb> <name>       activate a VSF behavior
 //	set policy <enb> <file|->  push a policy document (from file or stdin)
 //	set handover <enb> <rnti> <target-enb> [-cell N] [-imsi N] [-wait 2s]
+//	delete slice <name>        remove a slice
+//
+// Slices are the declarative resource model: `set slice` PUTs a SliceSpec
+// to the broker, which runs admission control and re-plans shares each
+// epoch. `set shares` is the low-level escape hatch that writes a raw
+// vector directly (the broker will overwrite it at its next epoch).
 //
 // Actuation prints the assigned command sequence number; with -wait the
 // client then polls /cmd/{seq} for the agent's acknowledgement.
@@ -53,6 +61,8 @@ func main() {
 		err = c.watch(args[1:])
 	case "set":
 		err = c.set(args[1:])
+	case "delete":
+		err = c.del(args[1:])
 	default:
 		usage()
 	}
@@ -63,16 +73,19 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: flexran-ctl [-api URL] <get|watch|set> [args]
+	fmt.Fprintln(os.Stderr, `usage: flexran-ctl [-api URL] <get|watch|set|delete> [args]
   get agents|health|loop|apps
   get enb <id>
   get ue <id> <rnti>
   get cmd <seq> [-wait 2s]
-  watch [-enb N] [-kinds hello,up,down,stats,ue,meas,handover,health] [-count N] [-timeout 10s]
+  get slices [name]
+  watch [-enb N] [-kinds hello,up,down,stats,ue,meas,handover,health,slice] [-count N] [-timeout 10s]
+  set slice -f <file|->
   set shares <enb> <s1,s2,...> [-module mac] [-vsf dl_ue_sched] [-wait 2s]
   set vsf <enb> <name> [-module mac] [-vsf dl_ue_sched] [-wait 2s]
   set policy <enb> <file|-> [-wait 2s]
-  set handover <enb> <rnti> <target-enb> [-cell N] [-imsi N] [-wait 2s]`)
+  set handover <enb> <rnti> <target-enb> [-cell N] [-imsi N] [-wait 2s]
+  delete slice <name>`)
 	os.Exit(2)
 }
 
@@ -132,6 +145,11 @@ func (c *client) get(args []string) error {
 			path += "?wait=" + wait.String()
 		}
 		return c.fetch(path)
+	case "slices":
+		if len(args) > 1 {
+			return c.fetch("/slices/" + args[1])
+		}
+		return c.fetch("/slices")
 	}
 	usage()
 	return nil
@@ -240,11 +258,66 @@ func (c *client) post(path string, body any, wait time.Duration) error {
 	return c.fetch(fmt.Sprintf("/cmd/%d?wait=%s", r.Seq, wait))
 }
 
+// send issues a request with an arbitrary method (PUT/DELETE) and
+// pretty-prints the JSON response.
+func (c *client) send(method, path string, body []byte) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(out)))
+	}
+	os.Stdout.Write(out)
+	return nil
+}
+
+func (c *client) del(args []string) error {
+	if len(args) < 2 || args[0] != "slice" {
+		usage()
+	}
+	return c.send("DELETE", "/slices/"+args[1], nil)
+}
+
 func (c *client) set(args []string) error {
 	if len(args) == 0 {
 		usage()
 	}
 	switch args[0] {
+	case "slice":
+		fs := flag.NewFlagSet("set slice", flag.ExitOnError)
+		file := fs.String("f", "", "slice spec JSON file (- for stdin)")
+		fs.Parse(args[1:])
+		if *file == "" {
+			usage()
+		}
+		var spec []byte
+		var err error
+		if *file == "-" {
+			spec, err = io.ReadAll(os.Stdin)
+		} else {
+			spec, err = os.ReadFile(*file)
+		}
+		if err != nil {
+			return err
+		}
+		return c.send("PUT", "/slices", spec)
 	case "shares":
 		if len(args) < 3 {
 			usage()

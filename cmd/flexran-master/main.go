@@ -46,6 +46,14 @@ func main() {
 	opts.CmdRetryTTI = *cmdRetry
 	m := flexran.NewMaster(opts)
 	m.Register(apps.NewMonitor(100), 0)
+	// An empty elastic slice broker backs the /slices resources: operators
+	// install specs at runtime through PUT /slices (flexran-ctl set slice).
+	slices, err := flexran.NewSliceBroker(flexran.SliceBrokerConfig{Elastic: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "master: slice broker:", err)
+		os.Exit(1)
+	}
+	m.Register(slices, 10)
 	ls := &flexran.LoopStats{}
 
 	stop := make(chan struct{})
@@ -90,7 +98,7 @@ func main() {
 	}()
 
 	if *api != "" {
-		apiAddr, err := flexran.ServeNorthbound(m, ls, *api, stop)
+		apiAddr, err := flexran.ServeNorthbound(m, ls, *api, stop, flexran.WithSliceBroker(slices))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "master: northbound:", err)
 			os.Exit(1)
@@ -98,7 +106,7 @@ func main() {
 		fmt.Printf("flexran-master northbound API on %s\n", apiAddr)
 	}
 	fmt.Printf("flexran-master listening on %s\n", *addr)
-	err := flexran.ServeMasterRT(m, *addr, stop, flexran.RTConfig{Stats: ls})
+	err = flexran.ServeMasterRT(m, *addr, stop, flexran.RTConfig{Stats: ls})
 	// Flush the final accounting whether the loop ended by signal or by a
 	// transport failure.
 	fmt.Println(flexran.MasterSummary(m))

@@ -43,6 +43,7 @@ package flexran
 import (
 	"flexran/internal/agent"
 	"flexran/internal/apps"
+	"flexran/internal/apps/broker"
 	"flexran/internal/controller"
 	"flexran/internal/dash"
 	"flexran/internal/enb"
@@ -52,6 +53,7 @@ import (
 	"flexran/internal/scenario"
 	"flexran/internal/sched"
 	"flexran/internal/sim"
+	"flexran/internal/slice"
 	"flexran/internal/transport"
 	"flexran/internal/ue"
 	"flexran/internal/vsfdsl"
@@ -105,6 +107,12 @@ type (
 	AppInfo = controller.AppInfo
 	// CmdOutcome is the terminal fate of one sequenced command.
 	CmdOutcome = controller.CmdOutcome
+	// AdmissionEvent is one slice admission-control outcome.
+	AdmissionEvent = controller.AdmissionEvent
+	// AdmissionApp receives slice admission outcomes as an application.
+	AdmissionApp = controller.AdmissionApp
+	// SharePlan is the typed per-group share actuation resource.
+	SharePlan = controller.SharePlan
 	// HealthState grades an agent session (Healthy…HealthDown).
 	HealthState = controller.HealthState
 	// Agent is the per-eNodeB FlexRAN agent.
@@ -239,8 +247,37 @@ const (
 	WatchMeas      = controller.WatchMeas
 	WatchHandover  = controller.WatchHandover
 	WatchHealth    = controller.WatchHealth
+	WatchSlice     = controller.WatchSlice
 	WatchAllEvents = controller.WatchAll
 )
+
+// Elastic slicing types: the declarative slice resource model and the
+// closed-loop broker that plans shares against it. See
+// internal/apps/broker and the "slices:" scenario section.
+type (
+	// SliceSpec declares one network slice (name, UE group, SLA, weight,
+	// admission policy).
+	SliceSpec = slice.Spec
+	// SliceSLA is a slice's service-level objective set.
+	SliceSLA = slice.SLA
+	// SliceStatus is the broker's live view of one slice.
+	SliceStatus = slice.Status
+	// SliceAdmissionPolicy thresholds the broker's admission projection.
+	SliceAdmissionPolicy = slice.AdmissionPolicy
+	// SliceDecision is an admission-control outcome.
+	SliceDecision = slice.Decision
+	// SliceBroker is the closed-loop elastic slice broker application.
+	SliceBroker = broker.Broker
+	// SliceBrokerConfig parameterizes a SliceBroker.
+	SliceBrokerConfig = broker.Config
+)
+
+// NewSliceBroker builds the elastic slice broker over the given specs;
+// register it on a Master and (optionally) expose it northbound with
+// WithSliceBroker.
+func NewSliceBroker(cfg SliceBrokerConfig, specs ...SliceSpec) (*SliceBroker, error) {
+	return broker.New(cfg, specs...)
+}
 
 // NewMaster builds a master controller.
 func NewMaster(opts MasterOptions) *Master { return controller.NewMaster(opts) }

@@ -1,0 +1,158 @@
+package broker_test
+
+import (
+	"testing"
+
+	"flexran/internal/apps/broker"
+	"flexran/internal/controller"
+	"flexran/internal/radio"
+	"flexran/internal/sim"
+	"flexran/internal/slice"
+	"flexran/internal/ue"
+)
+
+// brokerWorld builds a settled one-eNodeB world with two full-buffer UEs
+// in group 0 and the agent-side slicing scheduler installed, registers
+// the broker, and runs the attach phase.
+func brokerWorld(t *testing.T, b *broker.Broker) *sim.Sim {
+	t.Helper()
+	o := controller.DefaultOptions()
+	o.StatsPeriodTTI = 2
+	s := sim.MustNew(sim.Config{Master: &o}, sim.ENBSpec{
+		ID: 1, Agent: true, Seed: 1,
+		UEs: []sim.UESpec{
+			{IMSI: 100, Channel: radio.Fixed(11), Group: 0, DL: ue.NewFullBuffer()},
+			{IMSI: 101, Channel: radio.Fixed(11), Group: 0, DL: ue.NewFullBuffer()},
+		},
+	})
+	if err := s.Nodes[0].Agent.Reconfigure(
+		"mac:\n  dl_ue_sched:\n    behavior: slice-rr\n    parameters:\n      rb_share: [1.0]\n"); err != nil {
+		t.Fatal(err)
+	}
+	s.Master.Register(b, 10)
+	if !s.WaitAttached(500) {
+		t.Fatal("attach failed")
+	}
+	return s
+}
+
+// TestAdmissionThresholds drives one arrival through each admission
+// outcome: thresholds of 0 always admit, an unreachable admit_above
+// degrades, and an unreachable reject_below rejects — the projection
+// itself only picks between them.
+func TestAdmissionThresholds(t *testing.T) {
+	never := 1e12 // no projection reaches this
+	b, err := broker.New(broker.Config{EpochTTI: 50},
+		slice.Spec{Name: "base", Group: 0, SLA: slice.SLA{MinThroughputKbps: 1000}},
+		slice.Spec{Name: "open", Group: 1, ArriveAt: 300},
+		slice.Spec{Name: "marginal", Group: 2, ArriveAt: 300,
+			SLA:       slice.SLA{MinThroughputKbps: 1000},
+			Admission: slice.AdmissionPolicy{AdmitAbove: never}},
+		slice.Spec{Name: "greedy", Group: 3, ArriveAt: 300,
+			SLA:       slice.SLA{MinThroughputKbps: 1000},
+			Admission: slice.AdmissionPolicy{AdmitAbove: never, RejectBelow: never}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := brokerWorld(t, b)
+
+	if st, _ := b.Status("open"); st.Decision != slice.Pending {
+		t.Fatalf("open before arrival: %v", st.Decision)
+	}
+	s.Run(1000)
+
+	want := map[string]slice.Decision{
+		"base":     slice.Admitted, // founder
+		"open":     slice.Admitted, // projection >= 0
+		"marginal": slice.Degraded, // between the thresholds
+		"greedy":   slice.Rejected, // projection < reject_below
+	}
+	for name, dec := range want {
+		st, ok := b.Status(name)
+		if !ok || st.Decision != dec {
+			t.Errorf("%s decision = %v, want %v", name, st.Decision, dec)
+		}
+	}
+	// A rejected slice holds no share; admitted ones do.
+	if st, _ := b.Status("greedy"); st.Share != 0 {
+		t.Errorf("greedy share = %v, want 0", st.Share)
+	}
+	if st, _ := b.Status("base"); st.Share <= 0 {
+		t.Errorf("base share = %v, want > 0", st.Share)
+	}
+	if b.Applied == 0 {
+		t.Error("no share plans applied")
+	}
+}
+
+// TestViolationHysteresis pins the violation state machine: an
+// unattainable floor flips Violating only after HysteresisEpochs
+// consecutive bad epochs, and relaxing the floor flips it back only
+// after the same number of good epochs.
+func TestViolationHysteresis(t *testing.T) {
+	const hys = 3
+	b, err := broker.New(broker.Config{EpochTTI: 50, HysteresisEpochs: hys},
+		slice.Spec{Name: "starved", Group: 0, SLA: slice.SLA{MinThroughputKbps: 1e9}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := brokerWorld(t, b)
+	s.Run(1000)
+
+	st, _ := b.Status("starved")
+	if !st.Violating {
+		t.Fatalf("starved slice not violating: %+v", st)
+	}
+	if st.ViolationEpochs == 0 || st.Epochs-st.ViolationEpochs != hys-1 {
+		t.Errorf("violation epochs = %d of %d, want flip after %d bad epochs",
+			st.ViolationEpochs, st.Epochs, hys)
+	}
+
+	// Relax the floor in place (Upsert keeps the slice's state) and let
+	// good epochs accumulate: the flip back needs hys of them.
+	relaxed := slice.Spec{Name: "starved", Group: 0, SLA: slice.SLA{MinThroughputKbps: 100}}
+	s.Master.Do(func(ctx *controller.Context) {
+		if err := b.Upsert(ctx, relaxed); err != nil {
+			t.Errorf("Upsert: %v", err)
+		}
+	})
+	s.Run(1000)
+	st, _ = b.Status("starved")
+	if st.Violating {
+		t.Errorf("slice still violating after floor relaxed: %+v", st)
+	}
+	if st.Decision != slice.Admitted {
+		t.Errorf("decision after upsert = %v, want admitted", st.Decision)
+	}
+}
+
+// TestRemoveDropsSlice exercises the registry side: removing a slice
+// zeroes its group in the next plan and forgets its status.
+func TestRemoveDropsSlice(t *testing.T) {
+	b, err := broker.New(broker.Config{EpochTTI: 50},
+		slice.Spec{Name: "a", Group: 0, Weight: 1},
+		slice.Spec{Name: "b", Group: 1, Weight: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := brokerWorld(t, b)
+	s.Run(200)
+	s.Master.Do(func(ctx *controller.Context) {
+		if !b.Remove(ctx, "b") {
+			t.Error("Remove(b) = false")
+		}
+		if b.Remove(ctx, "b") {
+			t.Error("second Remove(b) = true")
+		}
+	})
+	s.Run(200)
+	if _, ok := b.Status("b"); ok {
+		t.Error("removed slice still has a status")
+	}
+	if st, _ := b.Status("a"); st.Share != 1 {
+		t.Errorf("survivor share = %v, want 1 (whole cell)", st.Share)
+	}
+}

@@ -15,9 +15,12 @@ type ShareChange struct {
 	Shares []float64
 }
 
-// RANSharing is the RAN-sharing management application of §6.3: it drives
-// the agent-side slicing scheduler through the policy-reconfiguration
-// mechanism, changing each operator's resource share on demand.
+// RANSharing is the RAN-sharing management application of §6.3 in its
+// static form: a scripted share schedule played back against one eNodeB.
+// It is a thin adapter over the typed share actuation path the slice
+// broker plans through (Context.ApplyShares) — the closed-loop broker
+// (internal/apps/broker) owns everything beyond a fixed script: SLAs,
+// admission, re-planning.
 type RANSharing struct {
 	// ENB is the shared eNodeB; VSF the slicing operation ("dl_ue_sched").
 	ENB    lte.ENBID
@@ -26,10 +29,13 @@ type RANSharing struct {
 	// Plan is the scripted share schedule, ascending by At.
 	Plan []ShareChange
 
-	// Applied counts pushed reconfigurations; Deferred counts schedule
-	// points that found the agent unhealthy and were held back.
+	// Applied counts accepted pushes; Deferred counts schedule points
+	// that found the agent unhealthy and were held back; Lost counts
+	// pushes the command path refused — no bound session
+	// (controller.ErrNoSession) or a rejected vector.
 	Applied  int
 	Deferred int
+	Lost     int
 	next     int
 	// deferred holds the latest share vector owed to an unhealthy agent:
 	// pushes freeze while the eNodeB is Suspect (a wedged agent would ack
@@ -58,15 +64,24 @@ func (r *RANSharing) OnTick(ctx *controller.Context, cycle lte.Subframe) {
 			continue
 		}
 		r.deferred = nil
-		if _, err := ctx.SetSliceShares(r.ENB, r.Module, r.VSF, change.Shares); err == nil {
-			r.Applied++
-		}
+		r.apply(ctx, change.Shares)
 	}
 	// Replay the newest withheld vector once the agent is healthy again.
 	if healthy && r.deferred != nil {
-		if _, err := ctx.SetSliceShares(r.ENB, r.Module, r.VSF, r.deferred); err == nil {
-			r.Applied++
-		}
+		r.apply(ctx, r.deferred)
 		r.deferred = nil
 	}
+}
+
+// apply pushes one vector through the typed actuation path, counting the
+// outcome: a refused push (unbound session, invalid vector) is lost, not
+// deferred — there is nothing to replay it on.
+func (r *RANSharing) apply(ctx *controller.Context, shares []float64) {
+	if _, err := ctx.ApplyShares(r.ENB, controller.SharePlan{
+		Module: r.Module, VSF: r.VSF, Shares: shares,
+	}); err != nil {
+		r.Lost++
+		return
+	}
+	r.Applied++
 }

@@ -1,0 +1,63 @@
+package controller
+
+import (
+	"flexran/internal/slice"
+)
+
+// Slice admission is the fourth policy event family next to liveness,
+// health and delivery: a slice broker (or any app running admission
+// control) publishes its outcomes through the Context, and the master
+// dispatches them to AdmissionApp implementers — and onto the watch
+// stream as slice-kind events — at the next cycle. Routing broker outputs
+// through the registry rather than app-to-app calls keeps the dispatch
+// order deterministic and lets any app (monitors, northbound recorders,
+// tests) observe admission without coupling to the broker.
+
+// AdmissionEvent is one admission-control outcome: a slice arrived and
+// was admitted, degraded or rejected.
+type AdmissionEvent struct {
+	// Slice is the arriving slice's name; Group its UE-group label.
+	Slice string
+	Group int
+	// Decision is the outcome; Projected is the SLA attainment the
+	// controller projected from the free capacity at arrival — the value
+	// the policy thresholds were applied to.
+	Decision  slice.Decision
+	Projected float64
+	// Share is the plan share granted by the first re-plan after the
+	// decision (zero when rejected).
+	Share float64
+}
+
+// AdmissionApp receives admission-control outcomes, dispatched in the
+// application slot of the cycle after they were emitted.
+type AdmissionApp interface {
+	App
+	OnAdmission(ctx *Context, ev AdmissionEvent)
+}
+
+// EmitAdmission queues an admission outcome for dispatch. Called from the
+// application slot (the broker's own dispatch); the event reaches
+// AdmissionApp implementers — every registered one, the emitter included —
+// at the next cycle.
+func (c *Context) EmitAdmission(ev AdmissionEvent) {
+	m := c.master
+	m.mu.Lock()
+	m.pendingAdmission = append(m.pendingAdmission, ev)
+	m.mu.Unlock()
+}
+
+// EmitSliceEvent queues one slice-kind event for the watch stream: the
+// Kind is forced to WatchSlice, and Seq/Cycle are assigned when the next
+// cycle's serial publish phase merges it after that cycle's RIB deltas.
+// Dropped when nothing is watching, like every other recording.
+func (c *Context) EmitSliceEvent(ev WatchEvent) {
+	m := c.master
+	if !m.watch.active() {
+		return
+	}
+	ev.Kind = WatchSlice
+	m.mu.Lock()
+	m.pendingSliceWatch = append(m.pendingSliceWatch, ev)
+	m.mu.Unlock()
+}

@@ -182,16 +182,17 @@ func runOp(ctx *Context, op masterOp) {
 // dispatchApps runs the application slot: one registry walk, every
 // execution pattern dispatched per app in a fixed order. The order within
 // one app is: the raw delta stream (WatchApp), liveness, health, delivery
-// failures, the periodic tick, UE events, handover completions, then
-// measurement reports — liveness and health first so an app never acts on
-// stale per-agent state this cycle, completions before reports so a
-// finished handover re-arms a mobility app before new reports are
-// considered.
+// failures, admission outcomes, the periodic tick, UE events, handover
+// completions, then measurement reports — liveness and health first so an
+// app never acts on stale per-agent state this cycle, completions before
+// reports so a finished handover re-arms a mobility app before new
+// reports are considered.
 func (m *Master) dispatchApps(ctx *Context, apps []*appEntry,
 	watchEvs []WatchEvent, life []lifeEvent, healthEvs []healthEvent,
-	cmdFails []cmdFailure, events []AgentEvent, hos []HandoverEvent, meas []MeasEvent) {
+	cmdFails []cmdFailure, admEvs []AdmissionEvent,
+	events []AgentEvent, hos []HandoverEvent, meas []MeasEvent) {
 	for _, e := range apps {
-		m.dispatchTo(ctx, e, watchEvs, life, healthEvs, cmdFails, events, hos, meas)
+		m.dispatchTo(ctx, e, watchEvs, life, healthEvs, cmdFails, admEvs, events, hos, meas)
 	}
 }
 
@@ -201,7 +202,8 @@ func (m *Master) dispatchApps(ctx *Context, apps []*appEntry,
 // starves the apps after it.
 func (m *Master) dispatchTo(ctx *Context, e *appEntry,
 	watchEvs []WatchEvent, life []lifeEvent, healthEvs []healthEvent,
-	cmdFails []cmdFailure, events []AgentEvent, hos []HandoverEvent, meas []MeasEvent) {
+	cmdFails []cmdFailure, admEvs []AdmissionEvent,
+	events []AgentEvent, hos []HandoverEvent, meas []MeasEvent) {
 	// Counting rides the defer so a panicking callback is still counted as
 	// dispatched (its Events row then explains the Errors row).
 	n := uint64(0)
@@ -246,6 +248,14 @@ func (m *Master) dispatchTo(ctx *Context, e *appEntry,
 		for _, cf := range cmdFails {
 			n++
 			dApp.OnCommandFailed(ctx, cf.enb, cf.seq, cf.payload)
+		}
+	}
+	if aApp, ok := e.app.(AdmissionApp); ok {
+		// Admission outcomes before the tick, like health: an app must see
+		// a slice's new admission state before acting this cycle.
+		for _, ev := range admEvs {
+			n++
+			aApp.OnAdmission(ctx, ev)
 		}
 	}
 	if ticker, ok := e.app.(TickerApp); ok {

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -307,6 +308,12 @@ type Master struct {
 	// sweep (session closes).
 	nextCmdSeq     uint64
 	pendingCmdFail []cmdFailure
+	// pendingAdmission and pendingSliceWatch queue slice-broker outputs —
+	// admission outcomes and slice-kind watch events — emitted during one
+	// application slot for dispatch/publication at the next cycle (see
+	// admission.go).
+	pendingAdmission  []AdmissionEvent
+	pendingSliceWatch []WatchEvent
 
 	// watch fans the RIB delta stream out to subscribers; watchSeq is the
 	// stream's serial sequence counter (tick goroutine only); cmdTrack is
@@ -476,9 +483,17 @@ func (m *Master) DisconnectAgent(enb lte.ENBID) {
 	}
 }
 
+// ErrNoSession is the sentinel inside every command failure against an
+// unbound agent: the push was lost, not deferred — there is no session to
+// retry it on, and reliable delivery never saw it. Callers that must
+// distinguish lost from deferred actuation (the slice broker, RANSharing)
+// test with errors.Is; everything else keeps treating it as an opaque
+// failure.
+var ErrNoSession = errors.New("no session for agent")
+
 // errNoSession is the command failure for an unbound agent.
 func errNoSession(enb lte.ENBID) error {
-	return fmt.Errorf("controller: no session for agent %d", enb)
+	return fmt.Errorf("controller: %w %d", ErrNoSession, enb)
 }
 
 // Send transmits a payload to an agent (northbound command path). The
@@ -517,6 +532,12 @@ func (m *Master) Tick() {
 	// dispatch before anything this cycle's updater produces.
 	life := m.pendingLife
 	m.pendingLife = nil
+	// Slice-broker outputs emitted during the previous application slot
+	// dispatch and publish this cycle.
+	admEvs := m.pendingAdmission
+	m.pendingAdmission = nil
+	sliceWatch := m.pendingSliceWatch
+	m.pendingSliceWatch = nil
 	m.mu.Unlock()
 
 	// --- RIB Updater slot ---
@@ -619,7 +640,7 @@ func (m *Master) Tick() {
 	}
 	var watchEvs []WatchEvent
 	if m.watch.active() {
-		watchEvs = m.emitWatch(life[:priorLife], sinks, life[postLifeStart:], healthEvs)
+		watchEvs = m.emitWatch(life[:priorLife], sinks, life[postLifeStart:], healthEvs, sliceWatch)
 	}
 	core := time.Since(t0)
 	if ls != nil {
@@ -632,7 +653,7 @@ func (m *Master) Tick() {
 	if len(ops) > 0 {
 		m.runOps(ctx, ops)
 	}
-	m.dispatchApps(ctx, apps, watchEvs, life, healthEvs, cmdFails, events, hos, meas)
+	m.dispatchApps(ctx, apps, watchEvs, life, healthEvs, cmdFails, admEvs, events, hos, meas)
 	appsDur := time.Since(t1)
 
 	m.mu.Lock()

@@ -98,20 +98,50 @@ func (c *Context) ActivateVSF(enb lte.ENBID, module, vsf, name string) (uint64, 
 	return c.PushPolicy(enb, doc)
 }
 
-// SetSliceShares pushes the share vector of an active slicing VSF
-// (the RAN-sharing reconfiguration of Fig. 12a).
-func (c *Context) SetSliceShares(enb lte.ENBID, module, vsf string, shares []float64) (uint64, error) {
-	if err := sched.ValidateShares(shares); err != nil {
+// SharePlan is one typed share actuation: the slicing VSF addressed and
+// the per-group PRB fraction vector, indexed by UE-group label. Zero
+// Module/VSF select the MAC downlink slicer, the one place agent-side
+// slicing lives today.
+type SharePlan struct {
+	Module string
+	VSF    string
+	Shares []float64
+}
+
+// ApplyShares pushes a share plan to an agent's slicing VSF — the single
+// typed actuation path every share-writing caller (the slice broker, the
+// RANSharing static adapter, eICIC, the northbound /slice-shares escape
+// hatch) goes through. The vector is validated before anything is sent;
+// with reliable delivery enabled the returned sequence number is the
+// caller's handle for awaiting the outcome. A push toward an unbound
+// agent fails with an error wrapping ErrNoSession — lost, not deferred.
+func (c *Context) ApplyShares(enb lte.ENBID, plan SharePlan) (uint64, error) {
+	if err := sched.ValidateShares(plan.Shares); err != nil {
 		return 0, err
 	}
+	module, vsf := plan.Module, plan.VSF
+	if module == "" {
+		module = "mac"
+	}
+	if vsf == "" {
+		vsf = "dl_ue_sched"
+	}
 	seq := yamlite.Seq()
-	for _, s := range shares {
+	for _, s := range plan.Shares {
 		seq = yamlite.Seq(append(seq.Items(), yamlite.Scalar(s))...)
 	}
 	doc := yamlite.Marshal(yamlite.Map().Set(module, yamlite.Map().
 		Set(vsf, yamlite.Map().
 			Set("parameters", yamlite.Map().Set("rb_share", seq)))))
 	return c.PushPolicy(enb, doc)
+}
+
+// SetSliceShares pushes the share vector of an active slicing VSF
+// (the RAN-sharing reconfiguration of Fig. 12a). It predates the
+// SharePlan resource model and survives as a convenience wrapper over
+// ApplyShares; new callers should use ApplyShares directly.
+func (c *Context) SetSliceShares(enb lte.ENBID, module, vsf string, shares []float64) (uint64, error) {
+	return c.ApplyShares(enb, SharePlan{Module: module, VSF: vsf, Shares: shares})
 }
 
 // signUpdate mirrors agent.Sign (the two packages share the protocol, not

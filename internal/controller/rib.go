@@ -316,6 +316,12 @@ func (r *RIB) Agents() []lte.ENBID {
 	return out
 }
 
+// AppendAgents is Agents into caller-owned scratch: a per-tick app passing
+// dst[:0] takes the directory snapshot allocation-free at steady state.
+func (r *RIB) AppendAgents(dst []lte.ENBID) []lte.ENBID {
+	return append(dst, r.topo.Load().ids...)
+}
+
 // Connected reports whether an agent session is live (lock-free).
 func (r *RIB) Connected(enb lte.ENBID) bool {
 	sh := r.shard(enb)

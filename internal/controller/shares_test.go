@@ -1,0 +1,29 @@
+package controller_test
+
+import (
+	"errors"
+	"testing"
+
+	"flexran/internal/controller"
+	"flexran/internal/lte"
+)
+
+// TestApplySharesNoSession pins the typed failure mode of a share push
+// toward an eNodeB with no bound session: callers must be able to tell
+// "lost for lack of a session" (errors.Is ErrNoSession) apart from a
+// malformed plan, instead of the old silent drop.
+func TestApplySharesNoSession(t *testing.T) {
+	m := controller.NewMaster(controller.DefaultOptions())
+	var pushErr, valErr error
+	m.Register(appFunc{name: "probe", fn: func(c *controller.Context, _ lte.Subframe) {
+		_, pushErr = c.ApplyShares(99, controller.SharePlan{Shares: []float64{0.5, 0.5}})
+		_, valErr = c.ApplyShares(99, controller.SharePlan{Shares: []float64{0.9, 0.9}})
+	}}, 10)
+	m.Tick()
+	if !errors.Is(pushErr, controller.ErrNoSession) {
+		t.Errorf("push to unbound eNB: %v, want ErrNoSession", pushErr)
+	}
+	if valErr == nil || errors.Is(valErr, controller.ErrNoSession) {
+		t.Errorf("invalid vector: %v, want a validation error", valErr)
+	}
+}

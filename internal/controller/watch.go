@@ -52,15 +52,19 @@ const (
 	WatchHandover
 	// WatchHealth: the health monitor changed an agent's grade.
 	WatchHealth
+	// WatchSlice: a slice broker published a slice transition — an
+	// admission decision or a violation-state change (see admission.go).
+	WatchSlice
 
 	// WatchAll selects every kind (the zero filter behaves identically).
 	WatchAll = WatchHello | WatchUp | WatchDown | WatchStats | WatchUE |
-		WatchMeas | WatchHandover | WatchHealth
+		WatchMeas | WatchHandover | WatchHealth | WatchSlice
 )
 
 // watchKindNames orders the kind names by bit position.
 var watchKindNames = []string{
 	"hello", "up", "down", "stats", "ue", "meas", "handover", "health",
+	"slice",
 }
 
 // String names a single kind, or a comma-joined list for a mask.
@@ -149,6 +153,12 @@ type WatchEvent struct {
 	// report's UE count and its aggregate downlink rate.
 	UEs    int     `json:"ues,omitempty"`
 	DLKbps float64 `json:"dl_kbps,omitempty"`
+	// Slice, Decision and Attainment describe a slice transition (slice
+	// kind): the slice's name, its admission state, and its measured SLA
+	// attainment when the event was published.
+	Slice      string  `json:"slice,omitempty"`
+	Decision   string  `json:"decision,omitempty"`
+	Attainment float64 `json:"attainment,omitempty"`
 }
 
 // WatchFilter selects a subset of the stream: ENB 0 matches every agent,
@@ -312,10 +322,11 @@ func (m *Master) Watch(filter WatchFilter, buffer int) *Watcher {
 // deltas in the deterministic dispatch order — liveness transitions queued
 // before the updater ran, then each session sink's recorded events in
 // attach order, then liveness transitions raised after the updater
-// (heartbeat closes), then health transitions — assigns gap-free sequence
+// (heartbeat closes), then health transitions, then slice transitions
+// queued during the previous application slot — assigns gap-free sequence
 // numbers, and fans the batch out to watchers. The merged slice is reused
 // scratch, returned for the in-process WatchApp dispatch.
-func (m *Master) emitWatch(prior []lifeEvent, sinks []tickSink, post []lifeEvent, health []healthEvent) []WatchEvent {
+func (m *Master) emitWatch(prior []lifeEvent, sinks []tickSink, post []lifeEvent, health []healthEvent, slices []WatchEvent) []WatchEvent {
 	evs := m.watchScratch[:0]
 	for _, lv := range prior {
 		evs = append(evs, lifeWatchEvent(lv))
@@ -329,6 +340,7 @@ func (m *Master) emitWatch(prior []lifeEvent, sinks []tickSink, post []lifeEvent
 	for _, hv := range health {
 		evs = append(evs, WatchEvent{Kind: WatchHealth, ENB: hv.enb, Health: hv.state})
 	}
+	evs = append(evs, slices...)
 	for i := range evs {
 		m.watchSeq++
 		evs[i].Seq = m.watchSeq

@@ -183,6 +183,7 @@ func (r UEReport) FillProtocolUEStats(s *protocol.UEStats) {
 		PowerHeadroomDB: 40 - 2*int32(r.CQI),
 		RSRPdBm:         -140 + 6*int32(r.CQI),
 		RSRQdB:          -20 + int32(r.CQI),
+		Group:           r.Group,
 	}
 	s.SubbandCQI = sb[:0]
 	if r.CQI > 0 {

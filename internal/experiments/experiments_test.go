@@ -20,7 +20,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"delegation", "fig10", "fig11a", "fig11b", "fig12a", "fig12b",
 		"fig6a", "fig6b", "fig7a", "fig7b", "fig8", "fig9",
-		"fig_gray", "fig_handover", "fig_resilience", "table2",
+		"fig_gray", "fig_handover", "fig_resilience", "fig_slicing", "table2",
 	}
 	got := IDs()
 	if len(got) != len(want) {
@@ -474,6 +474,47 @@ func TestFigGrayShape(t *testing.T) {
 		t.Errorf("%d commands lost despite retransmission", r.RetryFailed)
 	}
 	if !strings.Contains(r.String(), "suspect") {
+		t.Error("report rendering broken")
+	}
+}
+
+func TestFigSlicingShape(t *testing.T) {
+	res, err := Run("fig_slicing", testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.(*FigSlicingResult)
+	if len(r.LoadKbps) < 3 || len(r.StaticViol) != len(r.LoadKbps) ||
+		len(r.ElasticViol) != len(r.LoadKbps) || len(r.FloorKbps) != len(r.LoadKbps) {
+		t.Fatalf("ragged sweep: %+v", r)
+	}
+	overloaded := 0
+	for i, load := range r.LoadKbps {
+		if r.StaticBulk[i] >= r.FloorKbps[i] {
+			continue // static still meets the floor: not an overloaded point
+		}
+		overloaded++
+		// The whole figure: wherever the static split breaks the floor,
+		// the closed loop must violate strictly less and serve strictly
+		// more, and must hold the bulk slice at (or within a hair of)
+		// its floor.
+		if r.ElasticViol[i] >= r.StaticViol[i] {
+			t.Errorf("load %.0f: elastic viol %.2f not below static %.2f",
+				load, r.ElasticViol[i], r.StaticViol[i])
+		}
+		if r.ElasticBulk[i] <= r.StaticBulk[i] {
+			t.Errorf("load %.0f: elastic bulk %.0f not above static %.0f",
+				load, r.ElasticBulk[i], r.StaticBulk[i])
+		}
+		if r.ElasticBulk[i] < 0.95*r.FloorKbps[i] {
+			t.Errorf("load %.0f: elastic bulk %.0f misses floor %.0f",
+				load, r.ElasticBulk[i], r.FloorKbps[i])
+		}
+	}
+	if overloaded == 0 {
+		t.Error("sweep never overloads the static split; the figure shows nothing")
+	}
+	if !strings.Contains(r.String(), "fig_slicing") {
 		t.Error("report rendering broken")
 	}
 }

@@ -23,13 +23,28 @@ import (
 	"flexran/internal/controller"
 	"flexran/internal/lte"
 	"flexran/internal/metrics"
+	"flexran/internal/slice"
 )
+
+// SliceRegistry is the broker surface the /slices resources expose: the
+// declarative slice set and its live status. The elastic slice broker
+// (internal/apps/broker) implements it. The mutating methods take the
+// application-slot Context because registry state is owned by the tick
+// goroutine — the server reaches it only through Master.Do.
+type SliceRegistry interface {
+	Specs() []slice.Spec
+	Statuses() []slice.Status
+	Status(name string) (slice.Status, bool)
+	Upsert(ctx *controller.Context, sp slice.Spec) error
+	Remove(ctx *controller.Context, name string) bool
+}
 
 // Server is the northbound HTTP API over one master controller.
 type Server struct {
-	m   *controller.Master
-	ls  *metrics.LoopStats
-	mux *http.ServeMux
+	m      *controller.Master
+	ls     *metrics.LoopStats
+	mux    *http.ServeMux
+	slices SliceRegistry
 }
 
 // New builds the API server. ls carries the real-time loop's deadline
@@ -49,12 +64,21 @@ func New(m *controller.Master, ls *metrics.LoopStats) *Server {
 	s.mux.HandleFunc("GET /apps", s.handleApps)
 	s.mux.HandleFunc("GET /cmd/{seq}", s.handleCmd)
 	s.mux.HandleFunc("GET /watch", s.handleWatch)
+	s.mux.HandleFunc("GET /slices", s.handleSlices)
+	s.mux.HandleFunc("PUT /slices", s.handleSliceUpsert)
+	s.mux.HandleFunc("GET /slices/{name}", s.handleSlice)
+	s.mux.HandleFunc("DELETE /slices/{name}", s.handleSliceDelete)
 	s.mux.HandleFunc("POST /slice-shares", s.handleShares)
 	s.mux.HandleFunc("POST /vsf", s.handleVSF)
 	s.mux.HandleFunc("POST /policy", s.handlePolicy)
 	s.mux.HandleFunc("POST /handover", s.handleHandover)
 	return s
 }
+
+// AttachSlices binds a slice registry to the /slices resources. Without
+// one the endpoints answer 503 (the deployment runs no slice broker).
+// Call before serving requests.
+func (s *Server) AttachSlices(reg SliceRegistry) { s.slices = reg }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -383,6 +407,132 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // ---------------------------------------------------------------------------
+// Slice resources
+
+// SliceView pairs a slice's declarative spec with its live status — one
+// /slices resource.
+type SliceView struct {
+	Spec   slice.Spec   `json:"spec"`
+	Status slice.Status `json:"status"`
+}
+
+// doSlices runs fn on the tick goroutine (registry state is owned by the
+// application slot) and waits for it.
+func (s *Server) doSlices(r *http.Request, fn func(ctx *controller.Context) error) error {
+	var err error
+	done := s.m.Do(func(ctx *controller.Context) { err = fn(ctx) })
+	select {
+	case <-done:
+		return err
+	case <-r.Context().Done():
+		return r.Context().Err()
+	}
+}
+
+func (s *Server) requireSlices(w http.ResponseWriter) bool {
+	if s.slices == nil {
+		writeErr(w, http.StatusServiceUnavailable, "no slice broker attached")
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleSlices(w http.ResponseWriter, r *http.Request) {
+	if !s.requireSlices(w) {
+		return
+	}
+	var out []SliceView
+	err := s.doSlices(r, func(*controller.Context) error {
+		specs, sts := s.slices.Specs(), s.slices.Statuses()
+		out = make([]SliceView, 0, len(specs))
+		for i := range specs {
+			out = append(out, SliceView{Spec: specs[i], Status: sts[i]})
+		}
+		return nil
+	})
+	if err != nil {
+		writeErr(w, http.StatusGatewayTimeout, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
+	if !s.requireSlices(w) {
+		return
+	}
+	name := r.PathValue("name")
+	var view SliceView
+	found := false
+	err := s.doSlices(r, func(*controller.Context) error {
+		for _, sp := range s.slices.Specs() {
+			if sp.Name == name {
+				view.Spec = sp
+				view.Status, _ = s.slices.Status(name)
+				found = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		writeErr(w, http.StatusGatewayTimeout, err.Error())
+		return
+	}
+	if !found {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("no slice %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleSliceUpsert(w http.ResponseWriter, r *http.Request) {
+	if !s.requireSlices(w) {
+		return
+	}
+	var sp slice.Spec
+	if !readJSON(w, r, &sp) {
+		return
+	}
+	if err := sp.Validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	err := s.doSlices(r, func(ctx *controller.Context) error {
+		return s.slices.Upsert(ctx, sp)
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			writeErr(w, http.StatusGatewayTimeout, err.Error())
+			return
+		}
+		writeErr(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"slice": sp.Name, "status": "accepted"})
+}
+
+func (s *Server) handleSliceDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.requireSlices(w) {
+		return
+	}
+	name := r.PathValue("name")
+	removed := false
+	err := s.doSlices(r, func(ctx *controller.Context) error {
+		removed = s.slices.Remove(ctx, name)
+		return nil
+	})
+	if err != nil {
+		writeErr(w, http.StatusGatewayTimeout, err.Error())
+		return
+	}
+	if !removed {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("no slice %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"slice": name, "status": "removed"})
+}
+
+// ---------------------------------------------------------------------------
 // Actuation handlers
 
 // doCmd runs one actuation on the master's tick goroutine via Master.Do
@@ -416,6 +566,11 @@ func respondCmd(w http.ResponseWriter, seq uint64, err error) {
 
 // SharesRequest is the POST /slice-shares body. Module and VSF default to
 // the MAC downlink slicer slot.
+//
+// /slice-shares is the low-level escape hatch: it writes a raw share
+// vector directly, bypassing the slice resource model — and the broker
+// will overwrite the vector at its next epoch if one is attached. Manage
+// slices through PUT /slices unless you are debugging the actuation path.
 type SharesRequest struct {
 	ENB    lte.ENBID `json:"enb"`
 	Module string    `json:"module"`

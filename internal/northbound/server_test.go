@@ -3,6 +3,8 @@ package northbound_test
 import (
 	"bufio"
 	"encoding/json"
+	"flexran/internal/apps/broker"
+	"flexran/internal/slice"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -34,7 +36,7 @@ type harness struct {
 	done   chan struct{}
 }
 
-func startHarness(t *testing.T) *harness {
+func startHarness(t *testing.T, mods ...func(*northbound.Server)) *harness {
 	t.Helper()
 	e := enb.New(enb.Config{ID: 9, Seed: 1})
 	a := agent.New(e, agent.Options{RequireSignedVSFs: true})
@@ -45,9 +47,13 @@ func startHarness(t *testing.T) *harness {
 	deliver := m.HandleAgent(mEp.Send)
 	a.Connect(aEp.Send)
 
+	nb := northbound.New(m, nil)
+	for _, mod := range mods {
+		mod(nb)
+	}
 	h := &harness{
 		t: t, master: m, enb: e,
-		api:  httptest.NewServer(northbound.New(m, nil)),
+		api:  httptest.NewServer(nb),
 		ops:  make(chan func()),
 		stop: make(chan struct{}), done: make(chan struct{}),
 	}
@@ -298,4 +304,85 @@ func TestActuationRoundTrip(t *testing.T) {
 	h.postJSON("/handover", map[string]any{"enb": 9, "rnti": 1}, http.StatusBadRequest, nil)
 	// Unknown agent: the command path reports the session error.
 	h.postJSON("/policy", map[string]any{"enb": 55, "doc": "mac:\n"}, http.StatusBadGateway, nil)
+}
+
+// reqJSON issues an arbitrary-method request with an optional JSON body,
+// requiring the status (PUT/DELETE counterpart of getJSON/postJSON).
+func (h *harness) reqJSON(method, path string, body any, status int, v any) {
+	h.t.Helper()
+	var rd *strings.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			h.t.Fatal(err)
+		}
+		rd = strings.NewReader(string(buf))
+	} else {
+		rd = strings.NewReader("")
+	}
+	req, err := http.NewRequest(method, h.api.URL+path, rd)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != status {
+		h.t.Fatalf("%s %s = %s, want %d", method, path, resp.Status, status)
+	}
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			h.t.Fatalf("%s %s: decoding: %v", method, path, err)
+		}
+	}
+}
+
+// TestSlicesResource exercises the /slices resource model end to end:
+// list, upsert, fetch, policy conflicts and removal, all against a live
+// broker on the tick goroutine.
+func TestSlicesResource(t *testing.T) {
+	b, err := broker.New(broker.Config{EpochTTI: 50},
+		slice.Spec{Name: "gold", Group: 0, Weight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := startHarness(t, func(s *northbound.Server) { s.AttachSlices(b) })
+	h.sync(func() { h.master.Register(b, 10) })
+
+	var views []northbound.SliceView
+	h.getJSON("/slices", http.StatusOK, &views)
+	if len(views) != 1 || views[0].Spec.Name != "gold" {
+		t.Fatalf("initial /slices = %+v", views)
+	}
+
+	// Upsert a second slice and fetch it by name.
+	h.reqJSON("PUT", "/slices", slice.Spec{Name: "silver", Group: 1}, http.StatusOK, nil)
+	var view northbound.SliceView
+	h.getJSON("/slices/silver", http.StatusOK, &view)
+	if view.Spec.Group != 1 {
+		t.Fatalf("/slices/silver = %+v", view)
+	}
+
+	// A malformed spec is a 400; a group collision is a 409.
+	h.reqJSON("PUT", "/slices", map[string]any{"group": 2}, http.StatusBadRequest, nil)
+	h.reqJSON("PUT", "/slices", slice.Spec{Name: "clash", Group: 1}, http.StatusConflict, nil)
+
+	// Remove silver; the second delete is a 404.
+	h.reqJSON("DELETE", "/slices/silver", nil, http.StatusOK, nil)
+	h.reqJSON("DELETE", "/slices/silver", nil, http.StatusNotFound, nil)
+	h.getJSON("/slices/silver", http.StatusNotFound, nil)
+
+	// Without a registry attached the resources answer 503.
+	bare := httptest.NewServer(northbound.New(h.master, nil))
+	defer bare.Close()
+	resp, err := http.Get(bare.URL + "/slices")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unattached /slices = %s, want 503", resp.Status)
+	}
 }

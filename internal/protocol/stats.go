@@ -150,6 +150,11 @@ type UEStats struct {
 	// RSRPdBm / RSRQdB are the L3 measurements used by mobility managers.
 	RSRPdBm int32
 	RSRQdB  int32
+	// Group is the UE's slice-group label (the operator/slice index the
+	// agent-side slicing scheduler keys on). Zero — the default group — is
+	// omitted from the wire, so deployments without slicing produce
+	// byte-identical reports.
+	Group int
 }
 
 // reset clears every field while keeping the slices' capacity, so a reused
@@ -192,6 +197,9 @@ func (s *UEStats) MarshalWire(e *wire.Encoder) {
 	e.Int(12, int64(s.PowerHeadroomDB))
 	e.Int(13, int64(s.RSRPdBm))
 	e.Int(14, int64(s.RSRQdB))
+	if s.Group > 0 {
+		e.Uint(15, uint64(s.Group))
+	}
 }
 
 // UnmarshalWire implements wire.Unmarshaler.
@@ -224,7 +232,7 @@ func (s *UEStats) UnmarshalWire(d *wire.Decoder) error {
 				s.RSRQdB = int32(v)
 			}
 			return nil
-		case 1, 2, 3, 4, 5, 6, 7, 8, 9:
+		case 1, 2, 3, 4, 5, 6, 7, 8, 9, 15:
 			v, err := d.ReadUint()
 			if err != nil {
 				return err
@@ -248,6 +256,8 @@ func (s *UEStats) UnmarshalWire(d *wire.Decoder) error {
 				s.HARQRetx = uint32(v)
 			case 9:
 				s.LastSchedSF = lte.Subframe(v)
+			case 15:
+				s.Group = int(v)
 			}
 			return nil
 		}

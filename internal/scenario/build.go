@@ -14,6 +14,7 @@ import (
 
 	"flexran/internal/agent"
 	"flexran/internal/apps"
+	"flexran/internal/apps/broker"
 	"flexran/internal/controller"
 	"flexran/internal/enb"
 	"flexran/internal/lte"
@@ -94,6 +95,9 @@ type Runtime struct {
 	Monitor  *apps.Monitor
 	Mobility *apps.MobilityManager
 	EICIC    *apps.EICIC
+	// Broker is the elastic slice broker of the slices: section; built
+	// here, registered and armed when the measured run starts.
+	Broker *broker.Broker
 
 	lifecycle *lifecycleLog
 	imsis     []uint64 // every UE, ascending
@@ -418,6 +422,29 @@ func (rt *Runtime) applyAgentConfig() error {
 			}
 		}
 	}
+	if b := sc.Broker; b != nil {
+		// The broker's slicer goes on every agent, initial shares split
+		// weight-proportionally between the founding specs (later arrivals
+		// start starved until admitted).
+		shares := b.initialShares()
+		inner := func() sched.Scheduler { return sched.NewRoundRobin() }
+		if b.Scheduler == "pf" {
+			inner = func() sched.Scheduler { return sched.NewProportionalFair() }
+		}
+		for ni, n := range rt.Sim.Nodes {
+			if n.Agent == nil {
+				continue
+			}
+			sl := sched.NewSlicer("scn-slice", shares, b.WorkConserving, inner)
+			mac := n.Agent.MAC()
+			if err := mac.InstallLocal(agent.OpDLUESched, "scn-slice", sl); err != nil {
+				return fmt.Errorf("scenario: installing broker slicer on eNodeB %d: %w", sc.enbIDAt(ni), err)
+			}
+			if err := mac.Activate(agent.OpDLUESched, "scn-slice"); err != nil {
+				return fmt.Errorf("scenario: activating broker slicer on eNodeB %d: %w", sc.enbIDAt(ni), err)
+			}
+		}
+	}
 	for i := range sc.ENBs {
 		d := &sc.ENBs[i]
 		if d.Policy == nil {
@@ -489,7 +516,46 @@ func (rt *Runtime) registerApps() error {
 			rt.sharing = append(rt.sharing, a)
 		}
 	}
+	if b := rt.Scenario.Broker; b != nil {
+		bk, err := broker.New(broker.Config{
+			EpochTTI:         b.EpochTTIs,
+			Elastic:          b.Elastic,
+			DegradeFactor:    b.DegradeFactor,
+			HysteresisEpochs: b.HysteresisEpochs,
+		}, b.Specs...)
+		if err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+		rt.Broker = bk
+	}
 	return nil
+}
+
+// initialShares is the agent-side share vector in force before the
+// broker's first epoch: weight-proportional between the founding
+// (arrive_at 0) specs, zero for groups that arrive later.
+func (d *SlicesDecl) initialShares() []float64 {
+	maxGroup, totW := 0, 0.0
+	for i := range d.Specs {
+		sp := &d.Specs[i]
+		if sp.Group > maxGroup {
+			maxGroup = sp.Group
+		}
+		if sp.ArriveAt == 0 {
+			totW += sp.EffectiveWeight()
+		}
+	}
+	shares := make([]float64, maxGroup+1)
+	if totW <= 0 {
+		return shares
+	}
+	for i := range d.Specs {
+		sp := &d.Specs[i]
+		if sp.ArriveAt == 0 {
+			shares[sp.Group] = sp.EffectiveWeight() / totW
+		}
+	}
+	return shares
 }
 
 // wireEICIC reproduces the §6.1 split of control declaratively: the macro

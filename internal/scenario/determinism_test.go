@@ -117,6 +117,126 @@ func TestDigestWorkerInvariance(t *testing.T) {
 	}
 }
 
+// brokerDoc exercises the elastic slice broker end to end: two founding
+// slices (one starved against an unattainable floor), a mid-run arrival
+// that is admitted, and one that is rejected by policy.
+const brokerDoc = `
+name: broker-sweep
+run:
+  ttis: 1600
+  attach_ttis: 200
+  seed: 11
+master:
+  stats_period_tti: 2
+topology:
+  enbs:
+    - id: 1
+      seed: 1
+slices:
+  elastic: true
+  epoch_ttis: 100
+  specs:
+    - name: gold
+      group: 0
+      weight: 2
+      min_throughput_kbps: 500
+    - name: silver
+      group: 1
+      min_throughput_kbps: 1000000
+    - name: joiner
+      group: 2
+      arrive_at: 600
+      min_throughput_kbps: 500
+      admit_above: 0.05
+      reject_below: 0.01
+    - name: hopeless
+      group: 3
+      arrive_at: 900
+      min_throughput_kbps: 1000000000
+      admit_above: 0.9
+      reject_below: 0.5
+ues:
+  - count: 2
+    enb: 1
+    imsi_base: 100
+    group: 0
+    channel:
+      model: fixed
+      cqi: 11
+    traffic:
+      - kind: cbr
+        rate_kbps: 300
+  - count: 2
+    enb: 1
+    imsi_base: 200
+    group: 1
+    channel:
+      model: fixed
+      cqi: 11
+    traffic:
+      - kind: full_buffer
+  - count: 1
+    enb: 1
+    imsi_base: 300
+    group: 2
+    channel:
+      model: fixed
+      cqi: 11
+    traffic:
+      - kind: cbr
+        rate_kbps: 300
+`
+
+// TestBrokerDigestWorkerInvariance extends the determinism gate to the
+// slice broker: its epoch loop runs on the master tick, so its
+// admissions, plans and SLA accounting must be bit-identical for every
+// worker-pool size — that is what lets elastic-slicing ship a golden.
+func TestBrokerDigestWorkerInvariance(t *testing.T) {
+	sc, err := Parse(brokerDoc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var ref *Result
+	for _, workers := range []int{1, 2, 4, 8} {
+		res, err := sc.RunWorkers(workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.Summary.Digest != ref.Summary.Digest {
+			t.Errorf("workers=%d digest %s != serial %s",
+				workers, res.Summary.Digest, ref.Summary.Digest)
+		}
+	}
+	sum := ref.Summary
+	if sum.BrokerEpochs == 0 || sum.BrokerApplied == 0 {
+		t.Fatalf("broker idle: epochs=%d applied=%d", sum.BrokerEpochs, sum.BrokerApplied)
+	}
+	want := map[string]string{
+		"gold": "admitted", "silver": "admitted",
+		"joiner": "admitted", "hopeless": "rejected",
+	}
+	if len(sum.SliceSLA) != len(want) {
+		t.Fatalf("SliceSLA has %d entries, want %d: %+v", len(sum.SliceSLA), len(want), sum.SliceSLA)
+	}
+	for _, st := range sum.SliceSLA {
+		if st.Decision.String() != want[st.Name] {
+			t.Errorf("%s decision = %v, want %s", st.Name, st.Decision, want[st.Name])
+		}
+	}
+	for _, st := range sum.SliceSLA {
+		if st.Name == "silver" && !st.Violating {
+			t.Error("silver not violating its unattainable floor")
+		}
+		if st.Name == "gold" && st.Violating {
+			t.Error("gold violating despite an attainable floor")
+		}
+	}
+}
+
 // idleDoc is built to make the idle fast-forward engine earn its keep:
 // a honeycomb of mostly-quiet cells whose master issues no periodic work
 // (all periods 0, no resync), with traffic that is bursty or windowed so

@@ -21,6 +21,7 @@ import (
 	"flexran/internal/enb"
 	"flexran/internal/lte"
 	"flexran/internal/sim"
+	"flexran/internal/slice"
 )
 
 // CellThroughput is the per-cell slice of the Summary, attributed by each
@@ -81,6 +82,14 @@ type Summary struct {
 	AgentDegraded int           `json:"agent_degraded"`
 	AgentRecovers int           `json:"agent_recovers"`
 	Health        []HealthEvent `json:"health,omitempty"`
+
+	// Elastic slice broker (all empty/zero unless the scenario declares a
+	// slices: section, keeping legacy summaries and digests untouched).
+	SliceSLA       []slice.Status `json:"slice_sla,omitempty"`
+	BrokerEpochs   int            `json:"broker_epochs,omitempty"`
+	BrokerApplied  int            `json:"broker_applied,omitempty"`
+	BrokerDeferred int            `json:"broker_deferred,omitempty"`
+	BrokerLost     int            `json:"broker_lost,omitempty"`
 
 	// Digest is the stable end-state fingerprint (hex FNV-1a 64).
 	Digest string `json:"digest"`
@@ -168,6 +177,12 @@ func (rt *Runtime) Execute() (*Result, error) {
 			plan[j] = apps.ShareChange{At: base + lte.Subframe(ch.At), Shares: ch.Shares}
 		}
 		s.Master.Register(apps.NewRANSharing(a.ENB, plan), 1000+10*i)
+	}
+	if rt.Broker != nil {
+		// Armed at the end of attach like share plans and retunes: every
+		// arrive_at offset and epoch boundary counts from here.
+		rt.Broker.Arm(base)
+		s.Master.Register(rt.Broker, 1500)
 	}
 	for i, a := range rt.retunes {
 		s.Master.Register(&retuneDriver{
@@ -362,6 +377,15 @@ func (rt *Runtime) summarize(attachTTI map[uint64]int, attachTTIs int, base0 map
 		}
 	}
 
+	// Slice broker outcome.
+	if rt.Broker != nil {
+		sum.SliceSLA = rt.Broker.Statuses()
+		sum.BrokerEpochs = rt.Broker.Epochs
+		sum.BrokerApplied = rt.Broker.Applied
+		sum.BrokerDeferred = rt.Broker.Deferred
+		sum.BrokerLost = rt.Broker.Lost
+	}
+
 	sum.Digest = rt.digest(&sum, finals, attachTTI, hos)
 	return sum
 }
@@ -399,6 +423,17 @@ func (rt *Runtime) digest(sum *Summary, finals []ueFinal, attachTTI map[uint64]i
 	}
 	for _, st := range sum.Slices {
 		w("slice %d ues %d dl %d\n", st.Group, st.UEs, st.DLBytes)
+	}
+	if rt.Broker != nil {
+		w("broker epochs %d applied %d deferred %d lost %d\n",
+			sum.BrokerEpochs, sum.BrokerApplied, sum.BrokerDeferred, sum.BrokerLost)
+		for _, st := range sum.SliceSLA {
+			w("slicesla %s group %d dec %d share %x ues %d tput %x q %x att %x proj %x viol %v %d of %d\n",
+				st.Name, st.Group, int(st.Decision), math.Float64bits(st.Share), st.UEs,
+				math.Float64bits(st.ThroughputKbps), math.Float64bits(st.QueueMs),
+				math.Float64bits(st.Attainment), math.Float64bits(st.Projected),
+				st.Violating, st.ViolationEpochs, st.Epochs)
+		}
 	}
 	w("pingpong %d\n", sum.PingPongs)
 	return fmt.Sprintf("%016x", h.Sum64())

@@ -36,6 +36,12 @@
 //	      - {kind: cbr, share: 1.0, rate_kbps: 500}
 //	apps:
 //	  - {kind: mobility, policy: strongest}
+//	slices:
+//	  elastic: true        # false = static weight-proportional plan
+//	  epoch_ttis: 200      # broker control period
+//	  specs:
+//	    - {name: gold, group: 0, weight: 2, min_throughput_kbps: 4000}
+//	    - {name: bronze, group: 1, arrive_at: 4000, reject_below: 0.3}
 //	faults:
 //	  - {at: 500, kind: link_cut, enb: 1}
 package scenario
@@ -49,6 +55,7 @@ import (
 	"sort"
 
 	"flexran/internal/lte"
+	"flexran/internal/slice"
 	"flexran/internal/yamlite"
 )
 
@@ -246,6 +253,29 @@ type ShareChangeDecl struct {
 	Shares []float64
 }
 
+// SlicesDecl is the "slices:" section: declarative slice specs handed to
+// the elastic slice broker (internal/apps/broker). The builder installs
+// the agent-side slicing scheduler on every agent eNodeB — initial shares
+// split weight-proportionally between the founding (arrive_at 0) specs —
+// and Execute registers a broker armed at the end of the attach phase.
+// The section is mutually exclusive with the static "slicing:" section.
+type SlicesDecl struct {
+	// EpochTTIs is the broker's control period (0 = broker default).
+	EpochTTIs int
+	// Elastic selects the closed loop; false freezes the static
+	// weight-proportional plan (the fig_slicing ablation arm).
+	Elastic bool
+	// WorkConserving and Scheduler configure the agent-side slicer.
+	WorkConserving bool
+	Scheduler      string // inner per-group scheduler: "rr" (default), "pf"
+	// HysteresisEpochs and DegradeFactor override broker defaults (0 keeps
+	// them).
+	HysteresisEpochs int
+	DegradeFactor    float64
+	// Specs is the declarative slice set.
+	Specs []slice.Spec
+}
+
 // SliceDecl installs the slicing scheduler on one (or all) eNodeBs.
 type SliceDecl struct {
 	ENB            lte.ENBID // 0 = every agent eNodeB
@@ -280,6 +310,7 @@ type Scenario struct {
 	Master      *MasterDecl
 	Apps        []AppDecl
 	Slices      []SliceDecl
+	Broker      *SlicesDecl
 	Faults      []FaultDecl
 }
 
@@ -356,6 +387,10 @@ func Parse(doc string) (*Scenario, error) {
 			}
 		case "slicing":
 			if err := sc.parseSlicing(val); err != nil {
+				return nil, err
+			}
+		case "slices":
+			if err := sc.parseSlices(val); err != nil {
 				return nil, err
 			}
 		case "faults":
@@ -1618,6 +1653,141 @@ func (sc *Scenario) parseSlicing(n *yamlite.Node) error {
 	return nil
 }
 
+func (sc *Scenario) parseSlices(n *yamlite.Node) error {
+	if n == nil || n.Kind != yamlite.KindMap {
+		return fmt.Errorf("scenario: slices section must be a map")
+	}
+	d := &SlicesDecl{Elastic: true, Scheduler: "rr"}
+	for _, key := range n.Keys() {
+		val := n.Get(key)
+		switch key {
+		case "epoch_ttis":
+			v, err := posInt(val)
+			if err != nil {
+				return fmt.Errorf("scenario: slices.epoch_ttis must be a positive integer")
+			}
+			d.EpochTTIs = int(v)
+		case "elastic":
+			b, err := val.Bool()
+			if err != nil {
+				return fmt.Errorf("scenario: slices.elastic must be a boolean")
+			}
+			d.Elastic = b
+		case "work_conserving":
+			b, err := val.Bool()
+			if err != nil {
+				return fmt.Errorf("scenario: slices.work_conserving must be a boolean")
+			}
+			d.WorkConserving = b
+		case "scheduler":
+			switch val.Str() {
+			case "rr", "pf":
+				d.Scheduler = val.Str()
+			default:
+				return fmt.Errorf("scenario: slices.scheduler: unknown scheduler %q", val.Str())
+			}
+		case "hysteresis_epochs":
+			v, err := posInt(val)
+			if err != nil {
+				return fmt.Errorf("scenario: slices.hysteresis_epochs must be a positive integer")
+			}
+			d.HysteresisEpochs = int(v)
+		case "degrade_factor":
+			f, err := val.Float()
+			if err != nil || f <= 0 || f > 1 {
+				return fmt.Errorf("scenario: slices.degrade_factor must be in (0, 1]")
+			}
+			d.DegradeFactor = f
+		case "specs":
+			if val == nil || val.Kind != yamlite.KindSeq {
+				return fmt.Errorf("scenario: slices.specs must be a sequence")
+			}
+			for i, item := range val.Items() {
+				sp, err := parseSliceSpec(item, fmt.Sprintf("slices.specs[%d]", i))
+				if err != nil {
+					return err
+				}
+				d.Specs = append(d.Specs, sp)
+			}
+		default:
+			return fmt.Errorf("scenario: slices has no knob %q", key)
+		}
+	}
+	if len(d.Specs) == 0 {
+		return fmt.Errorf("scenario: slices.specs must declare at least one slice")
+	}
+	sc.Broker = d
+	return nil
+}
+
+func parseSliceSpec(n *yamlite.Node, where string) (slice.Spec, error) {
+	var sp slice.Spec
+	if n == nil || n.Kind != yamlite.KindMap {
+		return sp, fmt.Errorf("scenario: %s must be a map", where)
+	}
+	for _, key := range n.Keys() {
+		val := n.Get(key)
+		switch key {
+		case "name":
+			sp.Name = val.Str()
+		case "group":
+			v, err := nonNegInt(val)
+			if err != nil {
+				return sp, fmt.Errorf("scenario: %s.group must be a non-negative integer", where)
+			}
+			sp.Group = int(v)
+		case "weight":
+			f, err := val.Float()
+			if err != nil || f < 0 {
+				return sp, fmt.Errorf("scenario: %s.weight must be a non-negative number", where)
+			}
+			sp.Weight = f
+		case "min_throughput_kbps":
+			f, err := val.Float()
+			if err != nil || f <= 0 {
+				return sp, fmt.Errorf("scenario: %s.min_throughput_kbps must be a positive number", where)
+			}
+			sp.SLA.MinThroughputKbps = f
+		case "max_queue_ms":
+			f, err := val.Float()
+			if err != nil || f <= 0 {
+				return sp, fmt.Errorf("scenario: %s.max_queue_ms must be a positive number", where)
+			}
+			sp.SLA.MaxQueueMs = f
+		case "arrive_at":
+			v, err := nonNegInt(val)
+			if err != nil {
+				return sp, fmt.Errorf("scenario: %s.arrive_at must be a non-negative integer", where)
+			}
+			sp.ArriveAt = v
+		case "admit_above":
+			f, err := val.Float()
+			if err != nil || f < 0 {
+				return sp, fmt.Errorf("scenario: %s.admit_above must be a non-negative number", where)
+			}
+			sp.Admission.AdmitAbove = f
+		case "reject_below":
+			f, err := val.Float()
+			if err != nil || f < 0 {
+				return sp, fmt.Errorf("scenario: %s.reject_below must be a non-negative number", where)
+			}
+			sp.Admission.RejectBelow = f
+		case "hysteresis_epochs":
+			v, err := posInt(val)
+			if err != nil {
+				return sp, fmt.Errorf("scenario: %s.hysteresis_epochs must be a positive integer", where)
+			}
+			sp.HysteresisEpochs = int(v)
+		default:
+			return sp, fmt.Errorf("scenario: %s has no knob %q", where, key)
+		}
+	}
+	if err := sp.Validate(); err != nil {
+		return sp, fmt.Errorf("scenario: %s: %v", where, err)
+	}
+	return sp, nil
+}
+
 func (sc *Scenario) parseFaults(n *yamlite.Node) error {
 	if n == nil || n.Kind != yamlite.KindSeq {
 		return fmt.Errorf("scenario: faults section must be a sequence")
@@ -1805,6 +1975,39 @@ func (sc *Scenario) validate() error {
 			}
 			if !t.Agent {
 				return fmt.Errorf("scenario: %s: eNodeB %d has no agent to slice", where, d.ENB)
+			}
+		}
+	}
+	if b := sc.Broker; b != nil {
+		if sc.Master == nil {
+			return fmt.Errorf("scenario: slices need a master (remove \"master: none\")")
+		}
+		if len(sc.Slices) > 0 {
+			return fmt.Errorf("scenario: slices and slicing sections are mutually exclusive (the broker owns the slicer)")
+		}
+		hasAgent := false
+		for i := range sc.ENBs {
+			if sc.ENBs[i].Agent {
+				hasAgent = true
+			}
+		}
+		if !hasAgent {
+			return fmt.Errorf("scenario: slices need at least one agent eNodeB")
+		}
+		names := map[string]bool{}
+		groups := map[int]string{}
+		for i, sp := range b.Specs {
+			where := fmt.Sprintf("slices.specs[%d]", i)
+			if names[sp.Name] {
+				return fmt.Errorf("scenario: %s: duplicate slice name %q", where, sp.Name)
+			}
+			names[sp.Name] = true
+			if other, ok := groups[sp.Group]; ok {
+				return fmt.Errorf("scenario: %s: slices %q and %q share group %d", where, other, sp.Name, sp.Group)
+			}
+			groups[sp.Group] = sp.Name
+			if sp.ArriveAt >= int64(sc.Run.TTIs) {
+				return fmt.Errorf("scenario: %s: arrive_at TTI %d beyond run length %d", where, sp.ArriveAt, sc.Run.TTIs)
 			}
 		}
 	}

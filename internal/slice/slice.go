@@ -1,0 +1,169 @@
+// Package slice defines the declarative slicing resource model: a Spec
+// names one network slice — a UE group with an SLA, a weight and an
+// admission policy — and a Status reports the broker's live view of it.
+// The types are shared by the slice broker application (the controller of
+// the closed loop), the scenario schema (slices: blocks) and the
+// northbound API (/slices resources), so every surface speaks the same
+// resource language instead of raw share vectors.
+package slice
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// SLA declares a slice's service-level objectives. A zero field means "no
+// objective of that kind": attainment is then computed only over the
+// declared objectives.
+type SLA struct {
+	// MinThroughputKbps is the slice's aggregate downlink throughput floor
+	// across its member UEs.
+	MinThroughputKbps float64 `json:"min_throughput_kbps,omitempty"`
+	// MaxQueueMs is the ceiling on the worst per-UE head-of-line delay of
+	// the slice's default bearer.
+	MaxQueueMs float64 `json:"max_queue_ms,omitempty"`
+}
+
+// Defined reports whether the SLA declares at least one objective.
+func (s SLA) Defined() bool { return s.MinThroughputKbps > 0 || s.MaxQueueMs > 0 }
+
+// AdmissionPolicy sets the thresholds the broker applies to the projected
+// SLA attainment of an arriving slice: at or above AdmitAbove the slice is
+// admitted at full weight, below RejectBelow it is rejected outright, and
+// in between it is degraded — admitted at reduced weight.
+type AdmissionPolicy struct {
+	AdmitAbove  float64 `json:"admit_above"`
+	RejectBelow float64 `json:"reject_below"`
+}
+
+// Spec is the declarative description of one slice.
+type Spec struct {
+	// Name identifies the slice (the northbound resource key).
+	Name string `json:"name"`
+	// Group is the UE-group label that defines membership: UEs reporting
+	// this group label belong to the slice, and the agent-side slicing
+	// scheduler's share vector is indexed by it.
+	Group int `json:"group"`
+	// Weight is the slice's relative claim when capacity is contended
+	// (water-filling weight). Zero means the default of 1.
+	Weight float64 `json:"weight,omitempty"`
+	// SLA is the slice's service-level objective set.
+	SLA SLA `json:"sla"`
+	// Admission is applied when the slice arrives (ArriveAt).
+	Admission AdmissionPolicy `json:"admission"`
+	// ArriveAt is the cycle offset (from the broker arming) at which the
+	// slice requests admission; zero means present from the start, which
+	// bypasses admission control.
+	ArriveAt int64 `json:"arrive_at,omitempty"`
+	// HysteresisEpochs is how many consecutive epochs attainment must sit
+	// on the other side of the SLA line before the violation state flips.
+	// Zero means the broker default.
+	HysteresisEpochs int `json:"hysteresis_epochs,omitempty"`
+}
+
+// Validate checks the spec's internal consistency.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("slice: spec needs a name")
+	}
+	if s.Group < 0 {
+		return fmt.Errorf("slice %s: group must be non-negative", s.Name)
+	}
+	if s.Weight < 0 {
+		return fmt.Errorf("slice %s: weight must be non-negative", s.Name)
+	}
+	if s.SLA.MinThroughputKbps < 0 || s.SLA.MaxQueueMs < 0 {
+		return fmt.Errorf("slice %s: SLA targets must be non-negative", s.Name)
+	}
+	if s.Admission.RejectBelow < 0 || s.Admission.AdmitAbove < s.Admission.RejectBelow {
+		return fmt.Errorf("slice %s: admission thresholds need 0 <= reject_below <= admit_above", s.Name)
+	}
+	if s.ArriveAt < 0 {
+		return fmt.Errorf("slice %s: arrive_at must be non-negative", s.Name)
+	}
+	if s.HysteresisEpochs < 0 {
+		return fmt.Errorf("slice %s: hysteresis_epochs must be non-negative", s.Name)
+	}
+	return nil
+}
+
+// EffectiveWeight resolves the zero-means-default weight.
+func (s *Spec) EffectiveWeight() float64 {
+	if s.Weight <= 0 {
+		return 1
+	}
+	return s.Weight
+}
+
+// Decision is an admission-control outcome.
+type Decision int
+
+const (
+	// Pending: the slice has not arrived yet (ArriveAt in the future).
+	Pending Decision = iota
+	// Admitted: full-weight member of the share plan.
+	Admitted
+	// Degraded: admitted at reduced weight (projected attainment between
+	// the policy thresholds).
+	Degraded
+	// Rejected: no share; the slice's group is starved.
+	Rejected
+)
+
+var decisionNames = [...]string{"pending", "admitted", "degraded", "rejected"}
+
+// String names the decision.
+func (d Decision) String() string {
+	if d < 0 || int(d) >= len(decisionNames) {
+		return fmt.Sprintf("decision(%d)", int(d))
+	}
+	return decisionNames[d]
+}
+
+// MarshalJSON renders the decision as its name.
+func (d Decision) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + d.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the name form emitted by MarshalJSON.
+func (d *Decision) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for i, name := range decisionNames {
+		if s == name {
+			*d = Decision(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("slice: unknown decision %q", s)
+}
+
+// Status is the broker's live view of one slice: the last epoch's
+// measurement, the SLA attainment it implies, and the admission state.
+type Status struct {
+	Name     string   `json:"name"`
+	Group    int      `json:"group"`
+	Decision Decision `json:"decision"`
+	// Share is the PRB fraction the current plan grants the slice.
+	Share float64 `json:"share"`
+	// UEs, ThroughputKbps and QueueMs are the last epoch's measurement:
+	// member count, aggregate downlink rate, and worst head-of-line delay.
+	UEs            int     `json:"ues"`
+	ThroughputKbps float64 `json:"throughput_kbps"`
+	QueueMs        float64 `json:"queue_ms"`
+	// Attainment is the measured SLA attainment, the minimum over the
+	// declared objectives of achieved/target (1 = exactly met; capped at
+	// reporting time, not in the control law). Slices with no SLA read 1.
+	Attainment float64 `json:"attainment"`
+	// Projected is the attainment the admission controller projected when
+	// the slice arrived (zero for slices present from the start).
+	Projected float64 `json:"projected,omitempty"`
+	// Violating is the hysteresis-filtered violation state;
+	// ViolationEpochs counts epochs spent violating, Epochs the epochs
+	// measured.
+	Violating       bool `json:"violating"`
+	ViolationEpochs int  `json:"violation_epochs"`
+	Epochs          int  `json:"epochs"`
+}

@@ -1,0 +1,52 @@
+package slice
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSpecValidate(t *testing.T) {
+	good := Spec{Name: "gold", Group: 1, Weight: 2,
+		SLA:       SLA{MinThroughputKbps: 1000},
+		Admission: AdmissionPolicy{AdmitAbove: 0.5, RejectBelow: 0.1}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := []Spec{
+		{},                        // no name
+		{Name: "x", Group: -1},    // negative group
+		{Name: "x", Weight: -1},   // negative weight
+		{Name: "x", ArriveAt: -1}, // negative arrival
+		{Name: "x", HysteresisEpochs: -1},
+		{Name: "x", SLA: SLA{MinThroughputKbps: -1}},
+		{Name: "x", Admission: AdmissionPolicy{AdmitAbove: 0.1, RejectBelow: 0.5}},
+	}
+	for i, sp := range bad {
+		if err := sp.Validate(); err == nil {
+			t.Errorf("bad[%d] %+v accepted", i, sp)
+		}
+	}
+	if w := (&Spec{}).EffectiveWeight(); w != 1 {
+		t.Errorf("zero weight resolves to %v, want 1", w)
+	}
+}
+
+func TestDecisionJSONRoundTrip(t *testing.T) {
+	for _, d := range []Decision{Pending, Admitted, Degraded, Rejected} {
+		b, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != `"`+d.String()+`"` {
+			t.Errorf("%v marshals to %s", d, b)
+		}
+		var back Decision
+		if err := json.Unmarshal(b, &back); err != nil || back != d {
+			t.Errorf("%s round-trips to %v (%v)", b, back, err)
+		}
+	}
+	var d Decision
+	if err := json.Unmarshal([]byte(`"nonsense"`), &d); err == nil {
+		t.Error("unknown decision name accepted")
+	}
+}

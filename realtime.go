@@ -181,17 +181,32 @@ func ServeMasterListener(m *Master, l *ControlListener, stop <-chan struct{}, cf
 	}
 }
 
+// NorthboundOption customizes the northbound server before it starts
+// serving.
+type NorthboundOption func(*northbound.Server)
+
+// WithSliceBroker attaches a slice registry (e.g. a *SliceBroker) to the
+// server's /slices resources; without it they answer 503.
+func WithSliceBroker(reg northbound.SliceRegistry) NorthboundOption {
+	return func(s *northbound.Server) { s.AttachSlices(reg) }
+}
+
 // ServeNorthbound binds addr and serves the master's northbound HTTP API
-// (internal/northbound): RIB queries, the live /watch event stream and
-// actuation endpoints. ls feeds /stats/loop and may be nil. The server
-// runs until stop is closed; the bound address is returned (use
-// "127.0.0.1:0" for an ephemeral port in tests).
-func ServeNorthbound(m *Master, ls *LoopStats, addr string, stop <-chan struct{}) (net.Addr, error) {
+// (internal/northbound): RIB queries, the live /watch event stream,
+// actuation endpoints and — with WithSliceBroker — the /slices resource
+// model. ls feeds /stats/loop and may be nil. The server runs until stop
+// is closed; the bound address is returned (use "127.0.0.1:0" for an
+// ephemeral port in tests).
+func ServeNorthbound(m *Master, ls *LoopStats, addr string, stop <-chan struct{}, opts ...NorthboundOption) (net.Addr, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: northbound.New(m, ls)}
+	h := northbound.New(m, ls)
+	for _, opt := range opts {
+		opt(h)
+	}
+	srv := &http.Server{Handler: h}
 	go func() {
 		<-stop
 		srv.Close()
